@@ -1,0 +1,66 @@
+// Ablation A4 (§3.1 / §7): utilization-based server sizing vs latency-based sizing.
+//
+// The paper criticizes vendor sizing white papers for "defining typical user profiles and
+// reporting the load generated" while "uniformly ignoring the issue of user-perceived
+// latency". This harness sizes the same server both ways: the white-paper criterion
+// (CPU utilization under 85%) and the paper's criterion (average stall under the 100 ms
+// perception threshold) — and shows how far apart the two capacity answers are.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/metrics/latency.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation A4 — utilization-based vs latency-based server sizing",
+              "N users typing at 5 chars/s, each with a periodic 300 ms app burst.");
+  PrintPaperNote("Sizing white papers report supported users from utilization alone; the "
+                 "paper's framework asks what latency those users actually experience.");
+
+  for (const OsProfile& base : {OsProfile::Tse(), OsProfile::LinuxX(),
+                                OsProfile::LinuxSvr4()}) {
+    std::printf("--- %s ---\n", base.name.c_str());
+    TextTable table({"users", "CPU util", "avg stall (ms)", "worst user (ms)",
+                     "util verdict", "latency verdict"});
+    int util_ceiling = 0;
+    int latency_ceiling = 0;
+    bool util_failed = false;
+    bool latency_failed = false;
+    for (int users : {2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32}) {
+      SizingPoint p = RunServerSizing(base, users);
+      bool util_ok = p.cpu_utilization < 0.85;
+      bool latency_ok = p.avg_stall_ms < kPerceptionThreshold.ToMillisF();
+      if (util_ok && !util_failed) {
+        util_ceiling = users;
+      } else {
+        util_failed = true;
+      }
+      if (latency_ok && !latency_failed) {
+        latency_ceiling = users;
+      } else {
+        latency_failed = true;
+      }
+      table.AddRow({TextTable::Num(users), TextTable::Percent(p.cpu_utilization, 1),
+                    TextTable::Fixed(p.avg_stall_ms, 1),
+                    TextTable::Fixed(p.worst_stall_ms, 1), util_ok ? "ok" : "OVER",
+                    latency_ok ? "ok" : "OVER"});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("capacity by utilization (<85%%): ~%d users;  by latency (<100 ms): ~%d "
+                "users\n\n",
+                util_ceiling, latency_ceiling);
+  }
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A5: does adding processors fix the interactive-latency pathologies?
+//
+// The era's answer to a loaded terminal server was "buy a bigger SMP box". This harness
+// re-runs the Figure 3 experiment with 1, 2, and 4 processors per OS. SMP absorbs load
+// up to the processor count but does not change the scheduling policy: once the sinks
+// outnumber the processors, TSE's unboosted display pipeline queues exactly as before,
+// while the SVR4 interactive class never needed the extra silicon.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation A5 — SMP scaling of the Figure 3 experiment",
+              "Average stall (ms) vs sinks for 1 / 2 / 4 processors.");
+  PrintPaperNote("Not a paper experiment: quantifies how much of the scheduling problem "
+                 "can be bought off with hardware (and how much cannot).");
+
+  for (const OsProfile& profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
+    std::printf("--- %s ---\n", profile.name.c_str());
+    TextTable table({"sinks", "1 cpu", "2 cpus", "4 cpus"});
+    for (int sinks : {0, 2, 5, 10, 15, 20, 30}) {
+      std::vector<std::string> row{TextTable::Num(sinks)};
+      for (int procs : {1, 2, 4}) {
+        TypingUnderLoadResult r =
+            RunTypingUnderLoad(profile, sinks, Duration::Seconds(30), 1, procs);
+        row.push_back(TextTable::Fixed(r.avg_stall_ms, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension R2: protocol viability over constrained access links.
+//
+// The paper's introduction motivates thin clients converging onto wireless, mobile,
+// ubiquitous devices; §6 shows protocol efficiency determines what the network can carry.
+// This harness replays a fixed editing session over each protocol across link classes
+// (shared LAN, T1, ISDN, V.90 modem) and reports the time the display channel alone needs
+// to drain — i.e. how far behind the user's interactions the picture falls.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+struct LinkClass {
+  const char* name;
+  BitsPerSecond rate;
+  Duration propagation;
+};
+
+void Run() {
+  PrintBanner("Extension R2 — protocol traffic vs access-link capacity",
+              "The 3-app workload's bytes against each link class's drain rate.");
+  PrintPaperNote("Not a paper experiment: extends §6's protocol comparison to the "
+                 "wireless/mobile access links the introduction motivates.");
+
+  const LinkClass kLinks[] = {
+      {"10 Mbps LAN", BitsPerSecond::Mbps(10), Duration::Micros(50)},
+      {"T1 (1.54 Mbps)", BitsPerSecond::Kbps(1540), Duration::Millis(5)},
+      {"ISDN (128 kbps)", BitsPerSecond::Kbps(128), Duration::Millis(15)},
+      {"V.90 modem (56 kbps)", BitsPerSecond::Kbps(56), Duration::Millis(80)},
+  };
+
+  // Traffic for a ~6-minute interactive session over each protocol.
+  ProtocolTrafficResult traffic[] = {
+      RunAppWorkloadTraffic(ProtocolKind::kRdp, 1, 300),
+      RunAppWorkloadTraffic(ProtocolKind::kLbx, 1, 300),
+      RunAppWorkloadTraffic(ProtocolKind::kX, 1, 300),
+      RunAppWorkloadTraffic(ProtocolKind::kSlim, 1, 300),
+      RunAppWorkloadTraffic(ProtocolKind::kVnc, 1, 300),
+  };
+  // The session spans ~6 min of user time; the display channel must sustain this rate.
+  constexpr double kSessionSeconds = 360.0;
+
+  TextTable table({"protocol", "display bytes", "needed (kbps)", "LAN", "T1", "ISDN",
+                   "modem"});
+  for (const ProtocolTrafficResult& t : traffic) {
+    double needed_bps = static_cast<double>(t.display.bytes) * 8.0 / kSessionSeconds;
+    std::vector<std::string> row{t.protocol, TextTable::Num(t.display.bytes),
+                                 TextTable::Fixed(needed_bps / 1e3, 1)};
+    for (const LinkClass& link : kLinks) {
+      double headroom = static_cast<double>(link.rate.bps()) / needed_bps;
+      if (headroom >= 3.0) {
+        row.push_back("ok");
+      } else if (headroom >= 1.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "tight %.1fx", headroom);
+        row.push_back(buf);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "NO (%.1fx)", headroom);
+        row.push_back(buf);
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("reading: 'ok' = >=3x headroom for interaction bursts; 'tight' = drains on\n");
+  std::printf("average but bursts stall; 'NO' = the display channel cannot keep up at all.\n");
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

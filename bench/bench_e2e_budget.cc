@@ -1,0 +1,57 @@
+// Extension R3: the end-to-end latency budget — §3.2's factor taxonomy (hardware
+// resources, OS structure, user behavior) turned into a measured breakdown of where each
+// keystroke's milliseconds go: input transit, server scheduling + pipeline, display
+// transit, client decode + blit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void AddRow(TextTable& table, const char* scenario, const EndToEndResult& r) {
+  table.AddRow({scenario, TextTable::Fixed(r.input_net_ms, 2),
+                TextTable::Fixed(r.server_ms, 2), TextTable::Fixed(r.display_net_ms, 2),
+                TextTable::Fixed(r.client_ms, 2), TextTable::Fixed(r.total_ms, 2)});
+}
+
+void Run() {
+  PrintBanner("Extension R3 — end-to-end keystroke latency budget (mean ms per leg)",
+              "input net | server (queue+pipeline) | display net | client decode+blit");
+  PrintPaperNote("Not a paper figure: §3.2's 'three categories of factors' made "
+                 "measurable. Shows which leg dominates under each kind of stress.");
+
+  for (const OsProfile& profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
+    std::printf("--- %s ---\n", profile.name.c_str());
+    TextTable table({"scenario", "input net", "server", "display net", "client", "total"});
+
+    EndToEndOptions baseline;
+    AddRow(table, "idle server, desktop client", RunEndToEndLatency(profile, baseline));
+
+    EndToEndOptions loaded = baseline;
+    loaded.sinks = 10;
+    AddRow(table, "10 sinks (CPU stress)", RunEndToEndLatency(profile, loaded));
+
+    EndToEndOptions congested = baseline;
+    congested.background_mbps = 9.0;
+    AddRow(table, "9 Mbps background (net stress)", RunEndToEndLatency(profile, congested));
+
+    EndToEndOptions weak_client = baseline;
+    weak_client.client = ThinClientConfig::Handheld();
+    AddRow(table, "handheld client (client stress)",
+           RunEndToEndLatency(profile, weak_client));
+
+    std::printf("%s\n", table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 3: average stall length experienced by a typing user vs scheduler queue length.
+// 20 Hz character repeat against 0..50 sinks; also includes the Evans et al. SVR4
+// interactive scheduler as the "what good looks like" extension.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 3 — average stall length vs scheduler queue length",
+              "20 Hz key repeat; N sinks; stall = display inter-arrival - 50 ms.");
+  PrintPaperNote("TSE latency increases sharply around 10 load units and the system is "
+                 "barely usable at 15; Linux degrades linearly but more slowly; Evans et "
+                 "al.'s interactive SVR4 stays constant and small.");
+
+  TextTable table({"sinks", "TSE avg stall (ms)", "TSE jitter", "Linux avg stall (ms)",
+                   "Linux jitter", "SVR4-IA avg stall (ms)"});
+  for (int sinks : {0, 1, 2, 5, 8, 10, 12, 15, 20, 25, 30, 40, 50}) {
+    TypingUnderLoadResult lin =
+        RunTypingUnderLoad(OsProfile::LinuxX(), sinks, Duration::Seconds(60));
+    TypingUnderLoadResult svr4 =
+        RunTypingUnderLoad(OsProfile::LinuxSvr4(), sinks, Duration::Seconds(60));
+    std::string tse_stall = "(unusable)";
+    std::string tse_jitter = "-";
+    if (sinks <= 15) {
+      // "The data for TSE stops at 15 load units because at that point the system became
+      // barely usable at the console."
+      TypingUnderLoadResult tse =
+          RunTypingUnderLoad(OsProfile::Tse(), sinks, Duration::Seconds(60));
+      tse_stall = TextTable::Fixed(tse.avg_stall_ms, 1);
+      tse_jitter = TextTable::Fixed(tse.jitter_ms, 1);
+    }
+    table.AddRow({TextTable::Num(sinks), tse_stall, tse_jitter,
+                  TextTable::Fixed(lin.avg_stall_ms, 1), TextTable::Fixed(lin.jitter_ms, 1),
+                  TextTable::Fixed(svr4.avg_stall_ms, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 8: network round-trip time as a function of offered load — 64-byte pings (the
+// size of a typical input-channel message) against Poisson background traffic on a shared
+// 10 Mbps link, 60 s per load level.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 8 — ping RTT vs offered load (64-byte packets, 10 Mbps link)",
+              "60 s of pings per load level against Poisson background traffic.");
+  PrintPaperNote("RTT stays low and almost perfectly consistent until near saturation; "
+                 "the ~55 ms delay at 9.6 Mbps is well into human latency tolerance.");
+
+  TextTable table({"offered load (Mbps)", "mean RTT (ms)"});
+  for (double mbps : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.5, 9.0, 9.3, 9.6}) {
+    RttProbeResult r = RunRttProbe(mbps);
+    table.AddRow({TextTable::Fixed(mbps, 1), TextTable::Fixed(r.mean_rtt_ms, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

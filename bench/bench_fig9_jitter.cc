@@ -1,0 +1,33 @@
+// Figure 9: network latency jitter (RTT variance) as a function of offered load — the
+// same probe as Figure 8, reporting the variance of all RTTs per level.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 9 — RTT variance (jitter) vs offered load",
+              "60 s of 64-byte pings per load level; variance over all packets.");
+  PrintPaperNote("While the network is not saturated, RTT is almost perfectly consistent; "
+                 "jitter explodes as the link nears saturation, compounding the latency.");
+
+  TextTable table({"offered load (Mbps)", "RTT variance (ms^2)"});
+  for (double mbps : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.5, 9.0, 9.3, 9.6}) {
+    RttProbeResult r = RunRttProbe(mbps);
+    table.AddRow({TextTable::Fixed(mbps, 1), TextTable::Fixed(r.rtt_variance, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the framework's hot primitives (google-benchmark): event queue
+// throughput, scheduler decision cost, LZ codec speed, bitmap cache operations, pager
+// touch cost, and the full end-to-end cost of simulating one second of a loaded server.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/cpu/cpu.h"
+#include "src/cpu/nt_scheduler.h"
+#include "src/proto/bitmap_cache.h"
+#include "src/session/server.h"
+#include "src/sim/simulator.h"
+#include "src/util/lz.h"
+#include "src/workload/sink.h"
+#include "src/workload/typist.h"
+
+namespace tcs {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.Schedule(TimePoint::FromMicros((i * 7919) % 10000), [] {});
+    }
+    TimePoint when;
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop(&when));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_NtSchedulerDecision(benchmark::State& state) {
+  NtScheduler sched;
+  std::vector<std::unique_ptr<Thread>> threads;
+  for (int i = 0; i < 32; ++i) {
+    threads.push_back(std::make_unique<Thread>(static_cast<uint64_t>(i + 1), "t",
+                                               ThreadClass::kBatch, i % 16));
+  }
+  for (auto& t : threads) {
+    sched.OnReady(*t, WakeReason::kOther);
+  }
+  for (auto _ : state) {
+    Thread* t = sched.PickNext();
+    benchmark::DoNotOptimize(t);
+    sched.OnQuantumExpired(*t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtSchedulerDecision);
+
+void BM_LzCompress(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  rng.FillBytes(data.data(), data.size(), 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzCodec::Compress(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_LzRoundTrip(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint8_t> data(4096);
+  rng.FillBytes(data.data(), data.size(), 0.85);
+  for (auto _ : state) {
+    auto compressed = LzCodec::Compress(data);
+    benchmark::DoNotOptimize(LzCodec::Decompress(compressed));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LzRoundTrip);
+
+void BM_BitmapCacheLookupInsert(benchmark::State& state) {
+  BitmapCache cache;
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    if (!cache.Lookup(hash % 128)) {
+      cache.Insert(hash % 128, Bytes::Of(12000));
+    }
+    ++hash;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapCacheLookupInsert);
+
+void BM_SimulateLoadedServerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Server server(sim, OsProfile::Tse());
+    server.StartDaemons();
+    Session& session = server.Login();
+    server.StartSinks(static_cast<int>(state.range(0)));
+    Typist typist(sim, [&] { server.Keystroke(session); });
+    typist.Start();
+    sim.RunUntil(TimePoint::Zero() + Duration::Seconds(1));
+    benchmark::DoNotOptimize(server.tap().total_messages());
+  }
+}
+BENCHMARK(BM_SimulateLoadedServerSecond)->Arg(0)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace tcs
+
+BENCHMARK_MAIN();

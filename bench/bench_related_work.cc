@@ -1,0 +1,51 @@
+// Related-work comparison (§7): all five protocol models — RDP, X, LBX, plus the SLIM
+// (SunRay) and VNC (RFB) models — on the application workload and on the Figure 5
+// animation. The paper places SLIM "roughly equivalent in performance to X, still behind
+// RDP and LBX in network load efficiency"; VNC is "yet another network protocol similar
+// to SLIM".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("Related work (§7) — RDP / X / LBX / SLIM / VNC",
+              "Application workload traffic and the Figure 5 animation per protocol.");
+  PrintPaperNote("SLIM ~ X in network load, behind RDP and LBX; VNC similar to SLIM. "
+                 "Framebuffer protocols pay pixel rates for text; pull protocols coalesce "
+                 "animation frames at the cost of update latency.");
+
+  TextTable table({"protocol", "app workload bytes", "vs X", "messages", "avg msg",
+                   "GIF sustained Mbps"});
+  int64_t x_total = 0;
+  for (ProtocolKind kind : {ProtocolKind::kX, ProtocolKind::kRdp, ProtocolKind::kLbx,
+                            ProtocolKind::kSlim, ProtocolKind::kVnc}) {
+    ProtocolTrafficResult traffic = RunAppWorkloadTraffic(kind, 1, 300);
+    if (kind == ProtocolKind::kX) {
+      x_total = traffic.total_bytes;
+    }
+    GifAnimationOptions gif;
+    gif.duration = Duration::Seconds(15);
+    AnimationLoadResult anim = RunGifAnimation(kind, gif);
+    table.AddRow({traffic.protocol, TextTable::Num(traffic.total_bytes),
+                  TextTable::Percent(static_cast<double>(traffic.total_bytes) /
+                                     static_cast<double>(x_total)),
+                  TextTable::Num(traffic.total_messages),
+                  TextTable::Fixed(traffic.avg_message_size, 1),
+                  TextTable::Fixed(anim.sustained_mbps, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

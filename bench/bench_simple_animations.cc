@@ -1,0 +1,105 @@
+// §6.1.3, first paragraph: "Simple animations like blinking cursors and progress bars
+// generate a harmless amount of traffic, generally less than 10KBps for short durations."
+// This harness measures a blinking caret (2 Hz, a 2x16 rect) and a progress bar (4 Hz,
+// a growing 300x12 fill) over each protocol against that bound.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/proto/lbx_protocol.h"
+#include "src/proto/protocol_kind.h"
+#include "src/proto/rdp_protocol.h"
+#include "src/proto/slim_protocol.h"
+#include "src/proto/vnc_protocol.h"
+#include "src/proto/x_protocol.h"
+#include "src/sim/periodic.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+double MeasureKBps(ProtocolKind kind, bool caret, bool progress) {
+  Simulator sim;
+  Link link(sim);
+  MessageSender display(link, HeaderModel::TcpIp());
+  MessageSender input(link, HeaderModel::TcpIp());
+  ProtoTap tap(Duration::Seconds(1));
+  std::unique_ptr<DisplayProtocol> protocol;
+  switch (kind) {
+    case ProtocolKind::kRdp:
+      protocol = std::make_unique<RdpProtocol>(sim, display, input, &tap, Rng(4));
+      break;
+    case ProtocolKind::kX:
+      protocol = std::make_unique<XProtocol>(sim, display, input, &tap, Rng(4));
+      break;
+    case ProtocolKind::kLbx:
+      protocol = std::make_unique<LbxProtocol>(sim, display, input, &tap, Rng(4));
+      break;
+    case ProtocolKind::kSlim:
+      protocol = std::make_unique<SlimProtocol>(sim, display, input, &tap, Rng(4));
+      break;
+    case ProtocolKind::kVnc: {
+      auto vnc = std::make_unique<VncProtocol>(sim, display, input, &tap, Rng(4));
+      vnc->StartClientPull();
+      protocol = std::move(vnc);
+      break;
+    }
+  }
+
+  PeriodicTask caret_task(sim, Duration::Millis(500), [&] {
+    protocol->SubmitDraw(DrawCommand::Rect(2, 16));
+    protocol->Flush();
+  });
+  PeriodicTask progress_task(sim, Duration::Millis(250), [&] {
+    protocol->SubmitDraw(DrawCommand::Rect(300, 12));
+    protocol->SubmitDraw(DrawCommand::Text(6));  // "42%" label
+    protocol->Flush();
+  });
+  if (caret) {
+    caret_task.Start();
+  }
+  if (progress) {
+    progress_task.Start(Duration::Millis(125));
+  }
+  Duration window = Duration::Seconds(60);
+  sim.RunUntil(TimePoint::Zero() + window);
+  caret_task.Stop();
+  progress_task.Stop();
+  return static_cast<double>(tap.total_counted_bytes().count()) / window.ToSecondsF() /
+         1024.0;
+}
+
+void Run() {
+  PrintBanner("§6.1.3 — 'harmless' simple animations (KB/s over 60 s)",
+              "Blinking caret (2 Hz) and progress bar (4 Hz) per protocol.");
+  PrintPaperNote("Simple animations generate less than 10 KBps — unlike the banner ads "
+                 "and tickers of Figure 4.");
+
+  TextTable table({"protocol", "caret", "progress bar", "both", "verdict"});
+  for (ProtocolKind kind : {ProtocolKind::kRdp, ProtocolKind::kX, ProtocolKind::kLbx,
+                            ProtocolKind::kSlim, ProtocolKind::kVnc}) {
+    double caret = MeasureKBps(kind, true, false);
+    double bar = MeasureKBps(kind, false, true);
+    double both = MeasureKBps(kind, true, true);
+    std::string name;
+    switch (kind) {
+      case ProtocolKind::kRdp: name = "RDP"; break;
+      case ProtocolKind::kX: name = "X"; break;
+      case ProtocolKind::kLbx: name = "LBX"; break;
+      case ProtocolKind::kSlim: name = "SLIM"; break;
+      case ProtocolKind::kVnc: name = "VNC"; break;
+    }
+    table.AddRow({name, TextTable::Fixed(caret, 2), TextTable::Fixed(bar, 2),
+                  TextTable::Fixed(both, 2), both < 10.0 ? "harmless" : "OVER 10 KB/s"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// §6.1.2 table: byte and message counts per channel for RDP, X, and LBX on the typical
+// application workload (word processor + photo editor + control panel scripts).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("§6.1.2 — protocol traffic on the application workload",
+              "WordPerfect-, Gimp-, and control-panel-style scripts over each protocol.");
+  PrintPaperNote("RDP: 888,239 B / 1,841 msgs (avg 482).  X: 6,250,888 B / 26,923 msgs "
+                 "(avg 232).  LBX: 3,197,185 B / 36,615 msgs (avg 87). RDP < 15% of X "
+                 "bytes and < 30% of LBX.");
+
+  ProtocolTrafficResult rdp = RunAppWorkloadTraffic(ProtocolKind::kRdp);
+  ProtocolTrafficResult x = RunAppWorkloadTraffic(ProtocolKind::kX);
+  ProtocolTrafficResult lbx = RunAppWorkloadTraffic(ProtocolKind::kLbx);
+
+  TextTable bytes({"", "RDP", "X", "LBX"});
+  bytes.AddRow({"Bytes input", TextTable::Num(rdp.input.bytes), TextTable::Num(x.input.bytes),
+                TextTable::Num(lbx.input.bytes)});
+  bytes.AddRow({"Bytes display", TextTable::Num(rdp.display.bytes),
+                TextTable::Num(x.display.bytes), TextTable::Num(lbx.display.bytes)});
+  bytes.AddRow({"Bytes total", TextTable::Num(rdp.total_bytes), TextTable::Num(x.total_bytes),
+                TextTable::Num(lbx.total_bytes)});
+  bytes.AddRow({"Messages input", TextTable::Num(rdp.input.messages),
+                TextTable::Num(x.input.messages), TextTable::Num(lbx.input.messages)});
+  bytes.AddRow({"Messages display", TextTable::Num(rdp.display.messages),
+                TextTable::Num(x.display.messages), TextTable::Num(lbx.display.messages)});
+  bytes.AddRow({"Messages total", TextTable::Num(rdp.total_messages),
+                TextTable::Num(x.total_messages), TextTable::Num(lbx.total_messages)});
+  bytes.AddRow({"Avg. message size", TextTable::Fixed(rdp.avg_message_size, 2),
+                TextTable::Fixed(x.avg_message_size, 2),
+                TextTable::Fixed(lbx.avg_message_size, 2)});
+  std::printf("%s\n", bytes.Render().c_str());
+
+  std::printf("RDP / X bytes     = %s (paper < 15%%)\n",
+              TextTable::Percent(static_cast<double>(rdp.total_bytes) /
+                                 static_cast<double>(x.total_bytes)).c_str());
+  std::printf("RDP / LBX bytes   = %s (paper < 30%%)\n",
+              TextTable::Percent(static_cast<double>(rdp.total_bytes) /
+                                 static_cast<double>(lbx.total_bytes)).c_str());
+  std::printf("LBX / X bytes     = %s (paper ~51%%)\n",
+              TextTable::Percent(static_cast<double>(lbx.total_bytes) /
+                                 static_cast<double>(x.total_bytes)).c_str());
+  std::printf("LBX / X display messages = %.2fx (paper ~1.8x)\n",
+              static_cast<double>(lbx.display.messages) /
+                  static_cast<double>(x.display.messages));
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

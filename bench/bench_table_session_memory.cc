@@ -1,0 +1,47 @@
+// §5.1.1 tables: per-login compulsory memory (process lists) and idle system memory.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void PrintLogin(const SessionMemoryResult& r) {
+  std::printf("%s%s login:\n", r.os_name.c_str(), r.light ? " (light)" : "");
+  TextTable table({"process", "private KB"});
+  for (const auto& row : r.processes) {
+    table.AddRow({row.process, TextTable::Num(row.private_memory.count() / 1024)});
+  }
+  table.AddRow({"Total", TextTable::Num(r.total.count() / 1024)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("measured resident after login: %s (spec total %s)\n\n",
+              r.measured_resident.ToString().c_str(), r.total.ToString().c_str());
+}
+
+void Run() {
+  PrintBanner("§5.1.1 — compulsory memory load",
+              "Idle-system memory plus minimal-login process tables per OS.");
+  PrintPaperNote("Idle: ~17 MB Linux vs ~19 MB TSE. Per login: Linux 752 KB; TSE typical "
+                 "3,244 KB; TSE light (command.com) 2,100 KB.");
+
+  SessionMemoryResult lin = MeasureSessionMemory(OsProfile::LinuxX(), false);
+  SessionMemoryResult tse = MeasureSessionMemory(OsProfile::Tse(), false);
+  SessionMemoryResult tse_light = MeasureSessionMemory(OsProfile::Tse(), true);
+
+  std::printf("idle system memory: Linux=%s  TSE=%s\n\n", lin.idle_system.ToString().c_str(),
+              tse.idle_system.ToString().c_str());
+  PrintLogin(lin);
+  PrintLogin(tse);
+  PrintLogin(tse_light);
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

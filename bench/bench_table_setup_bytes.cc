@@ -1,0 +1,46 @@
+// §6.1.1: compulsory network load — session negotiation/initialization bytes per
+// protocol, and the (absence of) idle traffic once a session is up.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/experiments.h"
+#include "src/session/server.h"
+#include "src/util/table.h"
+
+namespace tcs {
+namespace {
+
+void Run() {
+  PrintBanner("§6.1.1 — compulsory network load",
+              "Session setup bytes per protocol; idle-session traffic.");
+  PrintPaperNote("Setup: 45,328 bytes TSE vs 16,312 bytes Linux/X. Neither system "
+                 "exchanges data while the user is idle.");
+
+  TextTable table({"protocol", "session setup bytes"});
+  table.AddRow({"RDP (TSE)", TextTable::Num(SessionSetupBytes(ProtocolKind::kRdp).count())});
+  table.AddRow({"X (Linux)", TextTable::Num(SessionSetupBytes(ProtocolKind::kX).count())});
+  table.AddRow({"LBX", TextTable::Num(SessionSetupBytes(ProtocolKind::kLbx).count())});
+  std::printf("%s\n", table.Render().c_str());
+
+  // Idle traffic after login: run a logged-in but untouched session for a minute.
+  for (OsProfile profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
+    Simulator sim;
+    Server server(sim, profile);
+    server.StartDaemons();
+    server.Login();
+    Bytes after_setup = server.link().bytes_carried();
+    sim.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+    Bytes idle_traffic = server.link().bytes_carried() - after_setup;
+    std::printf("%s: idle-session traffic over 60 s = %s (paper: none)\n",
+                profile.name.c_str(), idle_traffic.ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main() {
+  tcs::Run();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses: consistent headers and paper-vs-measured
+// framing in every bench's output.
+
+#ifndef TCS_BENCH_BENCH_UTIL_H_
+#define TCS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace tcs {
+
+inline void PrintBanner(const std::string& artifact, const std::string& description) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==========================================================================\n");
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("paper: %s\n\n", note.c_str());
+}
+
+}  // namespace tcs
+
+#endif  // TCS_BENCH_BENCH_UTIL_H_

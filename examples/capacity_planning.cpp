@@ -1,0 +1,94 @@
+// Capacity planning: the question the paper says deployers actually need answered —
+// "the maximum number of concurrent users their servers can support given some hardware
+// configuration, and what impact on users yields this maximum value" (§3.1).
+//
+// Scales concurrent typing users on one server per OS profile until the average
+// user-perceived stall crosses the 100 ms perception threshold, and independently checks
+// the network ceiling for animation-heavy behaviour on 10 Mbps Ethernet.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/experiments.h"
+#include "src/metrics/latency.h"
+#include "src/session/server.h"
+#include "src/util/table.h"
+#include "src/workload/typist.h"
+
+namespace {
+
+// Average stall across `users` concurrent typists (each also running one background
+// compile-like CPU job, a pessimistic behaviour profile).
+double AvgStallMs(tcs::OsProfile profile, int users) {
+  using namespace tcs;
+  Simulator sim;
+  Server server(sim, std::move(profile));
+  server.StartDaemons();
+  // Latency is per user: each session gets its own stall detector; report the mean of
+  // the per-user averages.
+  std::vector<std::unique_ptr<StallDetector>> stalls;
+  std::vector<std::unique_ptr<Typist>> typists;
+  for (int u = 0; u < users; ++u) {
+    Session& s = server.Login();
+    stalls.push_back(std::make_unique<StallDetector>());
+    StallDetector* mine = stalls.back().get();
+    s.set_on_display_update([mine](TimePoint t) { mine->OnUpdate(t); });
+    typists.push_back(
+        std::make_unique<Typist>(sim, [&server, &s] { server.Keystroke(s); }));
+    typists.back()->Start(Duration::Millis(7 * u));  // staggered phases
+  }
+  server.StartSinks(users / 2);  // half the users run a background job
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
+  double total = 0.0;
+  for (auto& det : stalls) {
+    if (det->updates() < 2) {
+      // So starved it produced at most one update in 30 s: count the whole window.
+      total += 30000.0;
+    } else {
+      total += det->AverageStallAllGaps().ToMillisF();
+    }
+  }
+  return total / static_cast<double>(users);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcs;
+
+  std::printf("CPU ceiling: concurrent typing users vs average stall (30 s runs)\n\n");
+  TextTable table({"users", "NT TSE (ms)", "Linux/X (ms)", "Linux+SVR4-IA (ms)"});
+  int tse_limit = -1;
+  int lin_limit = -1;
+  for (int users : {1, 2, 4, 6, 8, 10, 12, 16, 20}) {
+    double tse = AvgStallMs(OsProfile::Tse(), users);
+    double lin = AvgStallMs(OsProfile::LinuxX(), users);
+    double svr4 = AvgStallMs(OsProfile::LinuxSvr4(), users);
+    if (tse_limit < 0 && tse > kPerceptionThreshold.ToMillisF()) {
+      tse_limit = users;
+    }
+    if (lin_limit < 0 && lin > kPerceptionThreshold.ToMillisF()) {
+      lin_limit = users;
+    }
+    table.AddRow({TextTable::Num(users), TextTable::Fixed(tse, 1), TextTable::Fixed(lin, 1),
+                  TextTable::Fixed(svr4, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("perceptible-latency ceiling: TSE ~%d users, Linux/X ~%d users, SVR4-IA "
+              "beyond the sweep\n\n",
+              tse_limit, lin_limit);
+
+  // Network ceiling: how many users can open the animated webpage before 10 Mbps
+  // Ethernet saturates (the paper: "if just five users open their browsers to a page
+  // like this, the network link becomes saturated").
+  AnimationLoadResult page = RunWebPageLoad(ProtocolKind::kRdp, true, true);
+  double per_user = page.sustained_mbps;
+  int net_ceiling = static_cast<int>(10.0 / per_user);
+  std::printf("network ceiling: animated webpage costs %.2f Mbps/user over RDP -> %d "
+              "users saturate 10 Mbps Ethernet (paper: ~5)\n",
+              per_user, net_ceiling);
+  std::printf("memory ceiling: at %.0f KB/login (TSE typical), 64 MB of RAM minus 19 MB "
+              "system holds ~%d logins before paging\n",
+              3244.0, static_cast<int>((64 - 19) * 1024 / 3244));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a thin-client server, log a user in, type at 20 Hz, and read the
+// latency report — the smallest end-to-end use of the tcs public API.
+//
+//   $ ./quickstart
+//
+// Everything here is simulated: the TSE-like OS profile supplies the scheduler, daemons,
+// login process table, and the RDP protocol; the typist drives the keystroke pipeline;
+// the stall detector scores what the user would feel.
+
+#include <cstdio>
+
+#include "src/metrics/latency.h"
+#include "src/session/server.h"
+#include "src/workload/typist.h"
+
+int main() {
+  using namespace tcs;
+
+  // A simulator is the virtual clock; a Server is the system under test.
+  Simulator sim;
+  Server server(sim, OsProfile::Tse());
+  server.StartDaemons();
+
+  // One user logs in (session setup traffic and login memory happen here)...
+  Session& session = server.Login();
+  std::printf("logged in: %s session, %.0f KB private memory, %lld setup bytes on the wire\n",
+              server.profile().name.c_str(), session.private_memory().ToKiBF(),
+              static_cast<long long>(server.link().bytes_carried().count()));
+
+  // ...holds a key down for a minute (20 Hz character repeat)...
+  StallDetector stalls;
+  session.set_on_display_update([&](TimePoint t) { stalls.OnUpdate(t); });
+  Typist typist(sim, [&] { server.Keystroke(session); });
+  typist.Start();
+
+  // ...while eight CPU hogs churn in the background.
+  server.StartSinks(8);
+
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  typist.Stop();
+
+  std::printf("\n60 simulated seconds, %lld keystrokes, %lld display updates\n",
+              static_cast<long long>(typist.keystrokes()),
+              static_cast<long long>(stalls.updates()));
+  std::printf("average stall: %s  (max %s, jitter %s)\n",
+              stalls.AverageStallAllGaps().ToString().c_str(),
+              stalls.MaxStall().ToString().c_str(), stalls.Jitter().ToString().c_str());
+  std::printf("human perception threshold is %s: this user is %s\n",
+              kPerceptionThreshold.ToString().c_str(),
+              stalls.AverageStallAllGaps() > kPerceptionThreshold ? "suffering"
+                                                                  : "comfortable");
+  std::printf("\nprotocol traffic: %lld display msgs (%lld bytes), %lld input msgs\n",
+              static_cast<long long>(server.tap().messages(Channel::kDisplay)),
+              static_cast<long long>(server.tap().counted_bytes(Channel::kDisplay).count()),
+              static_cast<long long>(server.tap().messages(Channel::kInput)));
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "src/client/thin_client.h"
+
+namespace tcs {
+
+ThinClientConfig ThinClientConfig::DesktopPc() {
+  ThinClientConfig c;
+  c.name = "desktop-pc";
+  c.cpu_speed = 2.0;
+  c.video_throughput = BitsPerSecond::Mbps(640);
+  return c;
+}
+
+ThinClientConfig ThinClientConfig::WinTerm() {
+  ThinClientConfig c;
+  c.name = "winterm";
+  c.cpu_speed = 0.6;
+  c.video_throughput = BitsPerSecond::Mbps(240);
+  return c;
+}
+
+ThinClientConfig ThinClientConfig::Handheld() {
+  ThinClientConfig c;
+  c.name = "handheld";
+  c.cpu_speed = 0.15;
+  c.video_throughput = BitsPerSecond::Mbps(24);
+  c.per_message_cost = Duration::Micros(400);
+  return c;
+}
+
+ThinClientDevice::ThinClientDevice(ThinClientConfig config) : config_(config) {}
+
+Duration ThinClientDevice::DecodeDelay(ProtocolKind protocol, Bytes payload) const {
+  // Per-byte CPU decode cost at reference speed, reflecting what the client must do with
+  // the bytes: replay high-level orders and decompress rasters (RDP), decompress the
+  // proxy stream (LBX), copy raw pixels (X/SLIM), decode hextiles (VNC). Decoded output
+  // is larger than compressed input for the compressing protocols; the expansion factor
+  // feeds the blit bill.
+  double decode_us_per_byte = 0.02;
+  double expansion = 1.0;
+  switch (protocol) {
+    case ProtocolKind::kRdp:
+      decode_us_per_byte = 0.15;
+      expansion = 2.0;
+      break;
+    case ProtocolKind::kLbx:
+      decode_us_per_byte = 0.10;
+      expansion = 2.0;
+      break;
+    case ProtocolKind::kX:
+      decode_us_per_byte = 0.02;
+      expansion = 1.0;
+      break;
+    case ProtocolKind::kSlim:
+      decode_us_per_byte = 0.03;
+      expansion = 1.0;
+      break;
+    case ProtocolKind::kVnc:
+      decode_us_per_byte = 0.12;
+      expansion = 2.2;
+      break;
+  }
+  Duration cpu = config_.per_message_cost +
+                 Duration::Micros(static_cast<int64_t>(
+                     static_cast<double>(payload.count()) * decode_us_per_byte));
+  cpu = cpu * (1.0 / config_.cpu_speed);
+  Bytes decoded = Bytes::Of(static_cast<int64_t>(
+      static_cast<double>(payload.count()) * expansion));
+  Duration blit = TransmissionDelay(decoded, config_.video_throughput);
+  return cpu + blit;
+}
+
+}  // namespace tcs

@@ -1,0 +1,559 @@
+#include "src/core/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cpu/nt_scheduler.h"
+#include "src/metrics/latency.h"
+#include "src/net/ping.h"
+#include "src/net/traffic_gen.h"
+#include "src/proto/lbx_protocol.h"
+#include "src/proto/slim_protocol.h"
+#include "src/proto/vnc_protocol.h"
+#include "src/proto/rdp_protocol.h"
+#include "src/proto/x_protocol.h"
+#include "src/session/server.h"
+#include "src/util/stats.h"
+#include "src/workload/animation.h"
+#include "src/workload/app_script.h"
+#include "src/workload/memory_hog.h"
+#include "src/workload/typist.h"
+#include "src/workload/webpage.h"
+
+namespace tcs {
+
+namespace {
+
+// A protocol-only harness: link, channel senders, tap, and one protocol instance.
+// Experiments that exercise only the network resource use this instead of a full Server.
+struct ProtocolHarness {
+  ProtocolHarness(ProtocolKind kind, uint64_t seed, Duration tap_bucket,
+                  CachePolicy cache_policy = CachePolicy::kLru,
+                  LinkConfig link_config = {})
+      : link(sim, link_config),
+        display(link, HeaderModel::TcpIp()),
+        input(link, HeaderModel::TcpIp()),
+        tap(tap_bucket) {
+    Rng rng(seed);
+    switch (kind) {
+      case ProtocolKind::kRdp: {
+        RdpConfig cfg;
+        cfg.cache.policy = cache_policy;
+        protocol = std::make_unique<RdpProtocol>(sim, display, input, &tap, rng, cfg);
+        break;
+      }
+      case ProtocolKind::kX:
+        protocol = std::make_unique<XProtocol>(sim, display, input, &tap, rng);
+        break;
+      case ProtocolKind::kLbx:
+        protocol = std::make_unique<LbxProtocol>(sim, display, input, &tap, rng);
+        break;
+      case ProtocolKind::kSlim:
+        protocol = std::make_unique<SlimProtocol>(sim, display, input, &tap, rng);
+        break;
+      case ProtocolKind::kVnc: {
+        auto vnc = std::make_unique<VncProtocol>(sim, display, input, &tap, rng);
+        vnc->StartClientPull();
+        protocol = std::move(vnc);
+        break;
+      }
+    }
+  }
+
+  const BitmapCache* cache() const {
+    auto* rdp = dynamic_cast<const RdpProtocol*>(protocol.get());
+    return rdp != nullptr ? &rdp->bitmap_cache() : nullptr;
+  }
+
+  Simulator sim;
+  Link link;
+  MessageSender display;
+  MessageSender input;
+  ProtoTap tap;
+  std::unique_ptr<DisplayProtocol> protocol;
+};
+
+std::string ProtocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kRdp:
+      return "RDP";
+    case ProtocolKind::kX:
+      return "X";
+    case ProtocolKind::kLbx:
+      return "LBX";
+    case ProtocolKind::kSlim:
+      return "SLIM";
+    case ProtocolKind::kVnc:
+      return "VNC";
+  }
+  return "?";
+}
+
+AnimationLoadResult CollectLoad(const ProtocolHarness& harness, Duration duration,
+                                Duration bucket, size_t warm_buckets,
+                                const std::string& name) {
+  AnimationLoadResult result;
+  result.protocol = name;
+  result.bucket = bucket;
+  const TimeSeries& series = harness.tap.series(Channel::kDisplay);
+  size_t buckets = static_cast<size_t>(duration.ToMicros() / bucket.ToMicros());
+  double sustained_sum = 0.0;
+  size_t sustained_n = 0;
+  for (size_t i = 0; i < buckets; ++i) {
+    double bytes = i < series.bucket_count() ? series.Sum(i) : 0.0;
+    double mbps = bytes * 8.0 / bucket.ToSecondsF() / 1e6;
+    result.load_mbps.push_back(mbps);
+    if (i >= warm_buckets) {
+      sustained_sum += mbps;
+      ++sustained_n;
+    }
+  }
+  result.mean_mbps =
+      static_cast<double>(harness.tap.counted_bytes(Channel::kDisplay).count()) * 8.0 /
+      duration.ToSecondsF() / 1e6;
+  result.sustained_mbps = sustained_n > 0 ? sustained_sum / static_cast<double>(sustained_n)
+                                          : result.mean_mbps;
+  if (const BitmapCache* cache = harness.cache()) {
+    result.cache_hits = cache->hits();
+    result.cache_misses = cache->misses();
+    result.cumulative_hit_ratio = cache->CumulativeHitRatio();
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Processor
+
+IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
+                                 uint64_t seed) {
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = seed;
+  Server server(sim, profile, cfg);
+  IdleLoopProfiler profiler(server.cpu());
+  server.StartDaemons();
+  sim.RunUntil(TimePoint::Zero() + duration);
+  profiler.Flush();
+
+  IdleProfileResult result;
+  result.os_name = profile.name;
+  result.duration = duration;
+  size_t buckets = static_cast<size_t>(duration.ToMicros() /
+                                       profiler.utilization().bucket_width().ToMicros());
+  for (size_t i = 0; i < buckets; ++i) {
+    result.utilization.push_back(i < profiler.utilization().bucket_count()
+                                     ? profiler.UtilizationAt(i)
+                                     : 0.0);
+  }
+  result.cumulative = profiler.CumulativeLatencyCurve();
+  result.total_busy = profiler.TotalBusy();
+  return result;
+}
+
+TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
+                                         Duration duration, uint64_t seed,
+                                         int processors) {
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = seed;
+  cfg.cpu.processors = processors;
+  Server server(sim, profile, cfg);
+  server.StartDaemons();
+  Session& session = server.Login();
+  server.StartSinks(sinks);
+
+  StallDetector stalls;
+  session.set_on_display_update([&stalls](TimePoint t) { stalls.OnUpdate(t); });
+  Typist typist(sim, [&server, &session] { server.Keystroke(session); });
+  typist.Start(Duration::Seconds(1));  // let the sinks reach steady rotation first
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(1) + duration);
+  typist.Stop();
+
+  TypingUnderLoadResult result;
+  result.os_name = profile.name;
+  result.sinks = sinks;
+  result.avg_stall_ms = stalls.AverageStallAllGaps().ToMillisF();
+  result.max_stall_ms = stalls.MaxStall().ToMillisF();
+  result.jitter_ms = stalls.Jitter().ToMillisF();
+  result.updates = stalls.updates();
+  return result;
+}
+
+Duration RunMaximizeScenario(int foreground_stretch, double cpu_speed) {
+  Simulator sim;
+  NtSchedulerConfig sched_cfg;
+  sched_cfg.foreground_stretch = foreground_stretch;
+  CpuConfig cpu_cfg;
+  cpu_cfg.speed = cpu_speed;
+  cpu_cfg.context_switch_cost = Duration::Zero();
+  Cpu cpu(sim, std::make_unique<NtScheduler>(sched_cfg), cpu_cfg);
+  Thread* daemon =
+      cpu.CreateThread("session-manager", ThreadClass::kDaemon, kNtSystemDaemonPriority);
+  Thread* editor = cpu.CreateThread("editor", ThreadClass::kGui, kNtForegroundPriority);
+  TimePoint done = TimePoint::Infinite();
+  cpu.PostWork(*daemon, Duration::Millis(400));
+  cpu.PostWork(*editor, Duration::Millis(500), [&] { done = sim.Now(); },
+               WakeReason::kInputEvent);
+  sim.Run();
+  return done - TimePoint::Zero();
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light) {
+  Simulator sim;
+  ServerConfig cfg;
+  Server server(sim, profile, cfg);
+  size_t frames_before = server.pager().frames_used();
+  Session& session = server.Login(light);
+  size_t frames_after = server.pager().frames_used();
+
+  SessionMemoryResult result;
+  result.os_name = profile.name;
+  result.light = light;
+  const std::vector<ProcessSpec>& processes =
+      light ? profile.light_login_processes : profile.login_processes;
+  for (const ProcessSpec& proc : processes) {
+    result.processes.push_back(SessionMemoryRow{proc.name, proc.private_memory});
+  }
+  result.total = session.private_memory();
+  result.idle_system = profile.idle_system_memory;
+  // Exclude the editor working set: the table reports login processes only.
+  size_t ws = profile.editor_working_set_pages;
+  result.measured_resident = Bytes::Of(
+      static_cast<int64_t>(frames_after - frames_before - ws) * 4096);
+  return result;
+}
+
+PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand, int runs,
+                                     uint64_t seed, EvictionPolicy eviction) {
+  RunningStats latency_ms;
+  for (int run = 0; run < runs; ++run) {
+    Simulator sim;
+    ServerConfig cfg;
+    cfg.seed = seed * 1000 + static_cast<uint64_t>(run);
+    cfg.eviction = eviction;
+    Server server(sim, profile, cfg);
+    Session& session = server.Login();
+    Rng run_rng(cfg.seed ^ 0xFEEDFACE);
+
+    size_t free = server.pager().frames_free();
+    size_t ws = profile.editor_working_set_pages;
+    size_t login_pages = server.pager().frames_used() - ws;
+    MemoryHogConfig hog_cfg;
+    if (full_demand) {
+      // Demand exceeds free memory by a run-varying margin. Global LRU hands the hog the
+      // oldest pages first — the login's processes, then the editor's working set — so
+      // the margin controls how much of the keystroke path gets stolen: from a fraction
+      // of it up to all of it plus steady-state thrashing (the min/max spread of the
+      // §5.2 table).
+      double steal =
+          profile.ws_touch_min + run_rng.NextDouble() * (1.2 - profile.ws_touch_min);
+      hog_cfg.region_pages =
+          free + login_pages + static_cast<size_t>(steal * static_cast<double>(ws));
+    } else {
+      hog_cfg.region_pages = free / 2;
+    }
+    MemoryHog hog(sim, server.pager(), hog_cfg);
+    hog.Start();
+
+    // Let the hog run ~30 s of user "think time", then type one key.
+    TimePoint keystroke_at =
+        TimePoint::Zero() + Duration::Seconds(30) +
+        Duration::Micros(static_cast<int64_t>(run_rng.NextDouble() * 5e6));
+    bool responded = false;
+    Duration response = Duration::Zero();
+    session.set_on_display_update([&](TimePoint t) {
+      if (!responded) {
+        responded = true;
+        response = t - keystroke_at;
+        sim.RequestStop();
+      }
+    });
+    sim.At(keystroke_at, [&server, &session] { server.Keystroke(session); });
+    sim.RunUntil(keystroke_at + Duration::Seconds(120));
+    latency_ms.Add(responded ? response.ToMillisF() : 120000.0);
+  }
+
+  PagingLatencyResult result;
+  result.os_name = profile.name;
+  result.full_demand = full_demand;
+  result.runs = runs;
+  result.min_ms = latency_ms.min();
+  result.avg_ms = latency_ms.mean();
+  result.max_ms = latency_ms.max();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Network
+
+ProtocolTrafficResult RunAppWorkloadTraffic(ProtocolKind kind, uint64_t seed,
+                                            int steps_per_app) {
+  ProtocolHarness harness(kind, seed, Duration::Seconds(1));
+  Rng script_rng(seed ^ 0xABCD);
+  AppScript word = AppScript::WordProcessor(script_rng.Fork(), steps_per_app);
+  AppScript photo = AppScript::PhotoEditor(script_rng.Fork(), steps_per_app);
+  AppScript panel = AppScript::ControlPanel(script_rng.Fork(), steps_per_app);
+
+  // The three application sessions run back to back, as in the paper's trial. Bounded
+  // RunUntil (not Run) so protocols with autonomous periodic activity (VNC's client pull)
+  // terminate.
+  for (const AppScript* script : {&word, &photo, &panel}) {
+    TimePoint end = harness.sim.Now() + script->TotalDuration();
+    script->Replay(harness.sim, *harness.protocol);
+    harness.sim.RunUntil(end);
+  }
+  harness.protocol->Flush();
+  harness.sim.RunFor(Duration::Seconds(1));
+
+  ProtocolTrafficResult result;
+  result.protocol = ProtocolName(kind);
+  result.input.bytes = harness.tap.counted_bytes(Channel::kInput).count();
+  result.input.messages = harness.tap.messages(Channel::kInput);
+  result.display.bytes = harness.tap.counted_bytes(Channel::kDisplay).count();
+  result.display.messages = harness.tap.messages(Channel::kDisplay);
+  result.total_bytes = result.input.bytes + result.display.bytes;
+  result.total_messages = result.input.messages + result.display.messages;
+  result.avg_message_size = harness.tap.AverageMessageSize();
+  result.packets = harness.display.packets_sent() + harness.input.packets_sent();
+  result.vip_bytes = result.total_bytes - 20 * result.packets;
+  return result;
+}
+
+AnimationLoadResult RunWebPageLoad(ProtocolKind kind, bool banner, bool marquee,
+                                   Duration duration, uint64_t seed) {
+  ProtocolHarness harness(kind, seed, Duration::Seconds(1));
+  WebPageConfig page_cfg;
+  page_cfg.banner = banner;
+  page_cfg.marquee = marquee;
+  WebPage page(harness.sim, *harness.protocol, page_cfg);
+  page.Open();
+  harness.sim.RunUntil(TimePoint::Zero() + duration);
+  page.Close();
+
+  std::string name = ProtocolName(kind);
+  name += banner && marquee ? " marquee+banner" : (banner ? " banner" : " marquee");
+  // Skip the cache-warming first 15 s when judging the sustained level.
+  return CollectLoad(harness, duration, Duration::Seconds(1), 15, name);
+}
+
+AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options) {
+  ProtocolHarness harness(kind, options.seed, options.bucket, options.cache_policy);
+  AnimationConfig anim_cfg;
+  anim_cfg.id = 1;
+  anim_cfg.frame_count = options.frames;
+  anim_cfg.frame_period = options.frame_period;
+  anim_cfg.width = options.width;
+  anim_cfg.height = options.height;
+  anim_cfg.compression_ratio = options.compression_ratio;
+  Animation animation(harness.sim, *harness.protocol, anim_cfg);
+  animation.Start();
+  harness.sim.RunUntil(TimePoint::Zero() + options.duration);
+  animation.Stop();
+
+  size_t warm = std::max<size_t>(
+      1, static_cast<size_t>((options.frame_period * options.frames * 2).ToMicros() /
+                             options.bucket.ToMicros()));
+  return CollectLoad(harness, options.duration, options.bucket, warm, ProtocolName(kind));
+}
+
+CacheOverflowResult RunCacheOverflow(int frames, Duration duration, uint64_t seed) {
+  ProtocolHarness harness(ProtocolKind::kRdp, seed, Duration::Seconds(1));
+  auto* rdp = dynamic_cast<RdpProtocol*>(harness.protocol.get());
+
+  // Server CPU: the RDP encoder's work (cache hits are cheap; misses re-compress the
+  // frame) is executed by an encoder thread on a dedicated CPU model.
+  Simulator& sim = harness.sim;
+  Cpu cpu(sim, std::make_unique<NtScheduler>());
+  Thread* encoder = cpu.CreateThread("rdp-encoder", ThreadClass::kDaemon, 13);
+  harness.protocol->set_encode_cost_sink(
+      [&cpu, encoder](Duration cost) { cpu.PostWork(*encoder, cost); });
+  IdleLoopProfiler profiler(cpu, Duration::Seconds(1));
+
+  // Warm session UI: icons and glyphs whose steady redraw keeps hitting, so the
+  // cumulative ratio starts high (the ~70% starting point of Figure 6).
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t icon = 0; icon < 20; ++icon) {
+      BitmapRef ref = BitmapRef::Make(0x5E55ull << 32 | icon, 24, 24, 0.6);
+      harness.protocol->SubmitDraw(DrawCommand::PutImage(ref));
+    }
+  }
+  harness.protocol->Flush();
+
+  // The 66-frame overflow animation: "Dateline NBC" at 5 fps (Figures 6-7 use 24 000-byte
+  // compressed frames against the 1.5 MB cache: 65 fit, 66 do not).
+  AnimationConfig anim_cfg;
+  anim_cfg.id = 7;
+  anim_cfg.frame_count = frames;
+  anim_cfg.frame_period = Duration::Millis(200);
+  anim_cfg.width = 200;
+  anim_cfg.height = 150;
+  anim_cfg.compression_ratio = 0.8;  // 30 000 raw -> 24 000 compressed
+  Animation animation(sim, *harness.protocol, anim_cfg);
+
+  CacheOverflowResult result;
+  // Sample the cumulative hit ratio once per second.
+  PeriodicTask sampler(sim, Duration::Seconds(1), [&] {
+    result.cumulative_hit_ratio.push_back(rdp->bitmap_cache().CumulativeHitRatio());
+  });
+  sampler.Start(Duration::Millis(999));
+  animation.Start();
+  sim.RunUntil(TimePoint::Zero() + duration);
+  animation.Stop();
+  sampler.Stop();
+  profiler.Flush();
+
+  size_t buckets = static_cast<size_t>(duration.ToMicros() / 1000000);
+  for (size_t i = 0; i < buckets; ++i) {
+    result.cpu_utilization.push_back(
+        i < profiler.utilization().bucket_count() ? profiler.UtilizationAt(i) : 0.0);
+  }
+  return result;
+}
+
+RttProbeResult RunRttProbe(double offered_mbps, Duration duration, uint64_t seed) {
+  Simulator sim;
+  // The paper's testbed segment was shared half-duplex Ethernet: model CSMA/CD
+  // contention, not just FIFO queueing.
+  LinkConfig link_cfg;
+  link_cfg.csma_cd = true;
+  link_cfg.seed = seed ^ 0xE78E12;
+  Link link(sim, link_cfg);
+  PoissonTrafficGenerator gen(sim, Rng(seed), link, BitsPerSecond::MbpsF(offered_mbps),
+                              Bytes::Of(1500));
+  Ping ping(sim, link);
+  gen.Start();
+  ping.Start();
+  sim.RunUntil(TimePoint::Zero() + duration);
+  gen.Stop();
+  ping.Stop();
+  sim.RunFor(Duration::Seconds(2));  // drain in-flight echoes
+
+  RttProbeResult result;
+  result.offered_mbps = offered_mbps;
+  result.mean_rtt_ms = ping.rtt().mean();
+  result.rtt_variance = ping.rtt().variance();
+  return result;
+}
+
+Bytes SessionSetupBytes(ProtocolKind kind) {
+  ProtocolHarness harness(kind, 1, Duration::Seconds(1));
+  return harness.protocol->session_setup_bytes();
+}
+
+SizingPoint RunServerSizing(const OsProfile& profile, int users, SizingBehavior behavior,
+                            Duration duration, uint64_t seed) {
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = seed;
+  Server server(sim, profile, cfg);
+  server.StartDaemons();
+
+  struct UserRuntime {
+    Session* session;
+    std::unique_ptr<StallDetector> stalls;
+    std::unique_ptr<Typist> typist;
+    Thread* burst_thread;
+    std::unique_ptr<PeriodicTask> burst_task;
+  };
+  std::vector<UserRuntime> runtimes;
+  runtimes.reserve(static_cast<size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    UserRuntime rt;
+    rt.session = &server.Login();
+    rt.stalls = std::make_unique<StallDetector>(behavior.keystroke_period);
+    StallDetector* det = rt.stalls.get();
+    rt.session->set_on_display_update([det](TimePoint t) { det->OnUpdate(t); });
+    Session* s = rt.session;
+    rt.typist = std::make_unique<Typist>(sim, [&server, s] { server.Keystroke(*s); },
+                                         behavior.keystroke_period);
+    rt.typist->Start(Duration::Millis(13 * u));  // staggered phases
+    rt.burst_thread = server.cpu().CreateThread("app-burst", ThreadClass::kBatch,
+                                                profile.sink_priority);
+    Thread* bt = rt.burst_thread;
+    Duration burst = behavior.burst_cpu;
+    rt.burst_task = std::make_unique<PeriodicTask>(
+        sim, behavior.burst_period,
+        [&server, bt, burst] { server.cpu().PostWork(*bt, burst); });
+    rt.burst_task->Start(Duration::Millis((199 * u) % 5000));
+    runtimes.push_back(std::move(rt));
+  }
+
+  sim.RunUntil(TimePoint::Zero() + duration);
+
+  SizingPoint point;
+  point.os_name = profile.name;
+  point.users = users;
+  point.cpu_utilization = server.cpu().busy_time() / duration;
+  double total = 0.0;
+  double worst = 0.0;
+  for (UserRuntime& rt : runtimes) {
+    rt.typist->Stop();
+    rt.burst_task->Stop();
+    double stall = rt.stalls->updates() < 2 ? duration.ToMillisF()
+                                            : rt.stalls->AverageStallAllGaps().ToMillisF();
+    total += stall;
+    worst = std::max(worst, stall);
+  }
+  point.avg_stall_ms = users > 0 ? total / static_cast<double>(users) : 0.0;
+  point.worst_stall_ms = worst;
+  return point;
+}
+
+EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options) {
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = options.seed;
+  Server server(sim, profile, cfg);
+  server.StartDaemons();
+  server.AttachClient(options.client);
+  Session& session = server.Login();
+  server.StartSinks(options.sinks);
+
+  std::unique_ptr<PoissonTrafficGenerator> background;
+  if (options.background_mbps > 0.0) {
+    background = std::make_unique<PoissonTrafficGenerator>(
+        sim, Rng(options.seed ^ 0xB06), server.link(),
+        BitsPerSecond::MbpsF(options.background_mbps), Bytes::Of(1500));
+    background->Start();
+  }
+
+  RunningStats input_ms;
+  RunningStats server_ms;
+  RunningStats display_ms;
+  RunningStats client_ms;
+  RunningStats total_ms;
+  session.set_on_frame_painted([&](const KeystrokeLatency& lat) {
+    input_ms.Add(lat.input_net.ToMillisF());
+    server_ms.Add(lat.server.ToMillisF());
+    display_ms.Add(lat.display_net.ToMillisF());
+    client_ms.Add(lat.client.ToMillisF());
+    total_ms.Add(lat.total().ToMillisF());
+  });
+
+  Typist typist(sim, [&server, &session] { server.Keystroke(session); });
+  typist.Start(Duration::Seconds(2));  // past session setup and warm-up
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(2) + options.duration);
+  typist.Stop();
+  if (background) {
+    background->Stop();
+  }
+  sim.RunFor(Duration::Seconds(1));  // drain in-flight updates
+
+  EndToEndResult result;
+  result.os_name = profile.name;
+  result.client_name = options.client.name;
+  result.input_net_ms = input_ms.mean();
+  result.server_ms = server_ms.mean();
+  result.display_net_ms = display_ms.mean();
+  result.client_ms = client_ms.mean();
+  result.total_ms = total_ms.mean();
+  result.updates = total_ms.count();
+  return result;
+}
+
+}  // namespace tcs

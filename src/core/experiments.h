@@ -1,0 +1,236 @@
+// The paper's evaluation framework as a programmatic API.
+//
+// Each function runs one of the paper's experiment designs end to end — behavior
+// generates resource load, operating system structure translates load into
+// user-perceived latency (§3) — and returns the measurements the corresponding figure or
+// table reports. Benches and examples are thin wrappers over these.
+
+#ifndef TCS_SRC_CORE_EXPERIMENTS_H_
+#define TCS_SRC_CORE_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/client/thin_client.h"
+#include "src/cpu/idle_profiler.h"
+#include "src/mem/pager.h"
+#include "src/proto/bitmap_cache.h"
+#include "src/session/os_profile.h"
+#include "src/sim/time.h"
+
+namespace tcs {
+
+// ---------------------------------------------------------------------------
+// Processor (Figures 1-3)
+
+struct IdleProfileResult {
+  std::string os_name;
+  // CPU utilization per 100 ms bucket, in [0,1] (Figure 1).
+  std::vector<double> utilization;
+  // Lost-time event curve (Figure 2).
+  std::vector<IdleLoopProfiler::CumulativePoint> cumulative;
+  Duration total_busy;
+  Duration duration;
+};
+
+IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
+                                 uint64_t seed = 1);
+
+struct TypingUnderLoadResult {
+  std::string os_name;
+  int sinks = 0;
+  // Average stall length over all inter-update gaps (Figure 3's y axis).
+  double avg_stall_ms = 0.0;
+  double max_stall_ms = 0.0;
+  double jitter_ms = 0.0;
+  int64_t updates = 0;
+};
+
+TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
+                                         Duration duration = Duration::Seconds(60),
+                                         uint64_t seed = 1, int processors = 1);
+
+// The §4.2.1 worked example: time to complete a 500 ms maximize operation that intersects
+// a 400 ms priority-13 daemon event, as a function of quantum stretching and CPU speed.
+Duration RunMaximizeScenario(int foreground_stretch, double cpu_speed);
+
+// ---------------------------------------------------------------------------
+// Memory (§5 tables)
+
+struct SessionMemoryRow {
+  std::string process;
+  Bytes private_memory;
+};
+
+struct SessionMemoryResult {
+  std::string os_name;
+  bool light = false;
+  std::vector<SessionMemoryRow> processes;
+  Bytes total = Bytes::Zero();       // per-login compulsory memory
+  Bytes idle_system = Bytes::Zero();  // kernel + services with no sessions
+  // Measured from the pager after login (must equal `total` rounded to pages).
+  Bytes measured_resident = Bytes::Zero();
+};
+
+SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light = false);
+
+struct PagingLatencyResult {
+  std::string os_name;
+  bool full_demand = false;  // the ">= 100%" column
+  int runs = 0;
+  double min_ms = 0.0;
+  double avg_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// §5.2: editor idles while a streaming hog runs for ~30 s, then one keystroke; response
+// time over `runs` trials. `full_demand` selects the >= 100% page-demand column.
+// `eviction` switches on the Evans-style protection/throttling ablation.
+PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand,
+                                     int runs = 10, uint64_t seed = 1,
+                                     EvictionPolicy eviction = EvictionPolicy::kGlobalLru);
+
+// ---------------------------------------------------------------------------
+// Network (§6 tables and Figures 4-9)
+
+struct ChannelTraffic {
+  int64_t bytes = 0;     // payload + TCP/IP headers, tcpdump-style
+  int64_t messages = 0;
+};
+
+struct ProtocolTrafficResult {
+  std::string protocol;
+  ChannelTraffic input;
+  ChannelTraffic display;
+  int64_t total_bytes = 0;
+  int64_t total_messages = 0;
+  double avg_message_size = 0.0;
+  int64_t packets = 0;
+  // Bytes with the IP header elided on every packet (the VIP table).
+  int64_t vip_bytes = 0;
+};
+
+// §6.1.2's application workload: the word-processor, photo-editor, and control-panel
+// scripts replayed over the given protocol.
+ProtocolTrafficResult RunAppWorkloadTraffic(ProtocolKind kind, uint64_t seed = 1,
+                                            int steps_per_app = 600);
+
+struct AnimationLoadResult {
+  std::string protocol;
+  // Display-channel load per bucket, Mbps.
+  std::vector<double> load_mbps;
+  Duration bucket = Duration::Seconds(1);
+  double mean_mbps = 0.0;
+  // Mean over the steady state (first `warm_buckets` buckets skipped).
+  double sustained_mbps = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cumulative_hit_ratio = 0.0;
+};
+
+// Figure 4: the synthetic webpage (banner and/or marquee) over a protocol.
+AnimationLoadResult RunWebPageLoad(ProtocolKind kind, bool banner, bool marquee,
+                                   Duration duration = Duration::Seconds(160),
+                                   uint64_t seed = 1);
+
+// Figures 5 and 7 and the A2 ablation: an N-frame looping animation over a protocol.
+struct GifAnimationOptions {
+  int frames = 10;
+  Duration frame_period = Duration::Millis(50);
+  int width = 468;
+  int height = 60;
+  double compression_ratio = 0.85;
+  Duration duration = Duration::Seconds(20);
+  Duration bucket = Duration::Seconds(1);
+  CachePolicy cache_policy = CachePolicy::kLru;
+  uint64_t seed = 1;
+};
+
+AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options);
+
+// Figure 6: CPU utilization and cumulative bitmap-cache hit ratio over time for an
+// animation that overflows the cache, after a warm session whose UI rasters seeded it.
+struct CacheOverflowResult {
+  std::vector<double> cpu_utilization;       // per second
+  std::vector<double> cumulative_hit_ratio;  // per second
+};
+
+CacheOverflowResult RunCacheOverflow(int frames, Duration duration = Duration::Seconds(60),
+                                     uint64_t seed = 1);
+
+// Figures 8-9: ping RTT mean and variance under Poisson background load.
+struct RttProbeResult {
+  double offered_mbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  double rtt_variance = 0.0;
+};
+
+RttProbeResult RunRttProbe(double offered_mbps, Duration duration = Duration::Seconds(60),
+                           uint64_t seed = 1);
+
+// §6.1.1: session negotiation cost per protocol.
+Bytes SessionSetupBytes(ProtocolKind kind);
+
+// ---------------------------------------------------------------------------
+// Server sizing (§3.1 / §7)
+//
+// The question the paper says deployers need answered — and the one it criticizes vendor
+// sizing white papers for answering with utilization alone, "uniformly ignoring the
+// issue of user-perceived latency". RunServerSizing simulates N concurrent users (each
+// typing at a human cadence plus a periodic application burst) and reports BOTH criteria
+// so the two capacity answers can be compared.
+
+struct SizingBehavior {
+  Duration keystroke_period = Duration::Millis(200);  // ~5 chars/s typing
+  // A periodic compute burst per user (spreadsheet recalc, page render, ...).
+  Duration burst_cpu = Duration::Millis(300);
+  Duration burst_period = Duration::Seconds(5);
+};
+
+struct SizingPoint {
+  std::string os_name;
+  int users = 0;
+  // The white-paper criterion.
+  double cpu_utilization = 0.0;
+  // The paper's criterion: mean and worst per-user average stall.
+  double avg_stall_ms = 0.0;
+  double worst_stall_ms = 0.0;
+};
+
+SizingPoint RunServerSizing(const OsProfile& profile, int users,
+                            SizingBehavior behavior = {},
+                            Duration duration = Duration::Seconds(30), uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// End-to-end latency budget (§3.2's factor taxonomy made measurable)
+//
+// Where a keystroke's latency goes: input-channel transit, server scheduling + pipeline,
+// display-channel transit, and the client device's decode + blit. Run with configurable
+// server load (sinks), background network load, and client device class.
+
+struct EndToEndOptions {
+  int sinks = 0;
+  double background_mbps = 0.0;  // Poisson load sharing the session's link
+  ThinClientConfig client = ThinClientConfig::DesktopPc();
+  Duration duration = Duration::Seconds(30);
+  uint64_t seed = 1;
+};
+
+struct EndToEndResult {
+  std::string os_name;
+  std::string client_name;
+  // Mean milliseconds per leg over all updates.
+  double input_net_ms = 0.0;
+  double server_ms = 0.0;
+  double display_net_ms = 0.0;
+  double client_ms = 0.0;
+  double total_ms = 0.0;
+  int64_t updates = 0;
+};
+
+EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_CORE_EXPERIMENTS_H_

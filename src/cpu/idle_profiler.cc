@@ -1,0 +1,88 @@
+#include "src/cpu/idle_profiler.h"
+
+#include <algorithm>
+
+namespace tcs {
+
+IdleLoopProfiler::IdleLoopProfiler(Cpu& cpu, Duration utilization_bucket,
+                                   Duration episode_gap)
+    : utilization_(utilization_bucket), episode_gap_(episode_gap) {
+  cpu.AddSegmentObserver([this](TimePoint start, TimePoint end, const Thread& thread) {
+    OnSegment(start, end, thread);
+  });
+}
+
+void IdleLoopProfiler::OnSegment(TimePoint start, TimePoint end, const Thread& thread) {
+  // Utilization: each bucket accumulates busy microseconds; UtilizationAt() divides by
+  // bucket width.
+  double busy_us = static_cast<double>((end - start).ToMicros());
+  utilization_.AddSpread(start, end, busy_us);
+
+  // Per-thread episode attribution (Figure 2's "events").
+  EpisodeState& ep = per_thread_[thread.id()];
+  if (ep.open && start - ep.last_end > episode_gap_) {
+    episodes_.push_back(ep.accumulated);
+    ep.accumulated = Duration::Zero();
+  }
+  ep.open = true;
+  ep.accumulated += end - start;
+  ep.last_end = end;
+
+  // CPU-level busy-period coalescing: segments that abut (the engine often ends one
+  // segment and starts the next at the same timestamp) belong to one busy period.
+  if (in_busy_period_ && start <= period_end_) {
+    period_end_ = std::max(period_end_, end);
+    return;
+  }
+  if (in_busy_period_) {
+    busy_periods_.push_back(period_end_ - period_start_);
+  }
+  in_busy_period_ = true;
+  period_start_ = start;
+  period_end_ = end;
+}
+
+void IdleLoopProfiler::Flush() {
+  if (in_busy_period_) {
+    busy_periods_.push_back(period_end_ - period_start_);
+    in_busy_period_ = false;
+  }
+  for (auto& [id, ep] : per_thread_) {
+    if (ep.open) {
+      episodes_.push_back(ep.accumulated);
+      ep.accumulated = Duration::Zero();
+      ep.open = false;
+    }
+  }
+}
+
+std::vector<IdleLoopProfiler::CumulativePoint> IdleLoopProfiler::CumulativeLatencyCurve()
+    const {
+  std::vector<Duration> sorted = episodes_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CumulativePoint> curve;
+  curve.reserve(sorted.size());
+  Duration cum = Duration::Zero();
+  for (Duration d : sorted) {
+    cum += d;
+    if (!curve.empty() && curve.back().event_length == d) {
+      curve.back().cumulative_latency = cum;
+    } else {
+      curve.push_back(CumulativePoint{d, cum});
+    }
+  }
+  return curve;
+}
+
+Duration IdleLoopProfiler::TotalBusy() const {
+  Duration total = Duration::Zero();
+  for (Duration d : busy_periods_) {
+    total += d;
+  }
+  if (in_busy_period_) {
+    total += period_end_ - period_start_;
+  }
+  return total;
+}
+
+}  // namespace tcs

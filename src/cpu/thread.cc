@@ -1,0 +1,10 @@
+#include "src/cpu/thread.h"
+
+namespace tcs {
+
+Thread::Thread(uint64_t id, std::string name, ThreadClass cls, int base_priority)
+    : id_(id), name_(std::move(name)), cls_(cls), base_priority_(base_priority) {
+  sched_priority = base_priority;
+}
+
+}  // namespace tcs

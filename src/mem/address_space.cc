@@ -1,0 +1,34 @@
+#include "src/mem/address_space.h"
+
+#include <cassert>
+
+namespace tcs {
+
+size_t AddressSpace::MissingIn(uint64_t first, size_t count) const {
+  size_t missing = 0;
+  for (uint64_t vpn = first; vpn < first + count; ++vpn) {
+    if (!IsResident(vpn)) {
+      ++missing;
+    }
+  }
+  return missing;
+}
+
+void AddressSpace::SetResident(uint64_t vpn, bool dirty) {
+  PageState& ps = pages_[vpn];
+  if (!ps.resident) {
+    ps.resident = true;
+    ++resident_count_;
+  }
+  ps.dirty = ps.dirty || dirty;
+}
+
+void AddressSpace::SetEvicted(uint64_t vpn) {
+  auto it = pages_.find(vpn);
+  assert(it != pages_.end() && it->second.resident);
+  it->second.resident = false;
+  it->second.dirty = false;
+  --resident_count_;
+}
+
+}  // namespace tcs

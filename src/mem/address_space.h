@@ -1,0 +1,69 @@
+// Per-process virtual address space: residency and dirty state per virtual page.
+//
+// AddressSpaces are created and owned by the Pager, which also maintains the global
+// recency ordering used for eviction. The `interactive` flag marks spaces belonging to
+// user-facing processes; the kInteractiveProtect eviction policy (Evans et al.'s fix,
+// §5.2) refuses to steal their pages on behalf of non-interactive faults.
+
+#ifndef TCS_SRC_MEM_ADDRESS_SPACE_H_
+#define TCS_SRC_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace tcs {
+
+class AddressSpace {
+ public:
+  AddressSpace(uint64_t id, std::string name, bool interactive)
+      : id_(id), name_(std::move(name)), interactive_(interactive) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool interactive() const { return interactive_; }
+
+  bool IsResident(uint64_t vpn) const {
+    auto it = pages_.find(vpn);
+    return it != pages_.end() && it->second.resident;
+  }
+  // True if the page was resident once and has been paged out: re-touching it costs a
+  // disk read. A never-touched page zero-fills for free.
+  bool WasEvicted(uint64_t vpn) const {
+    auto it = pages_.find(vpn);
+    return it != pages_.end() && !it->second.resident;
+  }
+  bool IsDirty(uint64_t vpn) const {
+    auto it = pages_.find(vpn);
+    return it != pages_.end() && it->second.dirty;
+  }
+  size_t resident_pages() const { return resident_count_; }
+
+  // Number of pages in [first, first+count) that are NOT resident — the fault bill an
+  // access to that range will pay.
+  size_t MissingIn(uint64_t first, size_t count) const;
+
+ private:
+  friend class Pager;
+
+  struct PageState {
+    bool resident = false;
+    bool dirty = false;
+  };
+
+  void SetResident(uint64_t vpn, bool dirty);
+  void SetEvicted(uint64_t vpn);
+
+  uint64_t id_;
+  std::string name_;
+  bool interactive_;
+  std::unordered_map<uint64_t, PageState> pages_;
+  size_t resident_count_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_MEM_ADDRESS_SPACE_H_

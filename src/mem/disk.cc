@@ -1,0 +1,49 @@
+#include "src/mem/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tcs {
+
+Disk::Disk(Simulator& sim, Rng rng, DiskConfig config)
+    : sim_(sim), rng_(rng), config_(config) {}
+
+Duration Disk::ServiceTime(int pages) {
+  assert(pages > 0);
+  double pos_ms = rng_.NextNormal(config_.positioning_mean.ToMillisF(),
+                                  config_.positioning_stddev.ToMillisF());
+  Duration positioning =
+      std::max(config_.positioning_min, Duration::Micros(static_cast<int64_t>(pos_ms * 1e3)));
+  Duration transfer = TransmissionDelay(config_.page_size, config_.transfer_rate);
+  Duration service = positioning + transfer;
+  if (pages > 1) {
+    Duration extra_pos = positioning * config_.sequential_positioning_factor;
+    service += (transfer + extra_pos) * (pages - 1);
+  }
+  return service;
+}
+
+void Disk::Enqueue(int pages, std::function<void()> done) {
+  Duration service = ServiceTime(pages);
+  TimePoint start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + service;
+  total_busy_ += service;
+  if (done) {
+    sim_.At(busy_until_, std::move(done));
+  }
+}
+
+void Disk::Read(int pages, std::function<void()> done) {
+  ++reads_;
+  pages_read_ += pages;
+  Enqueue(pages, std::move(done));
+}
+
+void Disk::Write(int pages, std::function<void()> done) {
+  ++writes_;
+  pages_written_ += pages;
+  Enqueue(pages, std::move(done));
+}
+
+}  // namespace tcs

@@ -1,0 +1,194 @@
+#include "src/mem/pager.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcs {
+
+Pager::Pager(Simulator& sim, Disk& disk, PagerConfig config)
+    : sim_(sim), disk_(disk), config_(config) {
+  assert(config_.total_frames > 0);
+  assert(config_.cluster_pages >= 1);
+}
+
+AddressSpace* Pager::CreateAddressSpace(std::string name, bool interactive) {
+  spaces_.push_back(
+      std::make_unique<AddressSpace>(next_as_id_++, std::move(name), interactive));
+  return spaces_.back().get();
+}
+
+void Pager::TouchLru(AddressSpace& as, uint64_t vpn) {
+  uint64_t key = FramesKey::Of(as, vpn);
+  auto it = frame_index_.find(key);
+  assert(it != frame_index_.end());
+  lru_.splice(lru_.end(), lru_, it->second);  // move to MRU position
+}
+
+void Pager::EvictOneFrame(const AddressSpace& for_whom) {
+  assert(!lru_.empty());
+  auto victim = lru_.begin();
+  if (config_.policy == EvictionPolicy::kInteractiveProtect && !for_whom.interactive()) {
+    // Skip pages belonging to interactive address spaces; steal the oldest
+    // non-interactive page instead. Fall back to true LRU only if every resident page is
+    // protected.
+    auto it = lru_.begin();
+    while (it != lru_.end() && it->as->interactive()) {
+      ++protected_skips_;
+      ++it;
+    }
+    if (it != lru_.end()) {
+      victim = it;
+    }
+  }
+  AddressSpace& vas = *victim->as;
+  uint64_t vvpn = victim->vpn;
+  bool dirty = vas.IsDirty(vvpn);
+  vas.SetEvicted(vvpn);
+  frame_index_.erase(FramesKey::Of(vas, vvpn));
+  lru_.erase(victim);
+  ++evictions_;
+  if (dirty) {
+    ++dirty_writebacks_;
+    disk_.Write(1);  // fire-and-forget, but it occupies the disk queue ahead of reads
+  }
+}
+
+bool Pager::MakeResident(AddressSpace& as, uint64_t vpn, bool write) {
+  if (as.IsResident(vpn)) {
+    ++hits_;
+    TouchLru(as, vpn);
+    if (write) {
+      as.SetResident(vpn, /*dirty=*/true);
+    }
+    return false;
+  }
+  ++faults_;
+  if (lru_.size() >= config_.total_frames) {
+    EvictOneFrame(as);
+  }
+  as.SetResident(vpn, write);
+  lru_.push_back(Resident{&as, vpn});
+  frame_index_[FramesKey::Of(as, vpn)] = std::prev(lru_.end());
+  return true;
+}
+
+Duration Pager::ThrottleFor(const AddressSpace& as) const {
+  if (config_.policy == EvictionPolicy::kInteractiveProtect && !as.interactive() &&
+      IsSaturated()) {
+    return config_.throttle_delay;
+  }
+  return Duration::Zero();
+}
+
+void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<void()> done) {
+  Duration throttle = ThrottleFor(as);
+  bool needs_disk = as.WasEvicted(vpn);
+  bool faulted = MakeResident(as, vpn, write);
+  if (!faulted || !needs_disk) {
+    // Hit, or zero-fill of a never-touched page: no I/O (the throttle still applies to
+    // zero-fill faults — it slows any allocation by a non-interactive process).
+    Duration delay = faulted ? throttle : Duration::Zero();
+    if (done) {
+      sim_.Schedule(delay, std::move(done));
+    }
+    return;
+  }
+  if (throttle.IsZero()) {
+    disk_.Read(1, std::move(done));
+  } else {
+    // Throttled faulter: delay the I/O issue itself, slowing the process's fault rate.
+    sim_.Schedule(throttle, [this, done = std::move(done)]() mutable {
+      disk_.Read(1, std::move(done));
+    });
+  }
+}
+
+void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool write,
+                        std::function<void()> done) {
+  assert(count > 0);
+  Duration throttle = ThrottleFor(as);
+  // Bookkeeping first: compute contiguous runs of missing pages, make everything resident,
+  // then simulate the I/O chain for the runs.
+  auto runs = std::make_shared<std::vector<int>>();
+  size_t current_run = 0;
+  uint64_t prev_missing = 0;
+  bool have_prev = false;
+  for (uint64_t vpn = first; vpn < first + count; ++vpn) {
+    bool needs_disk = as.WasEvicted(vpn);
+    MakeResident(as, vpn, write);
+    if (!needs_disk) {
+      continue;  // hit or zero-fill: no I/O
+    }
+    bool adjacent = have_prev && vpn == prev_missing + 1;
+    if (adjacent && current_run < config_.cluster_pages) {
+      ++current_run;
+    } else {
+      if (current_run > 0) {
+        runs->push_back(static_cast<int>(current_run));
+      }
+      current_run = 1;
+    }
+    prev_missing = vpn;
+    have_prev = true;
+  }
+  if (current_run > 0) {
+    runs->push_back(static_cast<int>(current_run));
+  }
+  if (runs->empty()) {
+    if (done) {
+      sim_.Schedule(Duration::Zero(), std::move(done));
+    }
+    return;
+  }
+  if (throttle.IsZero()) {
+    IssueRuns(runs, 0, std::move(done));
+  } else {
+    sim_.Schedule(throttle, [this, runs, done = std::move(done)]() mutable {
+      IssueRuns(runs, 0, std::move(done));
+    });
+  }
+}
+
+void Pager::IssueRuns(std::shared_ptr<std::vector<int>> runs, size_t index,
+                      std::function<void()> done) {
+  assert(index < runs->size());
+  int pages = (*runs)[index];
+  bool last = index + 1 == runs->size();
+  if (last) {
+    disk_.Read(pages, std::move(done));
+  } else {
+    disk_.Read(pages, [this, runs = std::move(runs), index, done = std::move(done)]() mutable {
+      IssueRuns(std::move(runs), index + 1, std::move(done));
+    });
+  }
+}
+
+void Pager::MarkSwappedOut(AddressSpace& as, uint64_t first, size_t count) {
+  for (uint64_t vpn = first; vpn < first + count; ++vpn) {
+    if (as.IsResident(vpn)) {
+      auto it = frame_index_.find(FramesKey::Of(as, vpn));
+      assert(it != frame_index_.end());
+      lru_.erase(it->second);
+      frame_index_.erase(it);
+      as.SetEvicted(vpn);
+    } else {
+      // Create the page in the evicted state.
+      as.pages_[vpn] = AddressSpace::PageState{false, false};
+    }
+  }
+}
+
+void Pager::Prefault(AddressSpace& as, uint64_t first, size_t count) {
+  for (uint64_t vpn = first; vpn < first + count; ++vpn) {
+    bool was_missing = !as.IsResident(vpn);
+    MakeResident(as, vpn, /*write=*/false);
+    // Prefault is setup, not simulation: undo the accounting it produced.
+    if (was_missing) {
+      --faults_;
+    } else {
+      --hits_;
+    }
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,126 @@
+// Global page-frame manager.
+//
+// Implements the behaviour §5.2 of the paper analyzes: a single pool of physical frames
+// shared by all processes, reclaimed in global LRU order. A streaming job with high page
+// demand therefore evicts every idle process — including the interactive editor a user has
+// merely paused reading — and the next keystroke pays a disk storm.
+//
+// Two eviction policies:
+//   kGlobalLru          — strict global recency order (what TSE and Linux do).
+//   kInteractiveProtect — Evans et al.'s fix: pages of interactive address spaces are not
+//                         stolen to satisfy non-interactive faults, and non-interactive
+//                         faulters are throttled once memory is saturated.
+
+#ifndef TCS_SRC_MEM_PAGER_H_
+#define TCS_SRC_MEM_PAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/address_space.h"
+#include "src/mem/disk.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+
+enum class EvictionPolicy { kGlobalLru, kInteractiveProtect };
+
+struct PagerConfig {
+  // Frames available to user pages (kernel/wired memory already excluded).
+  size_t total_frames = 16384;  // 64 MiB of 4 KiB pages
+  // Pages per clustered disk I/O when faulting a contiguous range. Linux 2.0 swapped in
+  // single pages; 1 models that. Larger values model readahead.
+  size_t cluster_pages = 1;
+  EvictionPolicy policy = EvictionPolicy::kGlobalLru;
+  // Under kInteractiveProtect: extra delay imposed on each non-interactive fault while
+  // memory is saturated (the "non-interactive process throttling" of Evans et al.).
+  Duration throttle_delay = Duration::Millis(20);
+};
+
+class Pager {
+ public:
+  Pager(Simulator& sim, Disk& disk, PagerConfig config = {});
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Creates an address space owned by this pager.
+  AddressSpace* CreateAddressSpace(std::string name, bool interactive);
+
+  // Touches one page.
+  //  * resident: recency update, `done` fires immediately (as a fresh simulation event);
+  //  * never touched: zero-fill fault — a frame is reclaimed but no I/O happens;
+  //  * previously evicted: a frame is reclaimed and the page is read back from disk;
+  //    `done` fires when the read completes.
+  void Access(AddressSpace& as, uint64_t vpn, bool write, std::function<void()> done);
+
+  // Touches [first, first+count). Previously-evicted pages are clustered into
+  // up-to-`cluster_pages` contiguous disk reads issued back to back; `done` fires when
+  // the last read completes (immediately if nothing needs I/O).
+  void AccessRange(AddressSpace& as, uint64_t first, size_t count, bool write,
+                   std::function<void()> done);
+
+  // Test/setup utility: marks [first, first+count) as swapped out (previously resident,
+  // now on disk) without simulating the history that put it there.
+  void MarkSwappedOut(AddressSpace& as, uint64_t first, size_t count);
+
+  // Makes [first, first+count) resident instantly with no simulated I/O — used to set up
+  // initial conditions (a login's processes are loaded before the experiment starts).
+  void Prefault(AddressSpace& as, uint64_t first, size_t count);
+
+  size_t total_frames() const { return config_.total_frames; }
+  size_t frames_used() const { return lru_.size(); }
+  size_t frames_free() const { return config_.total_frames - lru_.size(); }
+  bool IsSaturated() const { return frames_free() == 0; }
+
+  int64_t faults() const { return faults_; }
+  int64_t hits() const { return hits_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t dirty_writebacks() const { return dirty_writebacks_; }
+  int64_t protected_skips() const { return protected_skips_; }
+
+  const PagerConfig& config() const { return config_; }
+
+ private:
+  struct FramesKey {
+    static uint64_t Of(const AddressSpace& as, uint64_t vpn) {
+      return (as.id() << 44) | vpn;
+    }
+  };
+  struct Resident {
+    AddressSpace* as;
+    uint64_t vpn;
+  };
+
+  // Marks the page resident, evicting as necessary. Returns true if the page had to be
+  // faulted (was not resident).
+  bool MakeResident(AddressSpace& as, uint64_t vpn, bool write);
+  void EvictOneFrame(const AddressSpace& for_whom);
+  void TouchLru(AddressSpace& as, uint64_t vpn);
+  // Issues the chain of clustered reads for `runs`; calls `done` after the last.
+  void IssueRuns(std::shared_ptr<std::vector<int>> runs, size_t index,
+                 std::function<void()> done);
+  Duration ThrottleFor(const AddressSpace& as) const;
+
+  Simulator& sim_;
+  Disk& disk_;
+  PagerConfig config_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::list<Resident> lru_;  // front = least recently used
+  std::unordered_map<uint64_t, std::list<Resident>::iterator> frame_index_;
+
+  int64_t faults_ = 0;
+  int64_t hits_ = 0;
+  int64_t evictions_ = 0;
+  int64_t dirty_writebacks_ = 0;
+  int64_t protected_skips_ = 0;
+  uint64_t next_as_id_ = 1;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_MEM_PAGER_H_

@@ -1,0 +1,75 @@
+#include "src/metrics/latency.h"
+
+namespace tcs {
+
+void LatencyRecorder::Record(Duration latency) {
+  double ms = latency.ToMillisF();
+  stats_.Add(ms);
+  samples_.Add(ms);
+  if (latency >= kPerceptionThreshold) {
+    ++perceptible_;
+  }
+}
+
+Duration LatencyRecorder::Max() const {
+  return Duration::Micros(static_cast<int64_t>(stats_.max() * 1e3));
+}
+
+Duration LatencyRecorder::Min() const {
+  return Duration::Micros(static_cast<int64_t>(stats_.min() * 1e3));
+}
+
+Duration LatencyRecorder::Jitter() const {
+  return Duration::Micros(static_cast<int64_t>(stats_.stddev() * 1e3));
+}
+
+double LatencyRecorder::PerceptibleFraction() const {
+  if (stats_.count() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(perceptible_) / static_cast<double>(stats_.count());
+}
+
+double LatencyRecorder::MeanVsPerception() const {
+  return stats_.mean() / kPerceptionThreshold.ToMillisF();
+}
+
+StallDetector::StallDetector(Duration expected_period)
+    : expected_period_(expected_period) {}
+
+void StallDetector::OnUpdate(TimePoint when) {
+  ++updates_;
+  if (!have_last_) {
+    have_last_ = true;
+    last_ = when;
+    return;
+  }
+  Duration gap = when - last_;
+  last_ = when;
+  Duration stall = gap - expected_period_;
+  if (stall > Duration::Zero()) {
+    ++stall_count_;
+    stall_ms_.Add(stall.ToMillisF());
+    all_gaps_ms_.Add(stall.ToMillisF());
+  } else {
+    all_gaps_ms_.Add(0.0);
+  }
+}
+
+Duration StallDetector::AverageStall() const {
+  return Duration::Micros(static_cast<int64_t>(stall_ms_.mean() * 1e3));
+}
+
+Duration StallDetector::MaxStall() const {
+  return Duration::Micros(static_cast<int64_t>(stall_ms_.max() * 1e3));
+}
+
+Duration StallDetector::AverageStallAllGaps() const {
+  return Duration::Micros(static_cast<int64_t>(all_gaps_ms_.mean() * 1e3));
+}
+
+Duration StallDetector::Jitter() const {
+  return Duration::Micros(static_cast<int64_t>(all_gaps_ms_.stddev() * 1e3));
+}
+
+}  // namespace tcs

@@ -1,0 +1,79 @@
+// User-perceived-latency metrics (§3.2).
+//
+// The paper's quality model: a system degrades when (1) an operation's latency exceeds the
+// threshold of human perception, (2) the number of such operations grows, or (3) latency
+// is inconsistent (jitter). Humans are "generally irritated by latencies 100ms or
+// greater". LatencyRecorder scores a stream of operation latencies against that model.
+//
+// StallDetector implements the §4.2.2 measurement: under 20 Hz character repeat the server
+// should emit a display update every 50 ms; an "interactive stall" is the excess of an
+// inter-arrival gap over that period.
+
+#ifndef TCS_SRC_METRICS_LATENCY_H_
+#define TCS_SRC_METRICS_LATENCY_H_
+
+#include "src/sim/time.h"
+#include "src/util/stats.h"
+
+namespace tcs {
+
+// The human perception threshold the paper uses throughout.
+inline constexpr Duration kPerceptionThreshold = Duration::Millis(100);
+
+class LatencyRecorder {
+ public:
+  void Record(Duration latency);
+
+  int64_t count() const { return stats_.count(); }
+  Duration Mean() const { return Duration::Micros(static_cast<int64_t>(ms_mean_us())); }
+  Duration Max() const;
+  Duration Min() const;
+  // Standard deviation — the jitter criterion.
+  Duration Jitter() const;
+  // Operations above the perception threshold (degradation mode 2).
+  int64_t perceptible_count() const { return perceptible_; }
+  double PerceptibleFraction() const;
+  // Mean latency as a multiple of the perception threshold ("40 times the threshold of
+  // human perception").
+  double MeanVsPerception() const;
+
+  const RunningStats& raw() const { return stats_; }
+  const SampleSet& samples() const { return samples_; }
+
+ private:
+  double ms_mean_us() const { return stats_.mean() * 1e3; }
+
+  RunningStats stats_;  // milliseconds
+  SampleSet samples_;   // milliseconds, for percentiles
+  int64_t perceptible_ = 0;
+};
+
+class StallDetector {
+ public:
+  explicit StallDetector(Duration expected_period = Duration::Millis(50));
+
+  // Feed each display-update arrival (or emission) time, in order.
+  void OnUpdate(TimePoint when);
+
+  // Stall lengths (inter-arrival minus the expected period, clamped at zero).
+  int64_t updates() const { return updates_; }
+  int64_t stall_count() const { return stall_count_; }
+  Duration AverageStall() const;
+  Duration MaxStall() const;
+  // Average over *all* gaps (stall length zero when on time) — what Figure 3 plots.
+  Duration AverageStallAllGaps() const;
+  Duration Jitter() const;
+
+ private:
+  Duration expected_period_;
+  bool have_last_ = false;
+  TimePoint last_;
+  int64_t updates_ = 0;
+  int64_t stall_count_ = 0;
+  RunningStats stall_ms_;      // only gaps that stalled
+  RunningStats all_gaps_ms_;   // every gap's stall length (zero when on time)
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_METRICS_LATENCY_H_

@@ -1,0 +1,78 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace tcs {
+
+Link::Link(Simulator& sim, LinkConfig config)
+    : sim_(sim), config_(config), rng_(config.seed), load_(config.load_bucket) {
+  assert(config_.rate.bps() > 0);
+}
+
+Duration Link::ContentionDelay(TimePoint start) {
+  if (!config_.csma_cd) {
+    return Duration::Zero();
+  }
+  // Half-duplex shared medium: other stations contend in proportion to how busy the
+  // segment has recently been. Each collision costs a jam plus a short truncated binary
+  // exponential backoff. Calibration note: the expected per-frame penalty must stay a
+  // small percentage of the frame's service time, or the link's effective capacity
+  // collapses — real 10 Mbps Ethernet sustained ~97% goodput under a single bulk talker,
+  // while collisions roughly doubled near-saturation queueing delay (the paper's 55 ms
+  // at 9.6 Mbps vs ~28 ms for a pure FIFO model).
+  Duration total = Duration::Zero();
+  double p = std::min(0.15, 0.3 * recent_utilization_ * recent_utilization_);
+  int attempt = 0;
+  while (attempt < 6 && rng_.NextBool(p)) {
+    ++collisions_;
+    ++attempt;
+    int window = 1 << std::min(attempt, 2);  // backoff window, truncated at 4 slots
+    int64_t slots = static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(window)));
+    total += config_.backoff_slot * (slots + 1);
+  }
+  (void)start;
+  return total;
+}
+
+void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
+  assert(wire_bytes.count() > 0);
+  TimePoint now = sim_.Now();
+  // Update the smoothed utilization estimate with the gap since the previous send: the
+  // fraction of that gap during which the medium was transmitting.
+  if (now > last_send_) {
+    Duration gap = now - last_send_;
+    Duration busy_in_gap = std::min(gap, std::max(Duration::Zero(), busy_until_ - last_send_));
+    double sample = busy_in_gap / gap;
+    recent_utilization_ = 0.9 * recent_utilization_ + 0.1 * sample;
+    last_send_ = now;
+  } else {
+    // Back-to-back sends at one instant: the medium is clearly contended.
+    recent_utilization_ = 0.95 * recent_utilization_ + 0.05;
+  }
+
+  TimePoint start = std::max(now, busy_until_);
+  start += ContentionDelay(start);
+  Duration serialization = TransmissionDelay(wire_bytes, config_.rate);
+  busy_until_ = start + serialization;
+  queue_delay_.Add((start - now).ToMillisF());
+  ++frames_sent_;
+  bytes_carried_ += wire_bytes;
+  load_.AddSpread(start, busy_until_, static_cast<double>(wire_bytes.count()));
+  if (delivered) {
+    sim_.At(busy_until_ + config_.propagation, std::move(delivered));
+  }
+}
+
+double Link::UtilizationOver(Duration window) const {
+  if (window.IsZero()) {
+    return 0.0;
+  }
+  double carried_bits = static_cast<double>(bytes_carried_.count()) * 8.0;
+  double capacity_bits = static_cast<double>(config_.rate.bps()) * window.ToSecondsF();
+  return carried_bits / capacity_bits;
+}
+
+}  // namespace tcs

@@ -1,0 +1,86 @@
+// Shared-medium network link.
+//
+// Models the paper's testbed segment: 10 Mbps shared (half-duplex) Ethernet, so traffic in
+// both directions contends for one FIFO transmission queue. A frame waits for all earlier
+// frames, is serialized at the link rate, then arrives after the propagation delay.
+// Figures 8 and 9 (RTT and jitter vs offered load) are pure consequences of this queue.
+
+#ifndef TCS_SRC_NET_LINK_H_
+#define TCS_SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/units.h"
+#include "src/util/stats.h"
+#include "src/util/time_series.h"
+
+namespace tcs {
+
+struct LinkConfig {
+  BitsPerSecond rate = BitsPerSecond::Mbps(10);
+  Duration propagation = Duration::Micros(50);
+  Bytes mtu = Bytes::Of(1500);  // max payload+transport+network bytes per frame
+  // Resolution of the carried-load time series.
+  Duration load_bucket = Duration::Seconds(1);
+  // Model half-duplex CSMA/CD contention: frames sent while the medium has been busy
+  // suffer collision/backoff delay with probability rising with recent utilization.
+  // (The paper's testbed was shared 10 Mbps Ethernet; FIFO-only queueing understates
+  // its near-saturation delay by roughly 2x.)
+  bool csma_cd = false;
+  Duration backoff_slot = Duration::Micros(51);  // 512 bit times at 10 Mbps
+  uint64_t seed = 0x5EED;
+};
+
+class Link {
+ public:
+  Link(Simulator& sim, LinkConfig config = {});
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Queues a frame of `wire_bytes` for transmission; `delivered` (optional) fires when the
+  // last bit arrives at the far end.
+  void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr);
+
+  const LinkConfig& config() const { return config_; }
+  int64_t frames_sent() const { return frames_sent_; }
+  Bytes bytes_carried() const { return bytes_carried_; }
+
+  // Queueing delay experienced by each frame (time from Send() to transmission start).
+  const RunningStats& queue_delay() const { return queue_delay_; }
+
+  // Carried bytes per load_bucket (for "network load vs time" plots).
+  const TimeSeries& load_series() const { return load_; }
+
+  // Fraction of capacity used so far.
+  double UtilizationOver(Duration window) const;
+
+  // Time at which everything currently queued will have finished transmitting.
+  TimePoint busy_until() const { return busy_until_; }
+
+  int64_t collisions() const { return collisions_; }
+
+ private:
+  // Extra delay from CSMA/CD contention for a frame starting at `start`.
+  Duration ContentionDelay(TimePoint start);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  TimePoint busy_until_ = TimePoint::Zero();
+  int64_t frames_sent_ = 0;
+  int64_t collisions_ = 0;
+  Bytes bytes_carried_ = Bytes::Zero();
+  RunningStats queue_delay_;
+  TimeSeries load_;
+  // Sliding recent-utilization estimate (exponentially smoothed busy fraction).
+  double recent_utilization_ = 0.0;
+  TimePoint last_send_ = TimePoint::Zero();
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_NET_LINK_H_

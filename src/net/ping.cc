@@ -1,0 +1,39 @@
+#include "src/net/ping.h"
+
+namespace tcs {
+
+Ping::Ping(Simulator& sim, Link& link, PingConfig config)
+    : sim_(sim), link_(link), config_(config) {}
+
+void Ping::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  SendOne();
+}
+
+void Ping::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_.Cancel(pending_);
+  pending_ = EventId();
+}
+
+void Ping::SendOne() {
+  ++sent_;
+  TimePoint sent_at = sim_.Now();
+  // Echo request out; on arrival the responder immediately transmits the reply through the
+  // same shared medium; RTT measured at reply arrival.
+  link_.Send(config_.packet_size, [this, sent_at] {
+    link_.Send(config_.packet_size, [this, sent_at] {
+      ++received_;
+      rtt_ms_.Add((sim_.Now() - sent_at).ToMillisF());
+    });
+  });
+  pending_ = sim_.Schedule(config_.interval, [this] { SendOne(); });
+}
+
+}  // namespace tcs

@@ -1,0 +1,48 @@
+#include "src/net/traffic_gen.h"
+
+#include <cassert>
+
+namespace tcs {
+
+PoissonTrafficGenerator::PoissonTrafficGenerator(Simulator& sim, Rng rng, Link& link,
+                                                 BitsPerSecond offered_rate,
+                                                 Bytes frame_size)
+    : sim_(sim), rng_(rng), link_(link), frame_size_(frame_size) {
+  assert(offered_rate.bps() >= 0);
+  if (offered_rate.bps() == 0) {
+    mean_interarrival_us_ = 0.0;  // rate zero: Start() is a no-op
+    return;
+  }
+  double frames_per_second = static_cast<double>(offered_rate.bps()) /
+                             (static_cast<double>(frame_size.count()) * 8.0);
+  mean_interarrival_us_ = 1e6 / frames_per_second;
+}
+
+void PoissonTrafficGenerator::Start() {
+  if (running_ || mean_interarrival_us_ == 0.0) {
+    return;
+  }
+  running_ = true;
+  ScheduleNext();
+}
+
+void PoissonTrafficGenerator::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_.Cancel(pending_);
+  pending_ = EventId();
+}
+
+void PoissonTrafficGenerator::ScheduleNext() {
+  Duration gap = Duration::Micros(
+      static_cast<int64_t>(rng_.NextExponential(mean_interarrival_us_)));
+  pending_ = sim_.Schedule(gap, [this] {
+    ++frames_offered_;
+    link_.Send(frame_size_);
+    ScheduleNext();
+  });
+}
+
+}  // namespace tcs

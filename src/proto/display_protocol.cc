@@ -1,0 +1,22 @@
+#include "src/proto/display_protocol.h"
+
+namespace tcs {
+
+DisplayProtocol::DisplayProtocol(Simulator& sim, MessageSender& display_out,
+                                 MessageSender& input_out, ProtoTap* tap)
+    : sim_(sim), display_out_(display_out), input_out_(input_out), tap_(tap) {}
+
+void DisplayProtocol::EmitMessage(Channel channel, Bytes payload) {
+  MessageSender& sender = channel == Channel::kDisplay ? display_out_ : input_out_;
+  if (tap_ != nullptr) {
+    Bytes counted =
+        payload + sender.headers().CountedPerPacket() * sender.PacketsFor(payload);
+    tap_->RecordMessage(channel, payload, counted, sim_.Now());
+  }
+  if (channel == Channel::kDisplay && display_hook_) {
+    display_hook_(payload);
+  }
+  sender.SendMessage(payload);
+}
+
+}  // namespace tcs

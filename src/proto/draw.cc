@@ -1,0 +1,82 @@
+#include "src/proto/draw.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcs {
+
+BitmapRef BitmapRef::Make(uint64_t hash, int width, int height, double compression_ratio) {
+  assert(width > 0 && height > 0);
+  assert(compression_ratio > 0.0 && compression_ratio <= 1.0);
+  BitmapRef b;
+  b.content_hash = hash;
+  b.width = width;
+  b.height = height;
+  // 8 bits per pixel (palettized GIF-era rasters).
+  b.raw_bytes = Bytes::Of(static_cast<int64_t>(width) * height);
+  b.compressed_bytes = Bytes::Of(std::max<int64_t>(
+      16, static_cast<int64_t>(static_cast<double>(b.raw_bytes.count()) * compression_ratio)));
+  return b;
+}
+
+DrawCommand DrawCommand::Text(int chars, int x, int y) {
+  DrawCommand c;
+  c.op = DrawOp::kText;
+  c.text_length = chars;
+  c.x = x;
+  c.y = y;
+  return c;
+}
+
+DrawCommand DrawCommand::Rect(int w, int h) {
+  DrawCommand c;
+  c.op = DrawOp::kRect;
+  c.width = w;
+  c.height = h;
+  return c;
+}
+
+DrawCommand DrawCommand::Line(int len) {
+  DrawCommand c;
+  c.op = DrawOp::kLine;
+  c.width = len;
+  return c;
+}
+
+DrawCommand DrawCommand::CopyArea(int w, int h) {
+  DrawCommand c;
+  c.op = DrawOp::kCopyArea;
+  c.width = w;
+  c.height = h;
+  return c;
+}
+
+DrawCommand DrawCommand::PutImage(const BitmapRef& bitmap) {
+  DrawCommand c;
+  c.op = DrawOp::kPutImage;
+  c.width = bitmap.width;
+  c.height = bitmap.height;
+  c.bitmap = bitmap;
+  return c;
+}
+
+DrawCommand DrawCommand::Sync(Bytes reply) {
+  DrawCommand c;
+  c.op = DrawOp::kSync;
+  c.reply_bytes = reply;
+  return c;
+}
+
+InputEvent InputEvent::Key(bool press, int code) {
+  return InputEvent{press ? InputType::kKeyPress : InputType::kKeyRelease, 0, 0, code};
+}
+
+InputEvent InputEvent::Move(int x, int y) {
+  return InputEvent{InputType::kMouseMove, x, y, 0};
+}
+
+InputEvent InputEvent::Button(bool press) {
+  return InputEvent{press ? InputType::kButtonPress : InputType::kButtonRelease, 0, 0, 0};
+}
+
+}  // namespace tcs

@@ -1,0 +1,79 @@
+// The display/input vocabulary shared by applications and remote-display protocols.
+//
+// Applications (workload scripts) produce DrawCommands; the user's machine produces
+// InputEvents. A DisplayProtocol encodes the former onto the display channel
+// (server -> client) and the latter onto the input channel (client -> server) — the
+// channel terminology of §6.
+
+#ifndef TCS_SRC_PROTO_DRAW_H_
+#define TCS_SRC_PROTO_DRAW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/units.h"
+
+namespace tcs {
+
+enum class Channel { kDisplay, kInput };
+
+// A rendered raster identified by content: two draws with the same hash are the same
+// pixels (what a client-side bitmap cache keys on). `raw_bytes` is the uncompressed pixel
+// payload an X PutImage carries; `compressed_bytes` is what RDP's bitmap codec ships on a
+// cache miss.
+struct BitmapRef {
+  uint64_t content_hash = 0;
+  int width = 0;
+  int height = 0;
+  Bytes raw_bytes = Bytes::Zero();
+  Bytes compressed_bytes = Bytes::Zero();
+
+  static BitmapRef Make(uint64_t hash, int width, int height, double compression_ratio);
+};
+
+enum class DrawOp {
+  kText,      // draw a run of characters
+  kRect,      // filled/outlined rectangle
+  kLine,      // polyline segment
+  kCopyArea,  // scroll / blit of existing screen content
+  kPutImage,  // raster transfer (the animation workhorse)
+  kSync,      // round-trip query: forces a flush and elicits a reply on the input channel
+};
+
+struct DrawCommand {
+  DrawOp op = DrawOp::kRect;
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  // kText: number of characters drawn.
+  int text_length = 0;
+  // kPutImage:
+  BitmapRef bitmap;
+  // kSync: size of the reply the query elicits (font metrics, window properties, ...).
+  Bytes reply_bytes = Bytes::Zero();
+
+  static DrawCommand Text(int chars, int x = 0, int y = 0);
+  static DrawCommand Rect(int w, int h);
+  static DrawCommand Line(int len);
+  static DrawCommand CopyArea(int w, int h);
+  static DrawCommand PutImage(const BitmapRef& bitmap);
+  static DrawCommand Sync(Bytes reply);
+};
+
+enum class InputType { kKeyPress, kKeyRelease, kMouseMove, kButtonPress, kButtonRelease };
+
+struct InputEvent {
+  InputType type = InputType::kKeyPress;
+  int x = 0;
+  int y = 0;
+  int code = 0;
+
+  static InputEvent Key(bool press, int code = 0);
+  static InputEvent Move(int x, int y);
+  static InputEvent Button(bool press);
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_PROTO_DRAW_H_

@@ -1,0 +1,18 @@
+// Identifier for the remote-display protocols this framework models.
+
+#ifndef TCS_SRC_PROTO_PROTOCOL_KIND_H_
+#define TCS_SRC_PROTO_PROTOCOL_KIND_H_
+
+namespace tcs {
+
+enum class ProtocolKind {
+  kRdp,   // TSE's Remote Display Protocol
+  kX,     // the X Window System core protocol
+  kLbx,   // Low Bandwidth X proxy
+  kSlim,  // Sun Ray / SLIM (related work, §7)
+  kVnc,   // RFB / Virtual Network Computing (related work, §7)
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_PROTO_PROTOCOL_KIND_H_

@@ -1,0 +1,109 @@
+#include "src/proto/rdp_protocol.h"
+
+#include <algorithm>
+
+namespace tcs {
+
+RdpProtocol::RdpProtocol(Simulator& sim, MessageSender& display_out,
+                         MessageSender& input_out, ProtoTap* tap, Rng rng, RdpConfig config)
+    : DisplayProtocol(sim, display_out, input_out, tap),
+      config_(config),
+      rng_(rng),
+      cache_(config.cache) {}
+
+RdpProtocol::~RdpProtocol() {
+  if (input_flush_event_.IsValid()) {
+    sim().Cancel(input_flush_event_);
+  }
+}
+
+void RdpProtocol::AppendOrder(Bytes order_bytes) {
+  ++orders_encoded_;
+  pdu_pending_ += order_bytes;
+  if (pdu_pending_ >= config_.pdu_flush_threshold) {
+    FlushPdu();
+  }
+}
+
+void RdpProtocol::FlushPdu() {
+  if (pdu_pending_.count() == 0) {
+    return;
+  }
+  EmitMessage(Channel::kDisplay, pdu_pending_);
+  pdu_pending_ = Bytes::Zero();
+}
+
+void RdpProtocol::SubmitDraw(const DrawCommand& cmd) {
+  switch (cmd.op) {
+    case DrawOp::kText: {
+      // Glyphs render through the glyph cache: first use of a character code ships the
+      // raster, subsequent uses a 2-byte index.
+      Bytes order = config_.text_order_base;
+      for (int i = 0; i < cmd.text_length; ++i) {
+        int glyph = static_cast<int>(rng_.NextBelow(96));
+        if (glyphs_seen_.insert(glyph).second) {
+          order += config_.glyph_definition;
+        } else {
+          order += Bytes::Of(2);
+        }
+      }
+      ChargeEncode(Duration::Micros(6 + cmd.text_length / 2));
+      AppendOrder(order);
+      break;
+    }
+    case DrawOp::kRect:
+    case DrawOp::kLine:
+      ChargeEncode(Duration::Micros(5));
+      AppendOrder(config_.geometry_order);
+      break;
+    case DrawOp::kCopyArea:
+      ChargeEncode(Duration::Micros(6));
+      AppendOrder(config_.copy_order);
+      break;
+    case DrawOp::kPutImage: {
+      if (cache_.Lookup(cmd.bitmap.content_hash)) {
+        // Client already holds the pixels: a tiny order swaps them onto the screen.
+        ChargeEncode(Duration::Micros(40));
+        AppendOrder(config_.cache_hit_order);
+      } else {
+        // Miss: the server compresses and ships the raster, and the client caches it.
+        double kib = cmd.bitmap.raw_bytes.ToKiBF();
+        ChargeEncode(config_.bitmap_encode_per_kib * kib);
+        cache_.Insert(cmd.bitmap.content_hash, cmd.bitmap.compressed_bytes);
+        AppendOrder(config_.bitmap_order_header + cmd.bitmap.compressed_bytes);
+        FlushPdu();  // raster orders go out immediately
+      }
+      break;
+    }
+    case DrawOp::kSync:
+      // RDP has no client round-trips for drawing state; the server answers locally.
+      ChargeEncode(Duration::Micros(2));
+      break;
+  }
+}
+
+void RdpProtocol::SubmitInput(const InputEvent& event) {
+  (void)event;
+  ++pending_input_events_;
+  if (!input_flush_event_.IsValid() || !sim().IsPending(input_flush_event_)) {
+    input_flush_event_ =
+        sim().Schedule(config_.input_batch_window, [this] { FlushInputBatch(); });
+  }
+}
+
+void RdpProtocol::FlushInputBatch() {
+  if (pending_input_events_ == 0) {
+    return;
+  }
+  Bytes payload =
+      config_.input_pdu_base + config_.input_event_bytes * pending_input_events_;
+  pending_input_events_ = 0;
+  EmitMessage(Channel::kInput, payload);
+}
+
+void RdpProtocol::Flush() {
+  FlushPdu();
+  FlushInputBatch();
+}
+
+}  // namespace tcs

@@ -1,0 +1,78 @@
+// The Remote Display Protocol (RDP) model (§2, §6).
+//
+// RDP's specification was unpublished; the paper characterizes it behaviourally and this
+// model implements those behaviours:
+//  * high-level drawing "orders" batched into large PDUs (few, large messages — RDP's
+//    average message was ~2x X's and its message count ~7% of X's);
+//  * a glyph cache: the first use of a character ships its raster, later uses ship a
+//    2-byte index;
+//  * the client-side 1.5 MB LRU bitmap cache (Figures 4-7): a hit costs a tiny
+//    "swap bitmap" order, a miss ships the compressed raster and re-encodes it at the
+//    server (the CPU load of Figure 6);
+//  * batched, terse input: scancode-level events coalesced into periodic input PDUs.
+
+#ifndef TCS_SRC_PROTO_RDP_PROTOCOL_H_
+#define TCS_SRC_PROTO_RDP_PROTOCOL_H_
+
+#include <unordered_set>
+
+#include "src/proto/bitmap_cache.h"
+#include "src/proto/display_protocol.h"
+#include "src/sim/random.h"
+
+namespace tcs {
+
+struct RdpConfig {
+  // PDU assembly: orders accumulate until the buffer reaches this size (or Flush()).
+  Bytes pdu_flush_threshold = Bytes::Of(1400);
+  // Input events are coalesced into one input PDU per window.
+  Duration input_batch_window = Duration::Millis(50);
+  Bytes session_setup = Bytes::Of(45328);
+  // Per-order sizes.
+  Bytes text_order_base = Bytes::Of(8);         // + 2 bytes per cached glyph
+  Bytes glyph_definition = Bytes::Of(26);       // first use of a character
+  Bytes geometry_order = Bytes::Of(12);         // rect / line
+  Bytes copy_order = Bytes::Of(16);             // screen-to-screen blit
+  Bytes cache_hit_order = Bytes::Of(12);        // "swap bitmap"
+  Bytes bitmap_order_header = Bytes::Of(22);    // miss: header + compressed raster
+  Bytes input_pdu_base = Bytes::Of(10);
+  Bytes input_event_bytes = Bytes::Of(4);
+  // Server-side encode cost of compressing one raster byte on a cache miss.
+  Duration bitmap_encode_per_kib = Duration::Micros(500);
+  BitmapCacheConfig cache;
+};
+
+class RdpProtocol final : public DisplayProtocol {
+ public:
+  RdpProtocol(Simulator& sim, MessageSender& display_out, MessageSender& input_out,
+              ProtoTap* tap, Rng rng, RdpConfig config = {});
+  ~RdpProtocol() override;
+
+  void SubmitDraw(const DrawCommand& cmd) override;
+  void SubmitInput(const InputEvent& event) override;
+  void Flush() override;
+  std::string name() const override { return "RDP"; }
+  Bytes session_setup_bytes() const override { return config_.session_setup; }
+
+  const BitmapCache& bitmap_cache() const { return cache_; }
+  BitmapCache& bitmap_cache() { return cache_; }
+  int64_t orders_encoded() const { return orders_encoded_; }
+
+ private:
+  void AppendOrder(Bytes order_bytes);
+  void FlushPdu();
+  void FlushInputBatch();
+
+  RdpConfig config_;
+  Rng rng_;
+  BitmapCache cache_;
+  std::unordered_set<int> glyphs_seen_;
+  Bytes pdu_pending_ = Bytes::Zero();
+  int pending_input_events_ = 0;
+  EventId input_flush_event_;
+  int64_t orders_encoded_ = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_PROTO_RDP_PROTOCOL_H_

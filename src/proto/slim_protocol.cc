@@ -1,0 +1,56 @@
+#include "src/proto/slim_protocol.h"
+
+namespace tcs {
+
+SlimProtocol::SlimProtocol(Simulator& sim, MessageSender& display_out,
+                           MessageSender& input_out, ProtoTap* tap, Rng rng,
+                           SlimConfig config)
+    : DisplayProtocol(sim, display_out, input_out, tap), config_(config), rng_(rng) {}
+
+void SlimProtocol::EmitCommand(Bytes payload) {
+  ++commands_encoded_;
+  EmitMessage(Channel::kDisplay, config_.command_header + payload);
+}
+
+void SlimProtocol::SubmitDraw(const DrawCommand& cmd) {
+  switch (cmd.op) {
+    case DrawOp::kText: {
+      // BITMAP: 1 bit/pixel glyph cells plus the two colors.
+      int64_t pixels = static_cast<int64_t>(cmd.text_length) * config_.glyph_width *
+                       config_.glyph_height;
+      ChargeEncode(Duration::Micros(4 + cmd.text_length / 2));
+      EmitCommand(Bytes::Of(pixels / 8 + 8));
+      break;
+    }
+    case DrawOp::kRect:
+      ChargeEncode(Duration::Micros(3));
+      EmitCommand(Bytes::Of(8));  // FILL: color + rect
+      break;
+    case DrawOp::kLine:
+      // SLIM has no line primitive: a thin FILL per segment.
+      ChargeEncode(Duration::Micros(3));
+      EmitCommand(Bytes::Of(8));
+      break;
+    case DrawOp::kCopyArea:
+      ChargeEncode(Duration::Micros(4));
+      EmitCommand(Bytes::Of(12));  // COPY: src + dst rects
+      break;
+    case DrawOp::kPutImage:
+      // SET: raw 8-bpp pixels, no compression, no cache.
+      ChargeEncode(Duration::Micros(8 + cmd.bitmap.raw_bytes.count() / 60));
+      EmitCommand(cmd.bitmap.raw_bytes);
+      break;
+    case DrawOp::kSync:
+      // Stateless protocol: nothing to query; the server-side virtual framebuffer
+      // answers locally.
+      ChargeEncode(Duration::Micros(1));
+      break;
+  }
+}
+
+void SlimProtocol::SubmitInput(const InputEvent& event) {
+  (void)event;
+  EmitMessage(Channel::kInput, config_.input_event_bytes);
+}
+
+}  // namespace tcs

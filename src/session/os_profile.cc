@@ -1,0 +1,185 @@
+#include "src/session/os_profile.h"
+
+namespace tcs {
+
+namespace {
+
+constexpr int kClockPriority = 31;  // interrupt level: always preempts
+
+DaemonSpec ClockTick(Duration cost) {
+  DaemonSpec d;
+  d.name = "clock";
+  d.priority = kClockPriority;
+  d.period = Duration::Millis(10);  // both NT and Linux handled clock every 10 ms (§4.1.1)
+  d.episode_cpu = cost;
+  return d;
+}
+
+std::vector<DaemonSpec> NtBaseDaemons() {
+  std::vector<DaemonSpec> daemons;
+  daemons.push_back(ClockTick(Duration::Micros(100)));
+  // Cache/registry housekeeping: the <=100 ms event population of Figure 2.
+  DaemonSpec registry;
+  registry.name = "registry-flush";
+  registry.priority = 13;
+  registry.period = Duration::Seconds(2);
+  registry.episode_cpu = Duration::Millis(30);
+  registry.duty = 0.25;
+  registry.phase = Duration::Millis(700);
+  daemons.push_back(registry);
+  DaemonSpec scan;
+  scan.name = "service-scan";
+  scan.priority = 13;
+  scan.period = Duration::Seconds(30);
+  scan.episode_cpu = Duration::Millis(100);
+  scan.duty = 0.25;
+  scan.phase = Duration::Seconds(5);
+  daemons.push_back(scan);
+  return daemons;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> OsProfile::MakeScheduler() const {
+  switch (scheduler_kind) {
+    case SchedulerKind::kNt:
+      return std::make_unique<NtScheduler>(nt_config);
+    case SchedulerKind::kLinux:
+      return std::make_unique<LinuxScheduler>(linux_config);
+    case SchedulerKind::kSvr4Interactive:
+      return std::make_unique<Svr4InteractiveScheduler>(svr4_config);
+  }
+  return nullptr;
+}
+
+OsProfile OsProfile::NtWorkstation() {
+  OsProfile p;
+  p.name = "NT Workstation";
+  p.scheduler_kind = SchedulerKind::kNt;
+  p.protocol_kind = ProtocolKind::kRdp;  // unused: NTWS is local-console only
+  p.idle_daemons = NtBaseDaemons();
+  p.idle_system_memory = Bytes::KiB(16 * 1024);
+  p.login_processes = {
+      {"explorer.exe", Bytes::KiB(1368)}, {"csrss.exe", Bytes::KiB(452)},
+      {"loadwc.exe", Bytes::KiB(424)},    {"nddeagnt.exe", Bytes::KiB(300)},
+      {"winlogin.exe", Bytes::KiB(700)},
+  };
+  p.light_login_processes = p.login_processes;
+  // Local console: the editor thread renders via the local video subsystem.
+  p.keystroke_pipeline = {
+      {"editor", ThreadClass::kGui, kNtForegroundPriority, Duration::Micros(1200)},
+  };
+  p.sink_priority = kNtBackgroundPriority;
+  p.editor_working_set_pages = 900;
+  return p;
+}
+
+OsProfile OsProfile::Tse() {
+  OsProfile p;
+  p.name = "NT TSE";
+  p.scheduler_kind = SchedulerKind::kNt;
+  p.protocol_kind = ProtocolKind::kRdp;
+  p.idle_daemons = NtBaseDaemons();
+  // The Terminal Service and Session Manager (priority 13, §4.2.1) add the 250 ms and
+  // 400 ms event populations Figure 2 shows on top of NT's.
+  DaemonSpec session_mgr;
+  session_mgr.name = "session-manager";
+  session_mgr.priority = kNtSystemDaemonPriority;
+  session_mgr.period = Duration::Seconds(10);
+  session_mgr.episode_cpu = Duration::Millis(250);
+  session_mgr.duty = 0.25;
+  session_mgr.phase = Duration::Seconds(3);
+  p.idle_daemons.push_back(session_mgr);
+  DaemonSpec term_svc;
+  term_svc.name = "terminal-service";
+  term_svc.priority = kNtSystemDaemonPriority;
+  term_svc.period = Duration::Seconds(20);
+  term_svc.episode_cpu = Duration::Millis(400);
+  term_svc.duty = 0.25;
+  term_svc.phase = Duration::Seconds(8);
+  p.idle_daemons.push_back(term_svc);
+  DaemonSpec session_poll;
+  session_poll.name = "session-poll";
+  session_poll.priority = kNtSystemDaemonPriority;
+  session_poll.period = Duration::Millis(100);
+  session_poll.episode_cpu = Duration::Millis(1);
+  session_poll.phase = Duration::Millis(50);
+  p.idle_daemons.push_back(session_poll);
+
+  p.idle_system_memory = Bytes::KiB(19 * 1024);  // 19 MB with no sessions (§5.1.1)
+  p.login_processes = {
+      {"explorer.exe", Bytes::KiB(1368)}, {"csrss.exe", Bytes::KiB(452)},
+      {"loadwc.exe", Bytes::KiB(424)},    {"nddeagnt.exe", Bytes::KiB(300)},
+      {"winlogin.exe", Bytes::KiB(700)},
+  };
+  p.light_login_processes = {
+      {"command.com", Bytes::KiB(224)}, {"csrss.exe", Bytes::KiB(452)},
+      {"loadwc.exe", Bytes::KiB(424)},  {"nddeagnt.exe", Bytes::KiB(300)},
+      {"winlogin.exe", Bytes::KiB(700)},
+  };
+  // TSE display requests pass through the kernel (§2): the boosted editor thread hands
+  // off to win32k display handling and the RDP encoder, which run at normal priority and
+  // enjoy no GUI boost — the §4.2.2 stall mechanism.
+  p.keystroke_pipeline = {
+      {"editor", ThreadClass::kGui, kNtForegroundPriority, Duration::Micros(1500)},
+      {"win32k-display", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(900)},
+      {"rdp-encoder", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(800)},
+  };
+  p.sink_priority = kNtBackgroundPriority;
+  // Notepad + csrss + win32k path: ~4 MB must come back from disk (§5.2's TSE row).
+  p.editor_working_set_pages = 1000;
+  p.ws_touch_min = 0.55;
+  p.ws_touch_max = 1.0;
+  p.pager_cluster_pages = 4;  // NT clusters page-ins (MmReadClusterSize)
+  return p;
+}
+
+OsProfile OsProfile::LinuxX() {
+  OsProfile p;
+  p.name = "Linux/X";
+  p.scheduler_kind = SchedulerKind::kLinux;
+  p.protocol_kind = ProtocolKind::kX;
+  p.idle_daemons.push_back(ClockTick(Duration::Micros(100)));
+  DaemonSpec kflushd;
+  kflushd.name = "kflushd";
+  kflushd.period = Duration::Seconds(5);
+  kflushd.episode_cpu = Duration::Millis(5);
+  kflushd.duty = 0.5;
+  kflushd.phase = Duration::Seconds(1);
+  p.idle_daemons.push_back(kflushd);
+  DaemonSpec inetd;
+  inetd.name = "inetd";
+  inetd.period = Duration::Seconds(1);
+  inetd.episode_cpu = Duration::Micros(500);
+  inetd.phase = Duration::Millis(300);
+  p.idle_daemons.push_back(inetd);
+
+  p.idle_system_memory = Bytes::KiB(17 * 1024);  // 17 MB (§5.1.1)
+  p.login_processes = {
+      {"in.rshd", Bytes::KiB(204)},
+      {"xterm", Bytes::KiB(372)},
+      {"bash", Bytes::KiB(176)},
+  };
+  p.light_login_processes = p.login_processes;
+  // Remote X: the rendering X server runs on the *client* machine; the server side of a
+  // keystroke is vim alone, writing the update straight to its socket.
+  p.keystroke_pipeline = {
+      {"vim", ThreadClass::kGui, 0, Duration::Micros(2500)},
+  };
+  p.sink_priority = 0;  // nice 0, same as everything else
+  // vim + bash + rshd text and data: ~1.2 MB swapped back in (§5.2's Linux row).
+  p.editor_working_set_pages = 290;
+  p.ws_touch_min = 0.2;
+  p.ws_touch_max = 1.0;
+  p.pager_cluster_pages = 1;  // Linux 2.0 single-page swap-in
+  return p;
+}
+
+OsProfile OsProfile::LinuxSvr4() {
+  OsProfile p = LinuxX();
+  p.name = "Linux/X + SVR4-IA";
+  p.scheduler_kind = SchedulerKind::kSvr4Interactive;
+  return p;
+}
+
+}  // namespace tcs

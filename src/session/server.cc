@@ -1,0 +1,243 @@
+#include "src/session/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/proto/lbx_protocol.h"
+#include "src/proto/slim_protocol.h"
+#include "src/proto/vnc_protocol.h"
+#include "src/proto/rdp_protocol.h"
+#include "src/proto/x_protocol.h"
+#include "src/workload/sink.h"
+
+namespace tcs {
+
+namespace {
+
+constexpr Bytes kPageSize = Bytes::Of(4096);
+
+size_t PagesFor(Bytes b) {
+  return static_cast<size_t>((b.count() + kPageSize.count() - 1) / kPageSize.count());
+}
+
+PagerConfig MakePagerConfig(const OsProfile& profile, const ServerConfig& cfg) {
+  PagerConfig pc;
+  Bytes user_ram = cfg.ram - profile.idle_system_memory;
+  assert(user_ram.count() > 0);
+  pc.total_frames = PagesFor(user_ram);
+  pc.cluster_pages = profile.pager_cluster_pages;
+  pc.policy = cfg.eviction;
+  pc.throttle_delay = cfg.pager_throttle;
+  return pc;
+}
+
+std::unique_ptr<DisplayProtocol> MakeProtocol(ProtocolKind kind, Simulator& sim,
+                                              MessageSender& display, MessageSender& input,
+                                              ProtoTap* tap, Rng rng) {
+  switch (kind) {
+    case ProtocolKind::kRdp:
+      return std::make_unique<RdpProtocol>(sim, display, input, tap, rng);
+    case ProtocolKind::kX:
+      return std::make_unique<XProtocol>(sim, display, input, tap, rng);
+    case ProtocolKind::kLbx:
+      return std::make_unique<LbxProtocol>(sim, display, input, tap, rng);
+    case ProtocolKind::kSlim:
+      return std::make_unique<SlimProtocol>(sim, display, input, tap, rng);
+    case ProtocolKind::kVnc: {
+      auto vnc = std::make_unique<VncProtocol>(sim, display, input, tap, rng);
+      vnc->StartClientPull();
+      return vnc;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      config_(config),
+      rng_(config.seed),
+      cpu_(sim, profile_.MakeScheduler(), config.cpu),
+      disk_(sim, rng_.Fork(), config.disk),
+      pager_(sim, disk_, MakePagerConfig(profile_, config)),
+      link_(sim, config.link),
+      display_sender_(link_, HeaderModel::TcpIp()),
+      input_sender_(link_, HeaderModel::TcpIp()),
+      tap_(config.tap_bucket) {
+  protocol_ = MakeProtocol(profile_.protocol_kind, sim_, display_sender_, input_sender_,
+                           &tap_, rng_.Fork());
+  protocol_->set_display_message_hook([this](Bytes payload) { update_payload_ += payload; });
+}
+
+void Server::StartDaemons() {
+  if (!daemons_.empty()) {
+    return;
+  }
+  for (const DaemonSpec& spec : profile_.idle_daemons) {
+    DaemonRuntime rt;
+    rt.spec = spec;
+    rt.thread = cpu_.CreateThread(spec.name, spec.cls, spec.priority);
+    daemons_.push_back(std::move(rt));
+  }
+  // Arm after the vector is stable (PeriodicTask captures the runtime slot).
+  for (DaemonRuntime& rt : daemons_) {
+    rt.task = std::make_unique<PeriodicTask>(sim_, rt.spec.period, [this, &rt] {
+      PostDaemonEpisode(rt.thread, rt.spec);
+    });
+    rt.task->Start(rt.spec.phase);
+  }
+}
+
+void Server::PostDaemonEpisode(Thread* thread, const DaemonSpec& spec) {
+  // An episode of E total CPU at duty d: chunks of (10 ms * d) posted every 10 ms, so the
+  // episode occupies ~E/d of wall time at utilization d — Figure 1's plateaus and
+  // Figure 2's long per-thread events at once.
+  Duration chunk = spec.duty >= 1.0
+                       ? spec.episode_cpu
+                       : std::max(Duration::Micros(100), Duration::Millis(10) * spec.duty);
+  Duration remaining = spec.episode_cpu;
+  int k = 0;
+  while (remaining > Duration::Zero()) {
+    Duration c = std::min(chunk, remaining);
+    sim_.Schedule(Duration::Millis(10) * k, [this, thread, c] { cpu_.PostWork(*thread, c); });
+    remaining -= c;
+    ++k;
+  }
+}
+
+Session& Server::Login(bool light_session) {
+  sessions_.push_back(std::make_unique<Session>());
+  Session& s = *sessions_.back();
+  s.id_ = sessions_.size();
+
+  const std::vector<ProcessSpec>& processes =
+      light_session ? profile_.light_login_processes : profile_.login_processes;
+  for (const ProcessSpec& proc : processes) {
+    AddressSpace* as = pager_.CreateAddressSpace(proc.name, /*interactive=*/true);
+    pager_.Prefault(*as, 0, std::max<size_t>(1, PagesFor(proc.private_memory)));
+    s.process_spaces_.push_back(as);
+    s.private_memory_ += proc.private_memory;
+  }
+  // The editor's keystroke-path working set (code + data across the involved processes).
+  s.working_set_ = pager_.CreateAddressSpace("editor-ws", /*interactive=*/true);
+  pager_.Prefault(*s.working_set_, 0, profile_.editor_working_set_pages);
+
+  for (const PipelineHop& hop : profile_.keystroke_pipeline) {
+    s.pipeline_.push_back(cpu_.CreateThread(hop.name, hop.cls, hop.priority));
+  }
+
+  // Session negotiation and initialization traffic (§6.1.1).
+  display_sender_.SendMessage(protocol_->session_setup_bytes());
+  return s;
+}
+
+void Server::StartSinks(int count) {
+  tcs::StartSinks(cpu_, count, profile_.sink_priority, profile_.sink_class);
+}
+
+Duration Server::InputTransitDelay() const {
+  // A keystroke-sized frame (64 B payload + wire headers) queued behind whatever the
+  // link is carrying right now, plus propagation.
+  Duration queue = Duration::Zero();
+  if (link_.busy_until() > sim_.Now()) {
+    queue = link_.busy_until() - sim_.Now();
+  }
+  Bytes wire = Bytes::Of(64) + HeaderModel::TcpIp().WirePerPacket();
+  return queue + TransmissionDelay(wire, link_.config().rate) + link_.config().propagation;
+}
+
+void Server::Keystroke(Session& session) {
+  TimePoint sent_at = sim_.Now();
+  protocol_->SubmitInput(InputEvent::Key(true));
+  protocol_->SubmitInput(InputEvent::Key(false));
+  sim_.Schedule(InputTransitDelay(),
+                [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at); });
+}
+
+void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at) {
+  if (session.pending_keystrokes_ == 0) {
+    session.oldest_pending_sent_ = sent_at;
+    session.oldest_pending_arrived_ = sim_.Now();
+  }
+  ++session.pending_keystrokes_;
+  if (!session.pipeline_busy_) {
+    session.pipeline_busy_ = true;
+    StartPipelinePass(session);
+  }
+}
+
+void Server::StartPipelinePass(Session& session) {
+  int batch = session.pending_keystrokes_;
+  session.pending_keystrokes_ = 0;
+  assert(batch > 0);
+  // Freeze this batch's latency attribution before new keystrokes overwrite it.
+  session.current_batch_sent_ = session.oldest_pending_sent_;
+  session.current_batch_arrived_ = session.oldest_pending_arrived_;
+  // The editor cannot echo until the keystroke path's working set is resident (§5.2):
+  // page in anything a streaming job evicted, then run the hops. The fraction of the
+  // working set a particular keystroke touches varies (profile-calibrated).
+  double frac = profile_.ws_touch_min +
+                rng_.NextDouble() * (profile_.ws_touch_max - profile_.ws_touch_min);
+  auto pages = static_cast<size_t>(
+      frac * static_cast<double>(profile_.editor_working_set_pages));
+  pages = std::max<size_t>(1, pages);
+  pager_.AccessRange(*session.working_set_, 0, pages, /*write=*/false,
+                     [this, &session, batch] { RunHop(session, 0, batch); });
+}
+
+void Server::RunHop(Session& session, size_t hop, int batch) {
+  assert(hop < session.pipeline_.size());
+  const PipelineHop& spec = profile_.keystroke_pipeline[hop];
+  Duration work = spec.work;
+  if (hop == 0 && batch > 1) {
+    // Echoing a drained batch costs a little more than a single character.
+    work += Duration::Micros(50) * (batch - 1);
+  }
+  WakeReason reason = hop == 0 ? WakeReason::kInputEvent : WakeReason::kOther;
+  cpu_.PostWork(
+      *session.pipeline_[hop], work,
+      [this, &session, hop, batch] {
+        if (hop + 1 < session.pipeline_.size()) {
+          RunHop(session, hop + 1, batch);
+        } else {
+          CompletePipeline(session, batch);
+        }
+      },
+      reason);
+}
+
+void Server::CompletePipeline(Session& session, int batch) {
+  update_payload_ = Bytes::Zero();
+  protocol_->SubmitDraw(DrawCommand::Text(batch));
+  protocol_->Flush();
+  TimePoint emitted = sim_.Now();
+  if (session.on_display_update_) {
+    session.on_display_update_(emitted);
+  }
+  if (session.on_frame_painted_) {
+    KeystrokeLatency lat;
+    lat.keystroke_at = session.current_batch_sent_;
+    lat.input_net = session.current_batch_arrived_ - session.current_batch_sent_;
+    lat.server = emitted - session.current_batch_arrived_;
+    if (client_ != nullptr) {
+      // The update's frames were just queued: the link's horizon is their last bit.
+      TimePoint delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation;
+      lat.display_net = delivered - emitted;
+      lat.client = client_->DecodeDelay(profile_.protocol_kind, update_payload_);
+      TimePoint painted = delivered + lat.client;
+      auto cb = session.on_frame_painted_;
+      sim_.At(painted, [cb, lat] { cb(lat); });
+    } else {
+      session.on_frame_painted_(lat);
+    }
+  }
+  if (session.pending_keystrokes_ > 0) {
+    StartPipelinePass(session);
+  } else {
+    session.pipeline_busy_ = false;
+  }
+}
+
+}  // namespace tcs

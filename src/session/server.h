@@ -1,0 +1,170 @@
+// The thin-client server: one box composing the CPU (with the profile's scheduler), the
+// paging subsystem, the network link, the remote-display protocol, the idle-state
+// daemons, and the logged-in sessions. This is the system under test in every experiment.
+
+#ifndef TCS_SRC_SESSION_SERVER_H_
+#define TCS_SRC_SESSION_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/client/thin_client.h"
+#include "src/cpu/cpu.h"
+#include "src/mem/pager.h"
+#include "src/net/endpoint.h"
+#include "src/proto/display_protocol.h"
+#include "src/session/os_profile.h"
+#include "src/sim/periodic.h"
+#include "src/sim/random.h"
+
+namespace tcs {
+
+struct ServerConfig {
+  CpuConfig cpu;
+  LinkConfig link;
+  // Swap partition: short seeks relative to the general-purpose default.
+  DiskConfig disk = [] {
+    DiskConfig d;
+    d.positioning_mean = Duration::Micros(3500);
+    d.positioning_stddev = Duration::Micros(1500);
+    d.positioning_min = Duration::Micros(500);
+    return d;
+  }();
+  Bytes ram = Bytes::MiB(64);  // the era's typical server memory
+  EvictionPolicy eviction = EvictionPolicy::kGlobalLru;
+  Duration pager_throttle = Duration::Millis(20);
+  Duration tap_bucket = Duration::Seconds(1);
+  uint64_t seed = 1;
+};
+
+// Where one keystroke's end-to-end latency went (requires an attached client device for
+// the display_net/client legs — see Server::AttachClient).
+struct KeystrokeLatency {
+  TimePoint keystroke_at;             // when the user's machine sent it
+  Duration input_net = Duration::Zero();    // transit to the server
+  Duration server = Duration::Zero();       // queueing + pipeline work + paging
+  Duration display_net = Duration::Zero();  // update emission to last-bit delivery
+  Duration client = Duration::Zero();       // decode + blit on the user's machine
+  Duration total() const { return input_net + server + display_net + client; }
+};
+
+// One logged-in user: the login's processes (and their memory), the editor GUI thread,
+// and the display-pipeline worker threads keystrokes traverse.
+class Session {
+ public:
+  uint64_t id() const { return id_; }
+  // Sum of the login processes' private memory (the §5.1.1 per-user bill).
+  Bytes private_memory() const { return private_memory_; }
+  AddressSpace* working_set() const { return working_set_; }
+
+  // Invoked (with the emission time) whenever a display update for this session goes out.
+  void set_on_display_update(std::function<void(TimePoint)> fn) {
+    on_display_update_ = std::move(fn);
+  }
+
+  // Invoked when the update is actually on the user's glass, with the full breakdown.
+  // The display_net and client legs are zero unless a client device is attached.
+  void set_on_frame_painted(std::function<void(const KeystrokeLatency&)> fn) {
+    on_frame_painted_ = std::move(fn);
+  }
+
+ private:
+  friend class Server;
+
+  uint64_t id_ = 0;
+  Bytes private_memory_ = Bytes::Zero();
+  std::vector<AddressSpace*> process_spaces_;
+  AddressSpace* working_set_ = nullptr;
+  std::vector<Thread*> pipeline_;
+  int pending_keystrokes_ = 0;
+  bool pipeline_busy_ = false;
+  // Oldest keystroke in the pending set / in the in-flight batch, for attribution.
+  TimePoint oldest_pending_sent_;
+  TimePoint oldest_pending_arrived_;
+  TimePoint current_batch_sent_;
+  TimePoint current_batch_arrived_;
+  std::function<void(TimePoint)> on_display_update_;
+  std::function<void(const KeystrokeLatency&)> on_frame_painted_;
+};
+
+class Server {
+ public:
+  Server(Simulator& sim, OsProfile profile, ServerConfig config = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Arms the profile's idle-state daemons (clock tick, session manager, ...).
+  void StartDaemons();
+
+  // Logs a user in: creates the login's processes (memory prefaulted), the keystroke
+  // pipeline threads, and exchanges the protocol's session-setup bytes.
+  Session& Login(bool light_session = false);
+
+  // One keystroke from the session's user. Input-channel traffic is generated and
+  // transits the link; at the server the editor's working set is made resident (paying
+  // any page-ins), the keystroke pipeline runs, and a display update is emitted. Repeats
+  // arriving while the pipeline is busy coalesce into the next update, as editors drain
+  // their input queues in batches.
+  void Keystroke(Session& session);
+
+  // Attaches a client device model; thereafter on_frame_painted breakdowns include the
+  // display-channel transit and the client's decode+blit time.
+  void AttachClient(ThinClientConfig config) {
+    client_ = std::make_unique<ThinClientDevice>(config);
+  }
+  const ThinClientDevice* client() const { return client_.get(); }
+
+  // Starts `count` sink CPU hogs with the profile's sink priority.
+  void StartSinks(int count);
+
+  const OsProfile& profile() const { return profile_; }
+  Simulator& sim() { return sim_; }
+  Cpu& cpu() { return cpu_; }
+  Disk& disk() { return disk_; }
+  Pager& pager() { return pager_; }
+  Link& link() { return link_; }
+  DisplayProtocol& protocol() { return *protocol_; }
+  ProtoTap& tap() { return tap_; }
+  // Frames available to user pages given RAM minus the profile's idle system memory.
+  size_t available_frames() const { return pager_.total_frames(); }
+
+ private:
+  void PostDaemonEpisode(Thread* thread, const DaemonSpec& spec);
+  void OnKeystrokeArrived(Session& session, TimePoint sent_at);
+  void StartPipelinePass(Session& session);
+  void RunHop(Session& session, size_t hop, int batch);
+  void CompletePipeline(Session& session, int batch);
+  // Transit time of a small input message through the link right now (queue + wire).
+  Duration InputTransitDelay() const;
+
+  Simulator& sim_;
+  OsProfile profile_;
+  ServerConfig config_;
+  Rng rng_;
+  Cpu cpu_;
+  Disk disk_;
+  Pager pager_;
+  Link link_;
+  MessageSender display_sender_;
+  MessageSender input_sender_;
+  ProtoTap tap_;
+  std::unique_ptr<DisplayProtocol> protocol_;
+  std::unique_ptr<ThinClientDevice> client_;
+  // Display payload bytes accumulated since the last pipeline completion (for the client
+  // decode bill of the current update).
+  Bytes update_payload_ = Bytes::Zero();
+
+  struct DaemonRuntime {
+    DaemonSpec spec;
+    Thread* thread;
+    std::unique_ptr<PeriodicTask> task;
+  };
+  std::vector<DaemonRuntime> daemons_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_SESSION_SERVER_H_

@@ -1,0 +1,46 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcs {
+
+EventId EventQueue::Schedule(TimePoint when, Callback cb) {
+  uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId(seq);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Lazy deletion: the heap entry stays until it reaches the top, but it is no longer in
+  // `pending_`, so SkipCancelled() will discard it.
+  return pending_.erase(id.seq_) > 0;
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::NextTime() const {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Callback EventQueue::Pop(TimePoint* when) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the Entry must be moved out via const_cast, which is
+  // safe because we pop immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *when = top.when;
+  Callback cb = std::move(top.cb);
+  pending_.erase(top.seq);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace tcs

@@ -1,0 +1,87 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events are ordered by (time, insertion sequence); ties at the same virtual time fire in
+// the order they were scheduled, which keeps runs deterministic. Events can be cancelled
+// via the EventId returned at scheduling time; cancellation is O(1) (lazy deletion).
+
+#ifndef TCS_SRC_SIM_EVENT_QUEUE_H_
+#define TCS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcs {
+
+// Opaque handle identifying a scheduled event. Valid until the event fires or is cancelled.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool IsValid() const { return seq_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(uint64_t seq) : seq_(seq) {}
+  uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to fire at absolute time `when`.
+  EventId Schedule(TimePoint when, Callback cb);
+
+  // Cancels a pending event. Returns true if the event was pending and is now cancelled;
+  // false if it already fired, was already cancelled, or `id` is invalid.
+  bool Cancel(EventId id);
+
+  // True if `id` refers to an event that has not yet fired or been cancelled.
+  bool IsPending(EventId id) const { return pending_.contains(id.seq_); }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  // Time of the earliest pending event. Must not be called on an empty queue.
+  TimePoint NextTime() const;
+
+  // Removes and returns the earliest pending event's callback, storing its time in `when`.
+  // Must not be called on an empty queue.
+  Callback Pop(TimePoint* when);
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the head of the heap.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> pending_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,25 @@
+#include "src/sim/periodic.h"
+
+namespace tcs {
+
+void PeriodicTask::Start(Duration initial_delay) {
+  if (IsRunning()) {
+    return;
+  }
+  pending_ = sim_.Schedule(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (pending_.IsValid()) {
+    sim_.Cancel(pending_);
+    pending_ = EventId();
+  }
+}
+
+void PeriodicTask::Fire() {
+  // Reschedule before invoking the tick so the tick may call Stop() to end the series.
+  pending_ = sim_.Schedule(period_, [this] { Fire(); });
+  tick_();
+}
+
+}  // namespace tcs

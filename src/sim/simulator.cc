@@ -1,0 +1,37 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tcs {
+
+EventId Simulator::At(TimePoint when, EventQueue::Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.Schedule(when, std::move(cb));
+}
+
+uint64_t Simulator::Run() {
+  return RunUntil(TimePoint::Infinite());
+}
+
+uint64_t Simulator::RunUntil(TimePoint deadline) {
+  stop_requested_ = false;
+  uint64_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.NextTime() > deadline) {
+      break;
+    }
+    TimePoint when;
+    EventQueue::Callback cb = queue_.Pop(&when);
+    now_ = when;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  if (deadline != TimePoint::Infinite() && now_ < deadline && !stop_requested_) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+}  // namespace tcs

@@ -1,0 +1,50 @@
+// Minimal typed command-line flag parser for the tools and harnesses.
+//
+// Supports `--name=value`, `--name value`, bare boolean `--name`, and positional
+// arguments. Unknown flags are errors (surfaced via error()); typed getters validate and
+// report, so a tool can parse everything and then check error() once.
+
+#ifndef TCS_SRC_UTIL_FLAGS_H_
+#define TCS_SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tcs {
+
+class FlagSet {
+ public:
+  // Parses argv[1..). `known` lists every accepted flag name (without the leading
+  // dashes); anything else is an error.
+  FlagSet(int argc, const char* const* argv, std::vector<std::string> known);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  // Typed getters: return `fallback` when the flag is absent; set error() when present
+  // but malformed.
+  std::string GetString(const std::string& name, const std::string& fallback = "");
+  int64_t GetInt(const std::string& name, int64_t fallback = 0);
+  double GetDouble(const std::string& name, double fallback = 0.0);
+  // A bare `--name` or `--name=true|false`.
+  bool GetBool(const std::string& name, bool fallback = false);
+
+ private:
+  void SetError(const std::string& message);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_FLAGS_H_

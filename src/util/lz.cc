@@ -1,0 +1,108 @@
+#include "src/util/lz.h"
+
+#include <array>
+#include <cstring>
+
+namespace tcs {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(const std::vector<uint8_t>& input, size_t start, size_t end,
+                  std::vector<uint8_t>& out) {
+  while (start < end) {
+    size_t run = std::min<size_t>(end - start, 0x80);
+    out.push_back(static_cast<uint8_t>(run - 1));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(start),
+               input.begin() + static_cast<ptrdiff_t>(start + run));
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCodec::Compress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  // Single-probe hash table of most recent position per hash — greedy, fast, and good
+  // enough on the redundant payloads we generate.
+  std::array<size_t, kHashSize> head;
+  head.fill(SIZE_MAX);
+
+  size_t i = 0;
+  size_t literal_start = 0;
+  while (n >= kMinMatch && i + kMinMatch <= n) {
+    uint32_t h = HashAt(&input[i]);
+    size_t cand = head[h];
+    head[h] = i;
+    size_t match_len = 0;
+    if (cand != SIZE_MAX && cand < i && i - cand <= kWindow) {
+      size_t limit = std::min(n - i, kMaxMatch);
+      while (match_len < limit && input[cand + match_len] == input[i + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      EmitLiterals(input, literal_start, i, out);
+      size_t offset = i - cand;
+      out.push_back(static_cast<uint8_t>(0x80 | (match_len - kMinMatch)));
+      out.push_back(static_cast<uint8_t>(offset & 0xFF));
+      out.push_back(static_cast<uint8_t>((offset >> 8) & 0xFF));
+      // Insert hashes for the matched region (sparsely, every other byte, for speed).
+      for (size_t j = i + 1; j + kMinMatch <= n && j < i + match_len; j += 2) {
+        head[HashAt(&input[j])] = j;
+      }
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(input, literal_start, n, out);
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> LzCodec::Decompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    uint8_t c = input[i++];
+    if (c < 0x80) {
+      size_t run = static_cast<size_t>(c) + 1;
+      if (i + run > n) {
+        return std::nullopt;
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+                 input.begin() + static_cast<ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      if (i + 2 > n) {
+        return std::nullopt;
+      }
+      size_t len = static_cast<size_t>(c & 0x7F) + kMinMatch;
+      size_t offset = static_cast<size_t>(input[i]) | (static_cast<size_t>(input[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > out.size()) {
+        return std::nullopt;
+      }
+      // Byte-by-byte copy: overlapping matches (offset < len) replicate, as in LZ77.
+      size_t src = out.size() - offset;
+      for (size_t j = 0; j < len; ++j) {
+        out.push_back(out[src + j]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcs

@@ -1,0 +1,45 @@
+// A small, real LZ77-style codec.
+//
+// The LBX protocol model compresses actual message payloads with this codec, so measured
+// compression ratios respond to payload entropy the way the real LBX stream compressor
+// (which used a Lempel-Ziv variant) did. The format is byte-oriented:
+//
+//   control byte C:
+//     0x00..0x7F : literal run of C+1 bytes follows
+//     0x80..0xFF : match; length = (C & 0x7F) + kMinMatch, followed by a 2-byte
+//                  little-endian backward offset (1-based, <= 64 KiB window)
+//
+// Round-trip (Compress then Decompress) is the identity; tests enforce this as a property.
+
+#ifndef TCS_SRC_UTIL_LZ_H_
+#define TCS_SRC_UTIL_LZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tcs {
+
+class LzCodec {
+ public:
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxMatch = 0x7F + kMinMatch;
+  static constexpr size_t kWindow = 64 * 1024;
+
+  // Compresses `input`. Output is never more than input.size() + input.size()/128 + 2.
+  static std::vector<uint8_t> Compress(const std::vector<uint8_t>& input);
+
+  // Decompresses; returns std::nullopt on malformed input (truncated stream, offset
+  // pointing before the start of output).
+  static std::optional<std::vector<uint8_t>> Decompress(const std::vector<uint8_t>& input);
+
+  // Convenience: compressed size only (what the protocol models need on the hot path).
+  static size_t CompressedSize(const std::vector<uint8_t>& input) {
+    return Compress(input).size();
+  }
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_LZ_H_

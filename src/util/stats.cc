@@ -1,0 +1,146 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tcs {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination.
+  double delta = other.mean_ - mean_;
+  int64_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() {
+  *this = RunningStats();
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<size_t>((x - lo_) / bin_width_);
+  if (i >= counts_.size()) {  // float edge case at hi_
+    i = counts_.size() - 1;
+  }
+  ++counts_[i];
+}
+
+double Histogram::bin_lo(size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::Percentile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) {
+    return lo_;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double q) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Min() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double SampleSet::Max() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+}  // namespace tcs

@@ -1,0 +1,92 @@
+// Streaming statistics and fixed-bin histograms.
+
+#ifndef TCS_SRC_UTIL_STATS_H_
+#define TCS_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tcs {
+
+// Welford's online algorithm: numerically stable mean/variance without storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance (the paper reports variance of all observed RTTs).
+  double variance() const { return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0; }
+  // Sample variance (n-1 denominator).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over [lo, hi) with uniform bins, plus underflow/overflow counters. Supports
+// exact-bin queries and interpolated percentiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bin_count() const { return counts_.size(); }
+  int64_t bin(size_t i) const { return counts_[i]; }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  // Linear-interpolated value at quantile q in [0,1]. Clamps to [lo, hi].
+  double Percentile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+// Exact percentile estimator that stores all samples. Fine for per-experiment sample
+// counts (thousands); use Histogram for unbounded streams.
+class SampleSet {
+ public:
+  void Add(double x);
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double Percentile(double q) const;  // q in [0,1]; linear interpolation between ranks.
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_STATS_H_

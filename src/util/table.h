@@ -1,0 +1,40 @@
+// Plain-text result tables for benchmark output.
+//
+// Benches print the same rows the paper's tables/figures report; TextTable renders an
+// aligned monospace table and can also emit CSV for plotting.
+
+#ifndef TCS_SRC_UTIL_TABLE_H_
+#define TCS_SRC_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, extra cells are an error (asserted).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string Num(int64_t v);             // with thousands separators: 1,234,567
+  static std::string Fixed(double v, int prec);  // fixed-point
+  static std::string Percent(double frac, int prec = 1);  // 0.123 -> "12.3%"
+
+  std::string Render() const;     // aligned monospace table with header rule
+  std::string RenderCsv() const;  // RFC-4180-ish CSV
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_TABLE_H_

@@ -1,0 +1,238 @@
+#include "src/workload/app_script.h"
+
+#include <utility>
+
+namespace tcs {
+
+namespace {
+
+// Widget raster pools: toolbars, buttons, and icons recur from small fixed sets, so a
+// client-side bitmap cache converts their redraws into hits. Hash namespaces keep the
+// pools of different applications distinct.
+BitmapRef PoolIcon(uint64_t app_ns, uint64_t pool_index, int size = 24) {
+  return BitmapRef::Make((app_ns << 32) | pool_index, size, size, 0.5);
+}
+
+BitmapRef UniqueTile(uint64_t app_ns, uint64_t& counter, int w, int h,
+                     double compression_ratio) {
+  return BitmapRef::Make((app_ns << 48) | ++counter, w, h, compression_ratio);
+}
+
+void AddKeyTaps(std::vector<InputEvent>& inputs, int taps) {
+  for (int i = 0; i < taps; ++i) {
+    inputs.push_back(InputEvent::Key(true, 30 + i % 26));
+    inputs.push_back(InputEvent::Key(false, 30 + i % 26));
+  }
+}
+
+void AddMouseTravel(std::vector<InputEvent>& inputs, Rng& rng, int samples) {
+  int x = static_cast<int>(rng.NextBelow(800));
+  int y = static_cast<int>(rng.NextBelow(600));
+  for (int i = 0; i < samples; ++i) {
+    x += static_cast<int>(rng.NextInt(-20, 20));
+    y += static_cast<int>(rng.NextInt(-15, 15));
+    inputs.push_back(InputEvent::Move(x, y));
+  }
+}
+
+Duration Think(Rng& rng) {
+  return Duration::Millis(rng.NextInt(200, 400));
+}
+
+}  // namespace
+
+AppScript AppScript::WordProcessor(Rng rng, int step_count) {
+  constexpr uint64_t kNs = 1;
+  std::vector<ScriptStep> steps;
+  steps.reserve(static_cast<size_t>(step_count));
+  for (int i = 0; i < step_count; ++i) {
+    ScriptStep step;
+    step.think = Think(rng);
+    int roll = static_cast<int>(rng.NextBelow(100));
+    if (roll < 70) {
+      // Type a word; the application echoes it.
+      int word = static_cast<int>(rng.NextInt(4, 9));
+      AddKeyTaps(step.inputs, word);
+      step.draws.push_back(DrawCommand::Text(word));
+      step.draws.push_back(DrawCommand::Rect(2, 16));  // caret
+    } else if (roll < 80) {
+      // Scroll a page: blit plus redrawn text lines, and a metrics round trip.
+      AddKeyTaps(step.inputs, 1);
+      step.draws.push_back(DrawCommand::CopyArea(640, 400));
+      for (int line = 0; line < 8; ++line) {
+        step.draws.push_back(DrawCommand::Text(static_cast<int>(rng.NextInt(30, 70))));
+      }
+      if (rng.NextBool(0.5)) {
+        step.draws.push_back(DrawCommand::Sync(Bytes::Of(2400)));
+      }
+    } else if (roll < 88) {
+      // Open a menu: frame, entries, toolbar icons from the pool.
+      AddMouseTravel(step.inputs, rng, 6);
+      step.inputs.push_back(InputEvent::Button(true));
+      step.inputs.push_back(InputEvent::Button(false));
+      step.draws.push_back(DrawCommand::Rect(160, 220));
+      for (int entry = 0; entry < 10; ++entry) {
+        step.draws.push_back(DrawCommand::Text(12));
+      }
+      for (uint64_t icon = 0; icon < 4; ++icon) {
+        step.draws.push_back(DrawCommand::PutImage(PoolIcon(kNs, rng.NextBelow(16))));
+      }
+    } else {
+      // Pause: caret blink only.
+      step.draws.push_back(DrawCommand::Rect(2, 16));
+    }
+    steps.push_back(std::move(step));
+  }
+  return AppScript("word-processor", std::move(steps));
+}
+
+AppScript AppScript::PhotoEditor(Rng rng, int step_count) {
+  constexpr uint64_t kNs = 2;
+  uint64_t tile_counter = 0;
+  std::vector<ScriptStep> steps;
+  steps.reserve(static_cast<size_t>(step_count));
+  for (int i = 0; i < step_count; ++i) {
+    ScriptStep step;
+    step.think = Think(rng);
+    int roll = static_cast<int>(rng.NextBelow(100));
+    if (roll < 50) {
+      // Brush stroke: drag across the canvas; the stroked region re-rasters.
+      AddMouseTravel(step.inputs, rng, 15);
+      step.inputs.push_back(InputEvent::Button(true));
+      step.inputs.push_back(InputEvent::Button(false));
+      for (int seg = 0; seg < 6; ++seg) {
+        step.draws.push_back(DrawCommand::Line(static_cast<int>(rng.NextInt(10, 60))));
+      }
+      step.draws.push_back(
+          DrawCommand::PutImage(UniqueTile(kNs, tile_counter, 64, 64, 0.35)));
+    } else if (roll < 65) {
+      // Tool palette: icons recur from the pool.
+      AddMouseTravel(step.inputs, rng, 4);
+      step.inputs.push_back(InputEvent::Button(true));
+      step.inputs.push_back(InputEvent::Button(false));
+      for (uint64_t icon = 0; icon < 8; ++icon) {
+        step.draws.push_back(DrawCommand::PutImage(PoolIcon(kNs, rng.NextBelow(20))));
+      }
+      step.draws.push_back(DrawCommand::Rect(26, 26));
+    } else if (roll < 80) {
+      // Pan/zoom: blit plus re-rastered tiles plus a server round trip.
+      AddMouseTravel(step.inputs, rng, 8);
+      step.draws.push_back(DrawCommand::CopyArea(512, 384));
+      for (int tile = 0; tile < 4; ++tile) {
+        step.draws.push_back(
+            DrawCommand::PutImage(UniqueTile(kNs, tile_counter, 64, 64, 0.35)));
+      }
+      step.draws.push_back(DrawCommand::Sync(Bytes::Of(2800)));
+    } else {
+      // Dialog (filter settings).
+      AddMouseTravel(step.inputs, rng, 5);
+      step.draws.push_back(DrawCommand::Rect(300, 200));
+      for (int label = 0; label < 6; ++label) {
+        step.draws.push_back(DrawCommand::Text(static_cast<int>(rng.NextInt(8, 24))));
+      }
+      for (uint64_t icon = 0; icon < 2; ++icon) {
+        step.draws.push_back(DrawCommand::PutImage(PoolIcon(kNs, rng.NextBelow(20))));
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+  return AppScript("photo-editor", std::move(steps));
+}
+
+AppScript AppScript::ControlPanel(Rng rng, int step_count) {
+  constexpr uint64_t kNs = 3;
+  std::vector<ScriptStep> steps;
+  steps.reserve(static_cast<size_t>(step_count));
+  for (int i = 0; i < step_count; ++i) {
+    ScriptStep step;
+    step.think = Think(rng);
+    int roll = static_cast<int>(rng.NextBelow(100));
+    if (roll < 40) {
+      // Navigate between panes.
+      AddMouseTravel(step.inputs, rng, 6);
+      step.inputs.push_back(InputEvent::Button(true));
+      step.inputs.push_back(InputEvent::Button(false));
+      for (int widget = 0; widget < 4; ++widget) {
+        step.draws.push_back(DrawCommand::Rect(120, 24));
+      }
+      for (int label = 0; label < 6; ++label) {
+        step.draws.push_back(DrawCommand::Text(20));
+      }
+      for (uint64_t icon = 0; icon < 3; ++icon) {
+        step.draws.push_back(DrawCommand::PutImage(PoolIcon(kNs, rng.NextBelow(12), 32)));
+      }
+      if (rng.NextBool(0.3)) {
+        step.draws.push_back(DrawCommand::Sync(Bytes::Of(1600)));
+      }
+    } else if (roll < 80) {
+      // Edit a field (an IP address, a hostname).
+      int chars = static_cast<int>(rng.NextInt(3, 12));
+      AddKeyTaps(step.inputs, chars);
+      step.draws.push_back(DrawCommand::Text(chars));
+      step.draws.push_back(DrawCommand::Rect(2, 14));
+    } else {
+      // Apply: full dialog redraw plus confirmation round trip.
+      AddMouseTravel(step.inputs, rng, 4);
+      step.inputs.push_back(InputEvent::Button(true));
+      step.inputs.push_back(InputEvent::Button(false));
+      for (int widget = 0; widget < 8; ++widget) {
+        step.draws.push_back(DrawCommand::Rect(140, 22));
+      }
+      for (int label = 0; label < 12; ++label) {
+        step.draws.push_back(DrawCommand::Text(static_cast<int>(rng.NextInt(10, 30))));
+      }
+      for (uint64_t icon = 0; icon < 5; ++icon) {
+        step.draws.push_back(DrawCommand::PutImage(PoolIcon(kNs, rng.NextBelow(12), 32)));
+      }
+      step.draws.push_back(DrawCommand::Sync(Bytes::Of(2200)));
+    }
+    steps.push_back(std::move(step));
+  }
+  return AppScript("control-panel", std::move(steps));
+}
+
+Duration AppScript::TotalDuration() const {
+  Duration total = Duration::Zero();
+  for (const ScriptStep& step : steps_) {
+    total += step.think;
+  }
+  return total;
+}
+
+size_t AppScript::TotalInputEvents() const {
+  size_t n = 0;
+  for (const ScriptStep& step : steps_) {
+    n += step.inputs.size();
+  }
+  return n;
+}
+
+size_t AppScript::TotalDrawCommands() const {
+  size_t n = 0;
+  for (const ScriptStep& step : steps_) {
+    n += step.draws.size();
+  }
+  return n;
+}
+
+void AppScript::Replay(Simulator& sim, DisplayProtocol& protocol,
+                       std::function<void()> done) const {
+  TimePoint at = sim.Now();
+  for (const ScriptStep& step : steps_) {
+    sim.At(at, [&protocol, &step] {
+      for (const InputEvent& event : step.inputs) {
+        protocol.SubmitInput(event);
+      }
+      for (const DrawCommand& draw : step.draws) {
+        protocol.SubmitDraw(draw);
+      }
+      protocol.Flush();
+    });
+    at += step.think;
+  }
+  if (done) {
+    sim.At(at, std::move(done));
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,65 @@
+// Replayable application-interaction scripts — the "typical application workload" of
+// §6.1.2: "editing a WordPerfect document, creating a simple bitmap in the Gimp, and
+// configuring a network interface in the control panel." The original was a predefined
+// set of user interactions; ours are deterministic synthetic scripts whose step mix is
+// calibrated to that description (typing + scrolling; brush strokes + canvas tiles;
+// widget navigation + dialogs).
+
+#ifndef TCS_SRC_WORKLOAD_APP_SCRIPT_H_
+#define TCS_SRC_WORKLOAD_APP_SCRIPT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/proto/display_protocol.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+
+struct ScriptStep {
+  std::vector<InputEvent> inputs;
+  std::vector<DrawCommand> draws;
+  // Think time before the next step.
+  Duration think = Duration::Millis(300);
+};
+
+class AppScript {
+ public:
+  // The three applications of the paper's workload. `rng` fixes the interaction sequence.
+  static AppScript WordProcessor(Rng rng, int steps = 600);
+  static AppScript PhotoEditor(Rng rng, int steps = 600);
+  static AppScript ControlPanel(Rng rng, int steps = 600);
+
+  // Builds a script from explicit steps (used by the trace parser and custom workloads).
+  static AppScript FromSteps(std::string name, std::vector<ScriptStep> steps) {
+    return AppScript(std::move(name), std::move(steps));
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<ScriptStep>& steps() const { return steps_; }
+  Duration TotalDuration() const;
+
+  // Replays the script against `protocol` starting at the current virtual time; each step
+  // submits its input events and draw commands, then flushes. `done` fires after the last
+  // step's think time. The AppScript (and `protocol`) must outlive the replay: scheduled
+  // steps reference this object's storage.
+  void Replay(Simulator& sim, DisplayProtocol& protocol,
+              std::function<void()> done = nullptr) const;
+
+  // Aggregate counts, for tests and calibration.
+  size_t TotalInputEvents() const;
+  size_t TotalDrawCommands() const;
+
+ private:
+  AppScript(std::string name, std::vector<ScriptStep> steps)
+      : name_(std::move(name)), steps_(std::move(steps)) {}
+
+  std::string name_;
+  std::vector<ScriptStep> steps_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_WORKLOAD_APP_SCRIPT_H_

@@ -1,0 +1,237 @@
+#include "src/workload/script_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace tcs {
+
+namespace {
+
+const char* InputPressWord(InputType type) {
+  switch (type) {
+    case InputType::kKeyPress:
+    case InputType::kButtonPress:
+      return "press";
+    case InputType::kKeyRelease:
+    case InputType::kButtonRelease:
+      return "release";
+    case InputType::kMouseMove:
+      return "";
+  }
+  return "";
+}
+
+bool SetError(std::string* error, size_t line_no, const std::string& message) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << message;
+    *error = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeScript(const AppScript& script) {
+  std::ostringstream os;
+  os << "# tcs interaction trace\n";
+  os << "script " << script.name() << "\n";
+  for (const ScriptStep& step : script.steps()) {
+    os << "step " << step.think.ToMicros() / 1000 << "\n";
+    for (const InputEvent& ev : step.inputs) {
+      switch (ev.type) {
+        case InputType::kKeyPress:
+        case InputType::kKeyRelease:
+          os << "key " << InputPressWord(ev.type) << " " << ev.code << "\n";
+          break;
+        case InputType::kMouseMove:
+          os << "move " << ev.x << " " << ev.y << "\n";
+          break;
+        case InputType::kButtonPress:
+        case InputType::kButtonRelease:
+          os << "button " << InputPressWord(ev.type) << "\n";
+          break;
+      }
+    }
+    for (const DrawCommand& cmd : step.draws) {
+      switch (cmd.op) {
+        case DrawOp::kText:
+          os << "text " << cmd.text_length << "\n";
+          break;
+        case DrawOp::kRect:
+          os << "rect " << cmd.width << " " << cmd.height << "\n";
+          break;
+        case DrawOp::kLine:
+          os << "line " << cmd.width << "\n";
+          break;
+        case DrawOp::kCopyArea:
+          os << "copy " << cmd.width << " " << cmd.height << "\n";
+          break;
+        case DrawOp::kPutImage:
+          os << "image " << cmd.bitmap.content_hash << " " << cmd.bitmap.width << " "
+             << cmd.bitmap.height << " " << cmd.bitmap.raw_bytes.count() << " "
+             << cmd.bitmap.compressed_bytes.count() << "\n";
+          break;
+        case DrawOp::kSync:
+          os << "sync " << cmd.reply_bytes.count() << "\n";
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::optional<AppScript> ParseScript(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  std::string line;
+  std::string name = "trace";
+  std::vector<ScriptStep> steps;
+  ScriptStep* current = nullptr;
+  size_t line_no = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    auto need_step = [&]() {
+      if (current == nullptr) {
+        SetError(error, line_no, "directive '" + word + "' before the first 'step'");
+        return false;
+      }
+      return true;
+    };
+    auto fail = [&](const std::string& msg) {
+      SetError(error, line_no, msg);
+      return std::optional<AppScript>();
+    };
+
+    if (word == "script") {
+      if (!(ls >> name)) {
+        return fail("'script' needs a name");
+      }
+    } else if (word == "step") {
+      int64_t think_ms = 0;
+      if (!(ls >> think_ms) || think_ms < 0) {
+        return fail("'step' needs a non-negative think time (ms)");
+      }
+      steps.emplace_back();
+      steps.back().think = Duration::Millis(think_ms);
+      current = &steps.back();
+    } else if (word == "key") {
+      std::string action;
+      int code = 0;
+      if (!(ls >> action >> code) || (action != "press" && action != "release")) {
+        return fail("'key' needs press|release and a code");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->inputs.push_back(InputEvent::Key(action == "press", code));
+    } else if (word == "move") {
+      int x = 0;
+      int y = 0;
+      if (!(ls >> x >> y)) {
+        return fail("'move' needs x y");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->inputs.push_back(InputEvent::Move(x, y));
+    } else if (word == "button") {
+      std::string action;
+      if (!(ls >> action) || (action != "press" && action != "release")) {
+        return fail("'button' needs press|release");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->inputs.push_back(InputEvent::Button(action == "press"));
+    } else if (word == "text") {
+      int chars = 0;
+      if (!(ls >> chars) || chars < 0) {
+        return fail("'text' needs a non-negative char count");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->draws.push_back(DrawCommand::Text(chars));
+    } else if (word == "rect") {
+      int w = 0;
+      int h = 0;
+      if (!(ls >> w >> h)) {
+        return fail("'rect' needs w h");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->draws.push_back(DrawCommand::Rect(w, h));
+    } else if (word == "line") {
+      int len = 0;
+      if (!(ls >> len)) {
+        return fail("'line' needs a length");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->draws.push_back(DrawCommand::Line(len));
+    } else if (word == "copy") {
+      int w = 0;
+      int h = 0;
+      if (!(ls >> w >> h)) {
+        return fail("'copy' needs w h");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->draws.push_back(DrawCommand::CopyArea(w, h));
+    } else if (word == "image") {
+      uint64_t hash = 0;
+      int w = 0;
+      int h = 0;
+      int64_t raw = 0;
+      int64_t compressed = 0;
+      if (!(ls >> hash >> w >> h >> raw >> compressed) || raw <= 0 || compressed <= 0) {
+        return fail("'image' needs hash w h raw compressed");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      BitmapRef bmp;
+      bmp.content_hash = hash;
+      bmp.width = w;
+      bmp.height = h;
+      bmp.raw_bytes = Bytes::Of(raw);
+      bmp.compressed_bytes = Bytes::Of(compressed);
+      current->draws.push_back(DrawCommand::PutImage(bmp));
+    } else if (word == "sync") {
+      int64_t reply = 0;
+      if (!(ls >> reply) || reply < 0) {
+        return fail("'sync' needs a reply size");
+      }
+      if (!need_step()) {
+        return std::nullopt;
+      }
+      current->draws.push_back(DrawCommand::Sync(Bytes::Of(reply)));
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+    // Reject trailing junk on the line.
+    std::string extra;
+    if (ls >> extra) {
+      return fail("unexpected trailing token '" + extra + "'");
+    }
+  }
+  return AppScript::FromSteps(std::move(name), std::move(steps));
+}
+
+}  // namespace tcs

@@ -1,0 +1,39 @@
+// Text serialization for interaction scripts: record a session once, replay it against
+// any protocol. The format is a line-oriented trace, one directive per line:
+//
+//   # comment
+//   script <name>
+//   step <think-ms>
+//   key <press|release> <code>
+//   move <x> <y>
+//   button <press|release>
+//   text <chars>
+//   rect <w> <h>
+//   line <len>
+//   copy <w> <h>
+//   image <hash> <w> <h> <compression-ratio>
+//   sync <reply-bytes>
+//
+// A `step` directive opens a new step (its inputs/draws follow); files round-trip through
+// Serialize/Parse losslessly.
+
+#ifndef TCS_SRC_WORKLOAD_SCRIPT_IO_H_
+#define TCS_SRC_WORKLOAD_SCRIPT_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/workload/app_script.h"
+
+namespace tcs {
+
+// Renders `script` in the trace format above.
+std::string SerializeScript(const AppScript& script);
+
+// Parses a trace; returns std::nullopt (and sets *error when non-null) on malformed
+// input: unknown directive, bad arity, content before the first `step`, etc.
+std::optional<AppScript> ParseScript(const std::string& text, std::string* error = nullptr);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_WORKLOAD_SCRIPT_IO_H_

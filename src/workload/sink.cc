@@ -1,0 +1,21 @@
+#include "src/workload/sink.h"
+
+namespace tcs {
+
+namespace {
+// "Never yields": one work item far longer than any experiment.
+constexpr Duration kForever = Duration::Seconds(1000000);
+}  // namespace
+
+SinkProcess::SinkProcess(Cpu& cpu, int base_priority, ThreadClass cls) {
+  thread_ = cpu.CreateThread("sink", cls, base_priority);
+  cpu.PostWork(*thread_, kForever);
+}
+
+void StartSinks(Cpu& cpu, int count, int base_priority, ThreadClass cls) {
+  for (int i = 0; i < count; ++i) {
+    SinkProcess sink(cpu, base_priority, cls);
+  }
+}
+
+}  // namespace tcs

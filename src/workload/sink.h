@@ -1,0 +1,31 @@
+// `sink` — the paper's greedy CPU consumer (§4.2.2 Methodology).
+//
+// "We wrote a simple C program called sink that is a greedy consumer of CPU cycles. Since
+// sink never voluntarily yields the processor, each running instance should increase the
+// scheduler queue length by one."
+
+#ifndef TCS_SRC_WORKLOAD_SINK_H_
+#define TCS_SRC_WORKLOAD_SINK_H_
+
+#include "src/cpu/cpu.h"
+
+namespace tcs {
+
+class SinkProcess {
+ public:
+  // Creates and immediately starts one sink thread on `cpu` with the given base priority.
+  SinkProcess(Cpu& cpu, int base_priority, ThreadClass cls = ThreadClass::kBatch);
+
+  Thread* thread() const { return thread_; }
+
+ private:
+  Thread* thread_;
+};
+
+// Convenience: start `count` sinks (the paper's load-unit knob).
+void StartSinks(Cpu& cpu, int count, int base_priority,
+                ThreadClass cls = ThreadClass::kBatch);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_WORKLOAD_SINK_H_

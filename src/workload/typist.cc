@@ -1,0 +1,21 @@
+#include "src/workload/typist.h"
+
+#include <utility>
+
+namespace tcs {
+
+Typist::Typist(Simulator& sim, std::function<void()> on_keystroke, Duration period)
+    : on_keystroke_(std::move(on_keystroke)), task_(sim, period, [this] {
+        ++keystrokes_;
+        on_keystroke_();
+      }) {}
+
+void Typist::Start(Duration initial_delay) {
+  task_.Start(initial_delay);
+}
+
+void Typist::Stop() {
+  task_.Stop();
+}
+
+}  // namespace tcs

@@ -1,0 +1,91 @@
+// Tests for the client device model and the end-to-end latency budget.
+
+#include <gtest/gtest.h>
+
+#include "src/client/thin_client.h"
+#include "src/core/experiments.h"
+
+namespace tcs {
+namespace {
+
+TEST(ThinClientTest, DecodeDelayScalesWithPayload) {
+  ThinClientDevice client(ThinClientConfig::DesktopPc());
+  Duration small = client.DecodeDelay(ProtocolKind::kRdp, Bytes::Of(100));
+  Duration large = client.DecodeDelay(ProtocolKind::kRdp, Bytes::Of(100000));
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(ThinClientTest, SlowerDeviceIsSlower) {
+  ThinClientDevice pc(ThinClientConfig::DesktopPc());
+  ThinClientDevice pda(ThinClientConfig::Handheld());
+  for (ProtocolKind kind : {ProtocolKind::kRdp, ProtocolKind::kX, ProtocolKind::kVnc}) {
+    EXPECT_GT(pda.DecodeDelay(kind, Bytes::Of(10000)),
+              pc.DecodeDelay(kind, Bytes::Of(10000)) * 3)
+        << static_cast<int>(kind);
+  }
+}
+
+TEST(ThinClientTest, CompressedProtocolsCostMoreCpuPerByte) {
+  ThinClientDevice client;
+  // Same wire bytes: RDP must decompress and replay; X is a raw copy.
+  EXPECT_GT(client.DecodeDelay(ProtocolKind::kRdp, Bytes::Of(50000)),
+            client.DecodeDelay(ProtocolKind::kX, Bytes::Of(50000)));
+}
+
+TEST(ThinClientTest, Deterministic) {
+  ThinClientDevice a(ThinClientConfig::WinTerm());
+  ThinClientDevice b(ThinClientConfig::WinTerm());
+  EXPECT_EQ(a.DecodeDelay(ProtocolKind::kLbx, Bytes::Of(777)),
+            b.DecodeDelay(ProtocolKind::kLbx, Bytes::Of(777)));
+}
+
+TEST(EndToEndTest, IdleBaselineIsFastAndCompletes) {
+  EndToEndOptions opt;
+  opt.duration = Duration::Seconds(10);
+  EndToEndResult r = RunEndToEndLatency(OsProfile::LinuxX(), opt);
+  EXPECT_GT(r.updates, 150);
+  EXPECT_LT(r.total_ms, 10.0);
+  EXPECT_GT(r.total_ms, 0.0);
+  // The legs sum to the total.
+  EXPECT_NEAR(r.input_net_ms + r.server_ms + r.display_net_ms + r.client_ms, r.total_ms,
+              0.01);
+}
+
+TEST(EndToEndTest, CpuStressLandsInServerLeg) {
+  EndToEndOptions idle;
+  idle.duration = Duration::Seconds(10);
+  EndToEndOptions loaded = idle;
+  loaded.sinks = 10;
+  EndToEndResult base = RunEndToEndLatency(OsProfile::Tse(), idle);
+  EndToEndResult stressed = RunEndToEndLatency(OsProfile::Tse(), loaded);
+  EXPECT_GT(stressed.server_ms, base.server_ms * 20);
+  // The other legs barely move.
+  EXPECT_LT(stressed.input_net_ms, base.input_net_ms + 1.0);
+  EXPECT_LT(stressed.client_ms, base.client_ms + 1.0);
+}
+
+TEST(EndToEndTest, NetworkStressLandsInNetworkLegs) {
+  EndToEndOptions idle;
+  idle.duration = Duration::Seconds(10);
+  EndToEndOptions congested = idle;
+  congested.background_mbps = 9.0;
+  EndToEndResult base = RunEndToEndLatency(OsProfile::LinuxX(), idle);
+  EndToEndResult stressed = RunEndToEndLatency(OsProfile::LinuxX(), congested);
+  EXPECT_GT(stressed.input_net_ms, base.input_net_ms * 5);
+  EXPECT_GT(stressed.display_net_ms, base.display_net_ms * 5);
+  EXPECT_LT(stressed.server_ms, base.server_ms + 2.0);
+}
+
+TEST(EndToEndTest, WeakClientLandsInClientLeg) {
+  EndToEndOptions idle;
+  idle.duration = Duration::Seconds(10);
+  EndToEndOptions weak = idle;
+  weak.client = ThinClientConfig::Handheld();
+  EndToEndResult base = RunEndToEndLatency(OsProfile::Tse(), idle);
+  EndToEndResult stressed = RunEndToEndLatency(OsProfile::Tse(), weak);
+  EXPECT_GT(stressed.client_ms, base.client_ms * 10);
+  EXPECT_NEAR(stressed.server_ms, base.server_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,233 @@
+// End-to-end tests over the Experiment API: each asserts the qualitative result the
+// paper's corresponding figure/table reports. These are the repository's reproduction
+// acceptance tests.
+
+#include "src/core/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+TEST(IdleProfileExperimentTest, AggregateOrderingMatchesPaper) {
+  auto tse = RunIdleProfile(OsProfile::Tse(), Duration::Seconds(120));
+  auto nt = RunIdleProfile(OsProfile::NtWorkstation(), Duration::Seconds(120));
+  auto lin = RunIdleProfile(OsProfile::LinuxX(), Duration::Seconds(120));
+  // "TSE generates about three times the idle-state load that NT does, about seven times
+  // that of Linux."
+  EXPECT_GT(tse.total_busy, nt.total_busy * 2);
+  EXPECT_GT(tse.total_busy, lin.total_busy * 5);
+}
+
+TEST(IdleProfileExperimentTest, TseSeesLongEventsOthersDoNot) {
+  auto tse = RunIdleProfile(OsProfile::Tse(), Duration::Seconds(120));
+  auto nt = RunIdleProfile(OsProfile::NtWorkstation(), Duration::Seconds(120));
+  ASSERT_FALSE(tse.cumulative.empty());
+  ASSERT_FALSE(nt.cumulative.empty());
+  // TSE's event population includes ~250 ms and ~400 ms events; NT's tops out ~100 ms.
+  EXPECT_GT(tse.cumulative.back().event_length, Duration::Millis(300));
+  EXPECT_LE(nt.cumulative.back().event_length, Duration::Millis(150));
+}
+
+TEST(IdleProfileExperimentTest, UtilizationSeriesCoversTrace) {
+  auto lin = RunIdleProfile(OsProfile::LinuxX(), Duration::Seconds(10));
+  EXPECT_EQ(lin.utilization.size(), 100u);  // 100 ms buckets over 10 s
+  for (double u : lin.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(TypingExperimentTest, NoLoadMeansNoStalls) {
+  for (auto profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
+    auto r = RunTypingUnderLoad(profile, 0, Duration::Seconds(20));
+    EXPECT_LT(r.avg_stall_ms, 5.0) << profile.name;
+  }
+}
+
+TEST(TypingExperimentTest, TseBlowsUpFasterThanLinux) {
+  auto tse10 = RunTypingUnderLoad(OsProfile::Tse(), 10, Duration::Seconds(20));
+  auto lin10 = RunTypingUnderLoad(OsProfile::LinuxX(), 10, Duration::Seconds(20));
+  // At 10 load units TSE is already far past perception; Linux degrades linearly and is
+  // still far lower.
+  EXPECT_GT(tse10.avg_stall_ms, 300.0);
+  EXPECT_LT(lin10.avg_stall_ms, 120.0);
+  EXPECT_GT(tse10.avg_stall_ms, lin10.avg_stall_ms * 4);
+}
+
+TEST(TypingExperimentTest, LinuxGrowsLinearly) {
+  auto l10 = RunTypingUnderLoad(OsProfile::LinuxX(), 10, Duration::Seconds(20));
+  auto l20 = RunTypingUnderLoad(OsProfile::LinuxX(), 20, Duration::Seconds(20));
+  auto l40 = RunTypingUnderLoad(OsProfile::LinuxX(), 40, Duration::Seconds(20));
+  // Stall grows by a constant amount per added load unit (one quantum each): the
+  // increment from 20->40 sinks is ~2x the increment from 10->20.
+  double d1 = l20.avg_stall_ms - l10.avg_stall_ms;
+  double d2 = l40.avg_stall_ms - l20.avg_stall_ms;
+  EXPECT_GT(d1, 0.0);
+  EXPECT_NEAR(d2 / d1, 2.0, 0.5);
+}
+
+TEST(TypingExperimentTest, Svr4InteractiveStaysFlat) {
+  auto s0 = RunTypingUnderLoad(OsProfile::LinuxSvr4(), 0, Duration::Seconds(20));
+  auto s20 = RunTypingUnderLoad(OsProfile::LinuxSvr4(), 20, Duration::Seconds(20));
+  EXPECT_LT(s20.avg_stall_ms, s0.avg_stall_ms + 5.0);
+}
+
+TEST(MaximizeScenarioTest, PaperArithmetic) {
+  // Stretch 3: 180 ms of boosted grace, then the 400 ms daemon, then the rest: 900 ms.
+  EXPECT_EQ(RunMaximizeScenario(3, 1.0), Duration::Millis(900));
+  // Stretch 1: 60 ms grace: 60 + 400 + 440 = 900 ms too (same total work), but a faster
+  // CPU rescues the operation entirely.
+  EXPECT_LT(RunMaximizeScenario(3, 3.0), Duration::Millis(180));
+}
+
+TEST(SessionMemoryTest, TablesMatchPaper) {
+  auto tse = MeasureSessionMemory(OsProfile::Tse(), false);
+  EXPECT_EQ(tse.total, Bytes::KiB(3244));
+  EXPECT_EQ(tse.idle_system, Bytes::KiB(19 * 1024));
+  EXPECT_EQ(tse.processes.size(), 5u);
+  auto tse_light = MeasureSessionMemory(OsProfile::Tse(), true);
+  EXPECT_EQ(tse_light.total, Bytes::KiB(2100));
+  auto lin = MeasureSessionMemory(OsProfile::LinuxX(), false);
+  EXPECT_EQ(lin.total, Bytes::KiB(752));
+  EXPECT_EQ(lin.idle_system, Bytes::KiB(17 * 1024));
+  // The measured resident pages agree with the specs (page-rounded).
+  EXPECT_NEAR(static_cast<double>(lin.measured_resident.count()),
+              static_cast<double>(lin.total.count()), 3 * 4096.0);
+}
+
+TEST(PagingExperimentTest, BelowFullDemandIsFast) {
+  auto lin = RunPagingLatency(OsProfile::LinuxX(), false, 3);
+  EXPECT_LT(lin.max_ms, 50.0);
+}
+
+TEST(PagingExperimentTest, FullDemandIsFarPastPerception) {
+  auto lin = RunPagingLatency(OsProfile::LinuxX(), true, 5);
+  auto tse = RunPagingLatency(OsProfile::Tse(), true, 5);
+  // Paper: Linux averages ~11x the 100 ms threshold, TSE ~40x.
+  EXPECT_GT(lin.avg_ms, 500.0);
+  EXPECT_GT(tse.avg_ms, 2000.0);
+  EXPECT_GT(tse.avg_ms, lin.avg_ms * 2);
+  EXPECT_GT(lin.max_ms, lin.min_ms * 2);  // wide spread, as in the table
+}
+
+TEST(PagingExperimentTest, InteractiveProtectEliminatesPathology) {
+  auto lin = RunPagingLatency(OsProfile::LinuxX(), true, 3, 1,
+                              EvictionPolicy::kInteractiveProtect);
+  EXPECT_LT(lin.max_ms, 50.0);
+}
+
+TEST(ProtocolTrafficTest, RdpIsMostEfficient) {
+  auto rdp = RunAppWorkloadTraffic(ProtocolKind::kRdp, 1, 200);
+  auto x = RunAppWorkloadTraffic(ProtocolKind::kX, 1, 200);
+  auto lbx = RunAppWorkloadTraffic(ProtocolKind::kLbx, 1, 200);
+  // "RDP is clearly the most efficient protocol, generating less than 30% of the byte
+  // traffic of LBX and less than 15% of X" (our synthetic workload lands at ~38% / ~21%;
+  // require < 45% / < 30% — see EXPERIMENTS.md for measured-vs-paper).
+  EXPECT_LT(rdp.total_bytes, lbx.total_bytes * 45 / 100);
+  EXPECT_LT(rdp.total_bytes, x.total_bytes * 30 / 100);
+  // LBX halves X.
+  EXPECT_LT(lbx.total_bytes, x.total_bytes * 70 / 100);
+  // Message-size ordering: RDP > X > LBX.
+  EXPECT_GT(rdp.avg_message_size, x.avg_message_size);
+  EXPECT_GT(x.avg_message_size, lbx.avg_message_size);
+  // RDP input traffic is a tiny fraction of X's.
+  EXPECT_LT(rdp.input.bytes, x.input.bytes / 5);
+}
+
+TEST(ProtocolTrafficTest, VipSavingsOrdering) {
+  auto rdp = RunAppWorkloadTraffic(ProtocolKind::kRdp, 1, 200);
+  auto x = RunAppWorkloadTraffic(ProtocolKind::kX, 1, 200);
+  auto lbx = RunAppWorkloadTraffic(ProtocolKind::kLbx, 1, 200);
+  auto savings = [](const ProtocolTrafficResult& r) {
+    return static_cast<double>(r.total_bytes - r.vip_bytes) /
+           static_cast<double>(r.total_bytes);
+  };
+  // Smaller average messages benefit more from header elision: RDP < X < LBX.
+  EXPECT_LT(savings(rdp), savings(x));
+  EXPECT_LT(savings(x), savings(lbx));
+}
+
+TEST(WebPageTest, CombinedLoadIsNonLinear) {
+  auto combined = RunWebPageLoad(ProtocolKind::kRdp, true, true, Duration::Seconds(120));
+  auto marquee = RunWebPageLoad(ProtocolKind::kRdp, false, true, Duration::Seconds(120));
+  auto banner = RunWebPageLoad(ProtocolKind::kRdp, true, false, Duration::Seconds(120));
+  // Separately ~0.07 and ~0.01 Mbps; combined >1 Mbps: wildly non-additive.
+  EXPECT_GT(combined.sustained_mbps, 1.0);
+  EXPECT_LT(marquee.sustained_mbps, 0.15);
+  EXPECT_LT(banner.sustained_mbps, 0.05);
+  EXPECT_GT(combined.sustained_mbps,
+            (marquee.sustained_mbps + banner.sustained_mbps) * 5);
+}
+
+TEST(GifAnimationTest, RdpCachesXDoesNot) {
+  GifAnimationOptions opt;
+  opt.duration = Duration::Seconds(10);
+  auto x = RunGifAnimation(ProtocolKind::kX, opt);
+  auto rdp = RunGifAnimation(ProtocolKind::kRdp, opt);
+  EXPECT_GT(x.sustained_mbps, 2.0);
+  EXPECT_LT(rdp.sustained_mbps, 0.1);
+}
+
+TEST(GifAnimationTest, CacheCliffAt65Frames) {
+  GifAnimationOptions opt;
+  opt.frame_period = Duration::Millis(200);
+  opt.width = 200;
+  opt.height = 150;
+  opt.compression_ratio = 0.8;  // 24 000-byte frames vs the 1.5 MB cache
+  opt.duration = Duration::Seconds(40);
+  opt.frames = 65;
+  auto fits = RunGifAnimation(ProtocolKind::kRdp, opt);
+  opt.frames = 66;
+  auto overflows = RunGifAnimation(ProtocolKind::kRdp, opt);
+  // Figure 7: ~0.01 Mbps below the cliff, ~0.96 Mbps above.
+  EXPECT_LT(fits.sustained_mbps, 0.05);
+  EXPECT_GT(overflows.sustained_mbps, 0.8);
+}
+
+TEST(GifAnimationTest, LoopAwarePolicyRemovesCliff) {
+  GifAnimationOptions opt;
+  opt.frame_period = Duration::Millis(200);
+  opt.width = 200;
+  opt.height = 150;
+  opt.compression_ratio = 0.8;
+  opt.duration = Duration::Seconds(60);
+  opt.frames = 66;
+  opt.cache_policy = CachePolicy::kLoopAware;
+  auto loop_aware = RunGifAnimation(ProtocolKind::kRdp, opt);
+  opt.cache_policy = CachePolicy::kLru;
+  auto lru = RunGifAnimation(ProtocolKind::kRdp, opt);
+  EXPECT_LT(loop_aware.sustained_mbps, lru.sustained_mbps / 5);
+}
+
+TEST(CacheOverflowTest, HitRatioDecaysCpuStaysBusy) {
+  auto r = RunCacheOverflow(66, Duration::Seconds(60));
+  ASSERT_GE(r.cumulative_hit_ratio.size(), 50u);
+  // Starts high thanks to the warm session UI, decays asymptotically toward zero.
+  EXPECT_GT(r.cumulative_hit_ratio.front(), 0.5);
+  EXPECT_LT(r.cumulative_hit_ratio.back(), r.cumulative_hit_ratio.front() / 2);
+  for (size_t i = 1; i < r.cumulative_hit_ratio.size(); ++i) {
+    EXPECT_LE(r.cumulative_hit_ratio[i], r.cumulative_hit_ratio[i - 1] + 1e-9);
+  }
+  // The server never stops re-encoding frames: CPU load does not fall.
+  ASSERT_GE(r.cpu_utilization.size(), 50u);
+  EXPECT_GT(r.cpu_utilization[30], 0.05);
+  EXPECT_GT(r.cpu_utilization[55], 0.05);
+}
+
+TEST(RttProbeTest, SaturationExplodesLatencyAndJitter) {
+  auto light = RunRttProbe(2.0, Duration::Seconds(30));
+  auto heavy = RunRttProbe(9.6, Duration::Seconds(30));
+  EXPECT_LT(light.mean_rtt_ms, 5.0);
+  EXPECT_GT(heavy.mean_rtt_ms, 20.0);
+  EXPECT_GT(heavy.rtt_variance, light.rtt_variance * 100);
+}
+
+TEST(SessionSetupTest, PaperConstants) {
+  EXPECT_EQ(SessionSetupBytes(ProtocolKind::kRdp), Bytes::Of(45328));
+  EXPECT_EQ(SessionSetupBytes(ProtocolKind::kX), Bytes::Of(16312));
+  EXPECT_GT(SessionSetupBytes(ProtocolKind::kLbx), Bytes::Of(16312));
+}
+
+}  // namespace
+}  // namespace tcs

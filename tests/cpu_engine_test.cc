@@ -1,0 +1,179 @@
+#include "src/cpu/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpu/linux_scheduler.h"
+#include "src/cpu/nt_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+namespace {
+
+CpuConfig NoSwitchCost() {
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Zero();
+  return cfg;
+}
+
+TEST(CpuEngineTest, SingleWorkItemCompletesAfterItsCost) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  Thread* t = cpu.CreateThread("worker", ThreadClass::kBatch, 0);
+  TimePoint done = TimePoint::Infinite();
+  cpu.PostWork(*t, Duration::Millis(5), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, TimePoint::FromMicros(5000));
+  EXPECT_EQ(t->state(), ThreadState::kBlocked);
+  EXPECT_EQ(t->cpu_time(), Duration::Millis(5));
+}
+
+TEST(CpuEngineTest, ContextSwitchCostDelaysCompletion) {
+  Simulator sim;
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Micros(100);
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), cfg);
+  Thread* t = cpu.CreateThread("worker", ThreadClass::kBatch, 0);
+  TimePoint done;
+  cpu.PostWork(*t, Duration::Millis(1), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, TimePoint::FromMicros(1100));
+  // Busy time includes the switch; thread CPU time does not.
+  EXPECT_EQ(cpu.busy_time(), Duration::Micros(1100));
+  EXPECT_EQ(t->cpu_time(), Duration::Millis(1));
+}
+
+TEST(CpuEngineTest, QuantumFragmentsLongBurst) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());  // 10 ms quantum
+  Thread* t = cpu.CreateThread("long", ThreadClass::kBatch, 0);
+  TimePoint done;
+  cpu.PostWork(*t, Duration::Millis(25), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, TimePoint::FromMicros(25000));
+  // 10 + 10 + 5: three dispatches even with no competition.
+  EXPECT_EQ(t->dispatch_count(), 3);
+}
+
+TEST(CpuEngineTest, EqualThreadsRoundRobin) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  Thread* a = cpu.CreateThread("a", ThreadClass::kBatch, 0);
+  Thread* b = cpu.CreateThread("b", ThreadClass::kBatch, 0);
+  TimePoint a_done;
+  TimePoint b_done;
+  cpu.PostWork(*a, Duration::Millis(20), [&] { a_done = sim.Now(); });
+  cpu.PostWork(*b, Duration::Millis(20), [&] { b_done = sim.Now(); });
+  sim.Run();
+  // Interleaved 10 ms quanta: a runs [0,10),[20,30); b runs [10,20),[30,40).
+  EXPECT_EQ(a_done, TimePoint::FromMicros(30000));
+  EXPECT_EQ(b_done, TimePoint::FromMicros(40000));
+}
+
+TEST(CpuEngineTest, QueuedWorkItemsRunBackToBack) {
+  Simulator sim;
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Micros(100);
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), cfg);
+  Thread* t = cpu.CreateThread("w", ThreadClass::kBatch, 0);
+  std::vector<int64_t> completions;
+  cpu.PostWork(*t, Duration::Millis(1), [&] { completions.push_back(sim.Now().ToMicros()); });
+  cpu.PostWork(*t, Duration::Millis(1), [&] { completions.push_back(sim.Now().ToMicros()); });
+  sim.Run();
+  // One switch charge at dispatch; the second item continues without a new switch.
+  EXPECT_EQ(completions, (std::vector<int64_t>{1100, 2100}));
+}
+
+TEST(CpuEngineTest, HigherPriorityWakePreemptsUnderNt) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<NtScheduler>(), NoSwitchCost());
+  Thread* sink = cpu.CreateThread("sink", ThreadClass::kBatch, kNtBackgroundPriority);
+  Thread* gui = cpu.CreateThread("gui", ThreadClass::kGui, kNtForegroundPriority);
+  TimePoint gui_done;
+  cpu.PostWork(*sink, Duration::Seconds(10));
+  sim.Schedule(Duration::Millis(7), [&] {
+    cpu.PostWork(*gui, Duration::Millis(2), [&] { gui_done = sim.Now(); },
+                 WakeReason::kInputEvent);
+  });
+  sim.RunUntil(TimePoint::FromMicros(100000));
+  // GUI boost (15) preempts the priority-8 sink immediately at 7 ms, runs 2 ms.
+  EXPECT_EQ(gui_done, TimePoint::FromMicros(9000));
+}
+
+TEST(CpuEngineTest, PreemptedThreadResumesWithRemainingWork) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<NtScheduler>(), NoSwitchCost());
+  Thread* sink = cpu.CreateThread("sink", ThreadClass::kBatch, kNtBackgroundPriority);
+  Thread* gui = cpu.CreateThread("gui", ThreadClass::kGui, kNtForegroundPriority);
+  TimePoint sink_done;
+  cpu.PostWork(*sink, Duration::Millis(10), [&] { sink_done = sim.Now(); });
+  sim.Schedule(Duration::Millis(4), [&] {
+    cpu.PostWork(*gui, Duration::Millis(3), nullptr, WakeReason::kInputEvent);
+  });
+  sim.Run();
+  // Sink: 4 ms before preemption + 3 ms GUI + remaining 6 ms => done at 13 ms.
+  EXPECT_EQ(sink_done, TimePoint::FromMicros(13000));
+}
+
+TEST(CpuEngineTest, SpeedScalesWorkCost) {
+  Simulator sim;
+  CpuConfig cfg = NoSwitchCost();
+  cfg.speed = 2.0;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), cfg);
+  Thread* t = cpu.CreateThread("w", ThreadClass::kBatch, 0);
+  TimePoint done;
+  cpu.PostWork(*t, Duration::Millis(10), [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done, TimePoint::FromMicros(5000));
+}
+
+TEST(CpuEngineTest, ZeroCostWorkCompletesImmediately) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  Thread* t = cpu.CreateThread("w", ThreadClass::kBatch, 0);
+  bool fired = false;
+  cpu.PostWork(*t, Duration::Zero(), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), TimePoint::Zero());
+}
+
+TEST(CpuEngineTest, CompletionCallbackCanPostMoreWork) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  Thread* a = cpu.CreateThread("a", ThreadClass::kBatch, 0);
+  Thread* b = cpu.CreateThread("b", ThreadClass::kBatch, 0);
+  TimePoint b_done;
+  cpu.PostWork(*a, Duration::Millis(2), [&] {
+    cpu.PostWork(*b, Duration::Millis(3), [&] { b_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(b_done, TimePoint::FromMicros(5000));
+}
+
+TEST(CpuEngineTest, IdleWhenNoWork) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  EXPECT_TRUE(cpu.IsIdle());
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_TRUE(cpu.IsIdle());
+  EXPECT_EQ(cpu.busy_time(), Duration::Zero());
+}
+
+TEST(CpuEngineTest, SegmentObserverSeesAllBusyTime) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  Thread* t = cpu.CreateThread("w", ThreadClass::kBatch, 0);
+  Duration observed = Duration::Zero();
+  cpu.AddSegmentObserver(
+      [&](TimePoint start, TimePoint end, const Thread&) { observed += end - start; });
+  cpu.PostWork(*t, Duration::Millis(25));
+  sim.Run();
+  EXPECT_EQ(observed, Duration::Millis(25));
+}
+
+}  // namespace
+}  // namespace tcs

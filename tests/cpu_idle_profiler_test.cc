@@ -1,0 +1,110 @@
+#include "src/cpu/idle_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cpu/linux_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+namespace {
+
+CpuConfig NoSwitchCost() {
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Zero();
+  return cfg;
+}
+
+TEST(IdleLoopProfilerTest, FragmentedBurstCoalescesIntoOnePeriod) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu);
+  Thread* t = cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  cpu.PostWork(*t, Duration::Millis(25));  // 3 quanta back to back
+  sim.Run();
+  profiler.Flush();
+  ASSERT_EQ(profiler.busy_periods().size(), 1u);
+  EXPECT_EQ(profiler.busy_periods()[0], Duration::Millis(25));
+}
+
+TEST(IdleLoopProfilerTest, SeparatedBurstsAreSeparatePeriods) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu);
+  Thread* t = cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  cpu.PostWork(*t, Duration::Millis(5));
+  sim.Schedule(Duration::Millis(100), [&] { cpu.PostWork(*t, Duration::Millis(3)); });
+  sim.Run();
+  profiler.Flush();
+  ASSERT_EQ(profiler.busy_periods().size(), 2u);
+  EXPECT_EQ(profiler.busy_periods()[0], Duration::Millis(5));
+  EXPECT_EQ(profiler.busy_periods()[1], Duration::Millis(3));
+}
+
+TEST(IdleLoopProfilerTest, InterleavedThreadsFormOneBusyPeriod) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu);
+  Thread* a = cpu.CreateThread("a", ThreadClass::kBatch, 0);
+  Thread* b = cpu.CreateThread("b", ThreadClass::kBatch, 0);
+  cpu.PostWork(*a, Duration::Millis(15));
+  cpu.PostWork(*b, Duration::Millis(15));
+  sim.Run();
+  profiler.Flush();
+  // The CPU never went idle: one 30 ms busy period regardless of thread switches.
+  ASSERT_EQ(profiler.busy_periods().size(), 1u);
+  EXPECT_EQ(profiler.busy_periods()[0], Duration::Millis(30));
+}
+
+TEST(IdleLoopProfilerTest, UtilizationBuckets) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu, Duration::Millis(100));
+  Thread* t = cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  cpu.PostWork(*t, Duration::Millis(50));  // busy [0,50) within bucket 0
+  sim.RunUntil(TimePoint::FromMicros(300000));
+  profiler.Flush();
+  EXPECT_NEAR(profiler.UtilizationAt(0), 0.5, 1e-9);
+}
+
+TEST(IdleLoopProfilerTest, CumulativeCurveIsMonotoneAndTotals) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu);
+  Thread* t = cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  // Bursts of 5, 3, 5, 8 ms separated by idle gaps.
+  Duration bursts[] = {Duration::Millis(5), Duration::Millis(3), Duration::Millis(5),
+                       Duration::Millis(8)};
+  TimePoint at = TimePoint::Zero();
+  for (Duration b : bursts) {
+    sim.At(at, [&cpu, t, b] { cpu.PostWork(*t, b); });
+    at += Duration::Millis(50);
+  }
+  sim.Run();
+  profiler.Flush();
+  auto curve = profiler.CumulativeLatencyCurve();
+  ASSERT_EQ(curve.size(), 3u);  // 3, 5, 8 (the two 5s merge into one point)
+  EXPECT_EQ(curve[0].event_length, Duration::Millis(3));
+  EXPECT_EQ(curve[0].cumulative_latency, Duration::Millis(3));
+  EXPECT_EQ(curve[1].event_length, Duration::Millis(5));
+  EXPECT_EQ(curve[1].cumulative_latency, Duration::Millis(13));
+  EXPECT_EQ(curve[2].event_length, Duration::Millis(8));
+  EXPECT_EQ(curve[2].cumulative_latency, Duration::Millis(21));
+  EXPECT_EQ(profiler.TotalBusy(), Duration::Millis(21));
+}
+
+TEST(IdleLoopProfilerTest, FlushIsIdempotent) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+  IdleLoopProfiler profiler(cpu);
+  Thread* t = cpu.CreateThread("t", ThreadClass::kBatch, 0);
+  cpu.PostWork(*t, Duration::Millis(5));
+  sim.Run();
+  profiler.Flush();
+  profiler.Flush();
+  EXPECT_EQ(profiler.busy_periods().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,96 @@
+#include "src/cpu/linux_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+namespace {
+
+CpuConfig NoSwitchCost() {
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Zero();
+  return cfg;
+}
+
+TEST(LinuxSchedulerTest, TenMillisecondQuantum) {
+  LinuxScheduler sched;
+  Thread t(1, "t", ThreadClass::kBatch, 0);
+  EXPECT_EQ(sched.QuantumFor(t), Duration::Millis(10));
+}
+
+TEST(LinuxSchedulerTest, NiceScalesQuantum) {
+  LinuxScheduler sched;
+  Thread fast(1, "fast", ThreadClass::kBatch, -20);
+  Thread slow(2, "slow", ThreadClass::kBatch, 19);
+  EXPECT_EQ(sched.QuantumFor(fast), Duration::Millis(18));
+  EXPECT_GT(sched.QuantumFor(fast), sched.QuantumFor(slow));
+  EXPECT_EQ(sched.QuantumFor(slow), Duration::Micros(2400));
+}
+
+TEST(LinuxSchedulerTest, NeverPreemptsOnWake) {
+  LinuxScheduler sched;
+  Thread running(1, "r", ThreadClass::kBatch, 0);
+  Thread gui(2, "g", ThreadClass::kGui, -20);
+  EXPECT_FALSE(sched.ShouldPreempt(running, gui));
+}
+
+TEST(LinuxSchedulerTest, RoundRobinFifo) {
+  LinuxScheduler sched;
+  Thread a(1, "a", ThreadClass::kBatch, 0);
+  Thread b(2, "b", ThreadClass::kBatch, 0);
+  Thread c(3, "c", ThreadClass::kGui, 0);  // class is irrelevant to Linux 2.0
+  sched.OnReady(a, WakeReason::kOther);
+  sched.OnReady(b, WakeReason::kInputEvent);
+  sched.OnReady(c, WakeReason::kInputEvent);
+  EXPECT_EQ(sched.PickNext(), &a);
+  EXPECT_EQ(sched.PickNext(), &b);
+  EXPECT_EQ(sched.PickNext(), &c);
+}
+
+// The §4.2.2 mechanism behind Figure 3's Linux curve: a woken editor waits behind the
+// entire sink queue, one 10 ms quantum per sink.
+TEST(LinuxSchedulerTest, KeystrokeWaitsGrowWithSinkCount) {
+  auto run_with_sinks = [](int sinks) {
+    Simulator sim;
+    Cpu cpu(sim, std::make_unique<LinuxScheduler>(), NoSwitchCost());
+    for (int i = 0; i < sinks; ++i) {
+      Thread* s = cpu.CreateThread("sink", ThreadClass::kBatch, 0);
+      cpu.PostWork(*s, Duration::Seconds(1000));
+    }
+    Thread* editor = cpu.CreateThread("editor", ThreadClass::kGui, 0);
+    TimePoint done = TimePoint::Infinite();
+    sim.Schedule(Duration::Millis(25), [&] {
+      cpu.PostWork(*editor, Duration::Millis(1), [&] { done = sim.Now(); },
+                   WakeReason::kInputEvent);
+    });
+    sim.RunUntil(TimePoint::FromMicros(2000000));
+    return done;
+  };
+  // 1 sink: running sink finishes its quantum at 30 ms, editor runs [30,31).
+  EXPECT_EQ(run_with_sinks(1), TimePoint::FromMicros(31000));
+  // 3 sinks: two queued sinks ahead of the editor plus the running sink's residual:
+  // editor runs [50,51).
+  EXPECT_EQ(run_with_sinks(3), TimePoint::FromMicros(51000));
+  // 5 sinks: editor runs [70, 71).
+  EXPECT_EQ(run_with_sinks(5), TimePoint::FromMicros(71000));
+}
+
+TEST(LinuxSchedulerTest, ReadyCountTracksQueue) {
+  LinuxScheduler sched;
+  Thread a(1, "a", ThreadClass::kBatch, 0);
+  Thread b(2, "b", ThreadClass::kBatch, 0);
+  EXPECT_EQ(sched.ReadyCount(), 0u);
+  sched.OnReady(a, WakeReason::kOther);
+  sched.OnReady(b, WakeReason::kOther);
+  EXPECT_EQ(sched.ReadyCount(), 2u);
+  sched.PickNext();
+  EXPECT_EQ(sched.ReadyCount(), 1u);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,168 @@
+#include "src/cpu/nt_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cpu/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+namespace {
+
+CpuConfig NoSwitchCost() {
+  CpuConfig cfg;
+  cfg.context_switch_cost = Duration::Zero();
+  return cfg;
+}
+
+TEST(NtSchedulerTest, HigherPriorityLevelRunsFirst) {
+  Simulator sim;
+  Cpu cpu(sim, std::make_unique<NtScheduler>(), NoSwitchCost());
+  Thread* low = cpu.CreateThread("low", ThreadClass::kBatch, 8);
+  Thread* high = cpu.CreateThread("high", ThreadClass::kBatch, 10);
+  TimePoint low_done;
+  TimePoint high_done;
+  // Post low first; high must still win the first dispatch decision after preempting? No —
+  // no preemption here: post both before running the simulator.
+  cpu.PostWork(*low, Duration::Millis(5), [&] { low_done = sim.Now(); });
+  cpu.PostWork(*high, Duration::Millis(5), [&] { high_done = sim.Now(); });
+  sim.Run();
+  // `low` was dispatched immediately at post time (CPU idle), then `high`'s wake preempted.
+  EXPECT_EQ(high_done, TimePoint::FromMicros(5000));
+  EXPECT_EQ(low_done, TimePoint::FromMicros(10000));
+}
+
+TEST(NtSchedulerTest, GuiInputWakeBoostsTo15) {
+  NtScheduler sched;
+  Thread gui(1, "gui", ThreadClass::kGui, kNtForegroundPriority);
+  sched.OnReady(gui, WakeReason::kInputEvent);
+  EXPECT_EQ(gui.sched_priority, 15);
+  EXPECT_EQ(gui.boost_quanta, 2);
+}
+
+TEST(NtSchedulerTest, NonInputWakeDoesNotBoost) {
+  NtScheduler sched;
+  Thread gui(1, "gui", ThreadClass::kGui, kNtForegroundPriority);
+  sched.OnReady(gui, WakeReason::kIoComplete);
+  EXPECT_EQ(gui.sched_priority, kNtForegroundPriority);
+  EXPECT_EQ(gui.boost_quanta, 0);
+}
+
+TEST(NtSchedulerTest, BatchInputWakeDoesNotBoost) {
+  NtScheduler sched;
+  Thread batch(1, "b", ThreadClass::kBatch, kNtBackgroundPriority);
+  sched.OnReady(batch, WakeReason::kInputEvent);
+  EXPECT_EQ(batch.sched_priority, kNtBackgroundPriority);
+}
+
+TEST(NtSchedulerTest, BoostDecaysAfterTwoQuanta) {
+  NtScheduler sched;
+  Thread gui(1, "gui", ThreadClass::kGui, kNtForegroundPriority);
+  sched.OnReady(gui, WakeReason::kInputEvent);
+  ASSERT_EQ(sched.PickNext(), &gui);
+  sched.OnQuantumExpired(gui);
+  EXPECT_EQ(gui.sched_priority, 15);  // one quantum left
+  ASSERT_EQ(sched.PickNext(), &gui);
+  sched.OnQuantumExpired(gui);
+  EXPECT_EQ(gui.sched_priority, kNtForegroundPriority);  // boost exhausted
+}
+
+TEST(NtSchedulerTest, BlockedThreadLosesBoost) {
+  NtScheduler sched;
+  Thread gui(1, "gui", ThreadClass::kGui, kNtForegroundPriority);
+  sched.OnReady(gui, WakeReason::kInputEvent);
+  ASSERT_EQ(sched.PickNext(), &gui);
+  sched.OnBlocked(gui);
+  EXPECT_EQ(gui.boost_quanta, 0);
+  sched.OnReady(gui, WakeReason::kOther);
+  EXPECT_EQ(gui.sched_priority, kNtForegroundPriority);
+}
+
+TEST(NtSchedulerTest, QuantumStretchingAppliesToGuiOnly) {
+  NtSchedulerConfig cfg;
+  cfg.foreground_stretch = 3;
+  NtScheduler sched(cfg);
+  Thread gui(1, "gui", ThreadClass::kGui, 9);
+  Thread batch(2, "batch", ThreadClass::kBatch, 8);
+  EXPECT_EQ(sched.QuantumFor(gui), Duration::Millis(90));
+  EXPECT_EQ(sched.QuantumFor(batch), Duration::Millis(30));
+}
+
+TEST(NtSchedulerTest, FifoWithinPriorityLevel) {
+  NtScheduler sched;
+  Thread a(1, "a", ThreadClass::kBatch, 8);
+  Thread b(2, "b", ThreadClass::kBatch, 8);
+  sched.OnReady(a, WakeReason::kOther);
+  sched.OnReady(b, WakeReason::kOther);
+  EXPECT_EQ(sched.PickNext(), &a);
+  EXPECT_EQ(sched.PickNext(), &b);
+  EXPECT_EQ(sched.PickNext(), nullptr);
+}
+
+TEST(NtSchedulerTest, PreemptedGoesToFrontOfLevel) {
+  NtScheduler sched;
+  Thread a(1, "a", ThreadClass::kBatch, 8);
+  Thread b(2, "b", ThreadClass::kBatch, 8);
+  sched.OnReady(a, WakeReason::kOther);
+  sched.OnReady(b, WakeReason::kOther);
+  ASSERT_EQ(sched.PickNext(), &a);
+  sched.OnPreempted(a);  // preempted -> front, ahead of b
+  EXPECT_EQ(sched.PickNext(), &a);
+}
+
+TEST(NtSchedulerTest, ShouldPreemptComparesEffectivePriority) {
+  NtScheduler sched;
+  Thread running(1, "r", ThreadClass::kBatch, 8);
+  running.sched_priority = 8;
+  Thread woken(2, "w", ThreadClass::kGui, 9);
+  sched.OnReady(woken, WakeReason::kInputEvent);
+  EXPECT_TRUE(sched.ShouldPreempt(running, woken));
+  Thread daemon(3, "d", ThreadClass::kDaemon, 13);
+  daemon.sched_priority = 13;
+  EXPECT_FALSE(sched.ShouldPreempt(daemon, running));
+}
+
+// The paper's §4.2.1 worked example: a 500 ms maximize operation whose GUI thread is
+// boosted to 15 for two stretched (x3) quanta = 180 ms of grace, intersecting a 400 ms
+// priority-13 Session Manager event, completes only after 900 ms.
+TEST(NtSchedulerTest, PaperMaximizeScenarioTakes900Ms) {
+  Simulator sim;
+  NtSchedulerConfig cfg;
+  cfg.foreground_stretch = 3;
+  Cpu cpu(sim, std::make_unique<NtScheduler>(cfg), NoSwitchCost());
+  Thread* daemon = cpu.CreateThread("session-mgr", ThreadClass::kDaemon,
+                                    kNtSystemDaemonPriority);
+  Thread* editor = cpu.CreateThread("editor", ThreadClass::kGui, kNtForegroundPriority);
+  TimePoint maximize_done;
+  cpu.PostWork(*daemon, Duration::Millis(400));
+  cpu.PostWork(*editor, Duration::Millis(500), [&] { maximize_done = sim.Now(); },
+               WakeReason::kInputEvent);
+  sim.Run();
+  // Boosted editor runs [0,180); daemon (13 > 9) runs [180,580); editor [580,900).
+  EXPECT_EQ(maximize_done, TimePoint::FromMicros(900000));
+}
+
+// With a fast enough processor the same operation fits inside the 180 ms grace period and
+// suffers no daemon interference — the paper's observation that clock-speed advances alone
+// rescue the maximize operation.
+TEST(NtSchedulerTest, FasterCpuBringsOperationUnderBoostThreshold) {
+  Simulator sim;
+  NtSchedulerConfig cfg;
+  cfg.foreground_stretch = 3;
+  CpuConfig cpu_cfg = NoSwitchCost();
+  cpu_cfg.speed = 3.0;  // 500 ms of work -> ~166 ms < 180 ms grace
+  Cpu cpu(sim, std::make_unique<NtScheduler>(cfg), cpu_cfg);
+  Thread* daemon = cpu.CreateThread("session-mgr", ThreadClass::kDaemon,
+                                    kNtSystemDaemonPriority);
+  Thread* editor = cpu.CreateThread("editor", ThreadClass::kGui, kNtForegroundPriority);
+  TimePoint maximize_done;
+  cpu.PostWork(*daemon, Duration::Millis(400));
+  cpu.PostWork(*editor, Duration::Millis(500), [&] { maximize_done = sim.Now(); },
+               WakeReason::kInputEvent);
+  sim.Run();
+  EXPECT_LT(maximize_done, TimePoint::FromMicros(180000));
+}
+
+}  // namespace
+}  // namespace tcs

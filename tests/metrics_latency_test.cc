@@ -1,0 +1,93 @@
+#include "src/metrics/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+TEST(LatencyRecorderTest, BasicStats) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Millis(10));
+  rec.Record(Duration::Millis(30));
+  rec.Record(Duration::Millis(20));
+  EXPECT_EQ(rec.count(), 3);
+  EXPECT_EQ(rec.Mean(), Duration::Millis(20));
+  EXPECT_EQ(rec.Min(), Duration::Millis(10));
+  EXPECT_EQ(rec.Max(), Duration::Millis(30));
+}
+
+TEST(LatencyRecorderTest, PerceptionThresholdCounting) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Millis(50));   // imperceptible
+  rec.Record(Duration::Millis(99));   // imperceptible
+  rec.Record(Duration::Millis(100));  // at threshold: perceptible
+  rec.Record(Duration::Millis(500));  // perceptible
+  EXPECT_EQ(rec.perceptible_count(), 2);
+  EXPECT_DOUBLE_EQ(rec.PerceptibleFraction(), 0.5);
+}
+
+TEST(LatencyRecorderTest, MeanVsPerception) {
+  LatencyRecorder rec;
+  // The paper's TSE paging case: ~4 s average is ~40x the threshold.
+  rec.Record(Duration::Millis(4000));
+  EXPECT_DOUBLE_EQ(rec.MeanVsPerception(), 40.0);
+}
+
+TEST(LatencyRecorderTest, JitterIsStddev) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(Duration::Millis(50));
+  }
+  EXPECT_EQ(rec.Jitter(), Duration::Zero());
+  rec.Record(Duration::Millis(500));
+  EXPECT_GT(rec.Jitter(), Duration::Millis(50));
+}
+
+TEST(StallDetectorTest, OnTimeUpdatesProduceNoStalls) {
+  StallDetector det;
+  for (int i = 0; i <= 20; ++i) {
+    det.OnUpdate(TimePoint::FromMicros(i * 50000));
+  }
+  EXPECT_EQ(det.updates(), 21);
+  EXPECT_EQ(det.stall_count(), 0);
+  EXPECT_EQ(det.AverageStallAllGaps(), Duration::Zero());
+}
+
+TEST(StallDetectorTest, LateUpdateMeasuredAsStall) {
+  StallDetector det;
+  det.OnUpdate(TimePoint::FromMicros(0));
+  det.OnUpdate(TimePoint::FromMicros(50000));   // on time
+  det.OnUpdate(TimePoint::FromMicros(350000));  // 300 ms gap: 250 ms stall
+  EXPECT_EQ(det.stall_count(), 1);
+  EXPECT_EQ(det.AverageStall(), Duration::Millis(250));
+  EXPECT_EQ(det.MaxStall(), Duration::Millis(250));
+  // Average over all gaps: (0 + 250) / 2.
+  EXPECT_EQ(det.AverageStallAllGaps(), Duration::Millis(125));
+}
+
+TEST(StallDetectorTest, EarlyUpdateClampsToZero) {
+  StallDetector det;
+  det.OnUpdate(TimePoint::FromMicros(0));
+  det.OnUpdate(TimePoint::FromMicros(20000));  // 30 ms early: not a negative stall
+  EXPECT_EQ(det.stall_count(), 0);
+  EXPECT_EQ(det.AverageStallAllGaps(), Duration::Zero());
+}
+
+TEST(StallDetectorTest, JitterZeroWhenConsistent) {
+  StallDetector det;
+  for (int i = 0; i < 10; ++i) {
+    det.OnUpdate(TimePoint::FromMicros(i * 100000));  // consistently 50 ms late
+  }
+  EXPECT_EQ(det.Jitter(), Duration::Zero());
+  EXPECT_EQ(det.AverageStallAllGaps(), Duration::Millis(50));
+}
+
+TEST(StallDetectorTest, CustomExpectedPeriod) {
+  StallDetector det(Duration::Millis(100));
+  det.OnUpdate(TimePoint::FromMicros(0));
+  det.OnUpdate(TimePoint::FromMicros(100000));
+  EXPECT_EQ(det.stall_count(), 0);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,79 @@
+#include "src/net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+LinkConfig TenMbps() {
+  LinkConfig cfg;
+  cfg.rate = BitsPerSecond::Mbps(10);
+  cfg.propagation = Duration::Micros(50);
+  return cfg;
+}
+
+TEST(LinkTest, SingleFrameLatencyIsSerializationPlusPropagation) {
+  Simulator sim;
+  Link link(sim, TenMbps());
+  TimePoint delivered;
+  link.Send(Bytes::Of(1500), [&] { delivered = sim.Now(); });
+  sim.Run();
+  // 1500 B at 10 Mbps = 1200 us + 50 us propagation.
+  EXPECT_EQ(delivered, TimePoint::FromMicros(1250));
+}
+
+TEST(LinkTest, FramesSerializeFifo) {
+  Simulator sim;
+  Link link(sim, TenMbps());
+  TimePoint first;
+  TimePoint second;
+  link.Send(Bytes::Of(1500), [&] { first = sim.Now(); });
+  link.Send(Bytes::Of(1500), [&] { second = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(first, TimePoint::FromMicros(1250));
+  EXPECT_EQ(second, TimePoint::FromMicros(2450));
+}
+
+TEST(LinkTest, QueueDelayRecorded) {
+  Simulator sim;
+  Link link(sim, TenMbps());
+  link.Send(Bytes::Of(1500));
+  link.Send(Bytes::Of(1500));
+  sim.Run();
+  EXPECT_EQ(link.queue_delay().count(), 2);
+  EXPECT_DOUBLE_EQ(link.queue_delay().min(), 0.0);
+  EXPECT_DOUBLE_EQ(link.queue_delay().max(), 1.2);  // behind one 1500 B frame
+}
+
+TEST(LinkTest, CarriedBytesAndFrames) {
+  Simulator sim;
+  Link link(sim, TenMbps());
+  link.Send(Bytes::Of(100));
+  link.Send(Bytes::Of(200));
+  EXPECT_EQ(link.frames_sent(), 2);
+  EXPECT_EQ(link.bytes_carried(), Bytes::Of(300));
+}
+
+TEST(LinkTest, LoadSeriesAccumulatesBytes) {
+  Simulator sim;
+  LinkConfig cfg = TenMbps();
+  cfg.load_bucket = Duration::Millis(1);
+  Link link(sim, cfg);
+  link.Send(Bytes::Of(1250));  // 1 ms serialization exactly
+  sim.Run();
+  EXPECT_NEAR(link.load_series().TotalSum(), 1250.0, 1e-9);
+}
+
+TEST(LinkTest, UtilizationOverWindow) {
+  Simulator sim;
+  Link link(sim, TenMbps());
+  // 1.25 MB over one second at 10 Mbps = 100% utilization.
+  for (int i = 0; i < 1000; ++i) {
+    link.Send(Bytes::Of(1250));
+  }
+  EXPECT_NEAR(link.UtilizationOver(Duration::Seconds(1)), 1.0, 1e-9);
+  EXPECT_NEAR(link.UtilizationOver(Duration::Seconds(2)), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,99 @@
+// Integration tests for the §6.2 load-to-latency mapping: traffic generator + ping over a
+// shared 10 Mbps link. These assert the *shapes* of Figures 8 and 9 — flat RTT while
+// unsaturated, explosion near saturation — not absolute values.
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/net/ping.h"
+#include "src/net/traffic_gen.h"
+
+namespace tcs {
+namespace {
+
+struct RttResult {
+  double mean_ms;
+  double variance;
+};
+
+RttResult MeasureRtt(double offered_mbps, Duration window = Duration::Seconds(30)) {
+  Simulator sim;
+  Link link(sim);
+  PoissonTrafficGenerator gen(sim, Rng(42), link, BitsPerSecond::MbpsF(offered_mbps),
+                              Bytes::Of(1500));
+  Ping ping(sim, link);
+  if (offered_mbps > 0.0) {
+    gen.Start();
+  }
+  ping.Start();
+  sim.RunUntil(TimePoint::Zero() + window);
+  gen.Stop();
+  ping.Stop();
+  sim.RunFor(Duration::Seconds(2));  // drain in-flight echoes
+  return RttResult{ping.rtt().mean(), ping.rtt().variance()};
+}
+
+TEST(PoissonTrafficGeneratorTest, OfferedRateApproximatesTarget) {
+  Simulator sim;
+  Link link(sim);
+  PoissonTrafficGenerator gen(sim, Rng(7), link, BitsPerSecond::Mbps(5), Bytes::Of(1500));
+  gen.Start();
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(20));
+  gen.Stop();
+  // 5 Mbps for 20 s = 12.5 MB = ~8333 frames of 1500 B.
+  EXPECT_NEAR(static_cast<double>(gen.frames_offered()), 8333.0, 8333.0 * 0.05);
+}
+
+TEST(PingTest, UnloadedRttIsNearMinimum) {
+  RttResult r = MeasureRtt(0.0);
+  // Two 64-byte traversals: 2 * (52 us serialization + 50 us propagation) ~ 0.2 ms.
+  EXPECT_LT(r.mean_ms, 0.5);
+  EXPECT_LT(r.variance, 0.01);
+}
+
+TEST(PingTest, AllEchoesReturnWhileUnsaturated) {
+  Simulator sim;
+  Link link(sim);
+  Ping ping(sim, link);
+  ping.Start();
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(10));
+  ping.Stop();
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(ping.sent(), ping.received());
+  EXPECT_EQ(ping.sent(), 101);  // one per 100 ms inclusive of t=0
+}
+
+TEST(LoadLatencyShapeTest, RttFlatUntilNearSaturation) {
+  RttResult light = MeasureRtt(2.0);
+  RttResult medium = MeasureRtt(6.0);
+  // Below ~60% utilization RTT stays within a few service times.
+  EXPECT_LT(light.mean_ms, 3.0);
+  EXPECT_LT(medium.mean_ms, 8.0);
+}
+
+TEST(LoadLatencyShapeTest, RttExplodesNearSaturation) {
+  RttResult light = MeasureRtt(2.0);
+  RttResult saturated = MeasureRtt(9.6);
+  // The paper reports ~55 ms at 9.6 Mbps vs single-digit values unloaded: an order of
+  // magnitude. Require at least 10x.
+  EXPECT_GT(saturated.mean_ms, light.mean_ms * 10.0);
+  EXPECT_GT(saturated.mean_ms, 10.0);
+}
+
+TEST(LoadLatencyShapeTest, JitterExplodesNearSaturation) {
+  RttResult light = MeasureRtt(2.0);
+  RttResult saturated = MeasureRtt(9.6);
+  EXPECT_GT(saturated.variance, light.variance * 100.0);
+}
+
+TEST(LoadLatencyShapeTest, RttMonotoneInLoad) {
+  double prev = 0.0;
+  for (double mbps : {0.0, 4.0, 8.0, 9.6}) {
+    RttResult r = MeasureRtt(mbps, Duration::Seconds(20));
+    EXPECT_GE(r.mean_ms, prev * 0.8) << "at " << mbps << " Mbps";  // allow sampling noise
+    prev = r.mean_ms;
+  }
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,154 @@
+#include "src/proto/bitmap_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+BitmapCacheConfig SmallCache(int64_t capacity_bytes, CachePolicy policy = CachePolicy::kLru) {
+  BitmapCacheConfig cfg;
+  cfg.capacity = Bytes::Of(capacity_bytes);
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(BitmapCacheTest, MissThenHit) {
+  BitmapCache cache(SmallCache(1000));
+  EXPECT_FALSE(cache.Lookup(1));
+  cache.Insert(1, Bytes::Of(100));
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.used(), Bytes::Of(100));
+}
+
+TEST(BitmapCacheTest, EvictsLruWhenFull) {
+  BitmapCache cache(SmallCache(300));
+  cache.Insert(1, Bytes::Of(100));
+  cache.Insert(2, Bytes::Of(100));
+  cache.Insert(3, Bytes::Of(100));
+  EXPECT_TRUE(cache.Lookup(1));          // refresh 1: LRU order now 2,3,1
+  cache.Insert(4, Bytes::Of(100));       // evicts 2
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_FALSE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(3));
+  EXPECT_TRUE(cache.Lookup(4));
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(BitmapCacheTest, OversizedEntryNotCached) {
+  BitmapCache cache(SmallCache(100));
+  cache.Insert(1, Bytes::Of(500));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(BitmapCacheTest, DuplicateInsertIsNoOp) {
+  BitmapCache cache(SmallCache(300));
+  cache.Insert(1, Bytes::Of(100));
+  cache.Insert(1, Bytes::Of(100));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.used(), Bytes::Of(100));
+}
+
+TEST(BitmapCacheTest, MultiEntryEvictionForLargeInsert) {
+  BitmapCache cache(SmallCache(300));
+  cache.Insert(1, Bytes::Of(100));
+  cache.Insert(2, Bytes::Of(100));
+  cache.Insert(3, Bytes::Of(100));
+  cache.Insert(4, Bytes::Of(250));  // must evict 1, 2, and 3
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_TRUE(cache.Lookup(4));
+}
+
+// §6.1.3's Cache Pathology: a looping animation one frame larger than the cache misses on
+// EVERY frame under LRU — the Figure 7 cliff.
+TEST(BitmapCacheTest, LoopingAnimationDefeatsLru) {
+  const int64_t frame = 100;
+  BitmapCache cache(SmallCache(10 * frame));  // holds 10 frames
+  // 11-frame loop, three passes after warm-up.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t f = 0; f < 11; ++f) {
+      if (!cache.Lookup(f)) {
+        cache.Insert(f, Bytes::Of(frame));
+      }
+    }
+  }
+  // After the first pass, every lookup misses: 44 lookups, 0 hits beyond none.
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 44);
+}
+
+TEST(BitmapCacheTest, FittingAnimationAllHitsAfterFirstPass) {
+  const int64_t frame = 100;
+  BitmapCache cache(SmallCache(10 * frame));
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t f = 0; f < 10; ++f) {
+      if (!cache.Lookup(f)) {
+        cache.Insert(f, Bytes::Of(frame));
+      }
+    }
+  }
+  EXPECT_EQ(cache.misses(), 10);  // first pass only
+  EXPECT_EQ(cache.hits(), 30);
+}
+
+TEST(BitmapCacheTest, LoopAwarePolicyRescuesLoopingAnimation) {
+  const int64_t frame = 100;
+  BitmapCacheConfig cfg = SmallCache(10 * frame, CachePolicy::kLoopAware);
+  BitmapCache cache(cfg);
+  int64_t late_hits = 0;
+  int64_t late_lookups = 0;
+  for (int pass = 0; pass < 30; ++pass) {
+    for (uint64_t f = 0; f < 11; ++f) {
+      bool hit = cache.Lookup(f);
+      if (!hit) {
+        cache.Insert(f, Bytes::Of(frame));
+      }
+      if (pass >= 20) {
+        ++late_lookups;
+        late_hits += hit ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_TRUE(cache.InLoopMode());
+  // Steady state: a stable prefix stays resident; most lookups hit.
+  EXPECT_GT(static_cast<double>(late_hits) / static_cast<double>(late_lookups), 0.7);
+}
+
+TEST(BitmapCacheTest, RefetchDetection) {
+  BitmapCache cache(SmallCache(200));
+  cache.Insert(1, Bytes::Of(100));
+  cache.Insert(2, Bytes::Of(100));
+  cache.Insert(3, Bytes::Of(100));  // evicts 1
+  EXPECT_FALSE(cache.Lookup(1));    // this miss is a re-fetch
+  EXPECT_EQ(cache.refetches(), 1);
+}
+
+TEST(BitmapCacheTest, CumulativeHitRatio) {
+  BitmapCache cache(SmallCache(1000));
+  EXPECT_DOUBLE_EQ(cache.CumulativeHitRatio(), 0.0);
+  cache.Insert(1, Bytes::Of(10));
+  for (int i = 0; i < 7; ++i) {
+    cache.Lookup(1);
+  }
+  cache.Lookup(99);
+  cache.Lookup(98);
+  cache.Lookup(97);
+  EXPECT_DOUBLE_EQ(cache.CumulativeHitRatio(), 0.7);
+}
+
+TEST(BitmapCacheTest, LruPolicyNeverEntersLoopMode) {
+  BitmapCache cache(SmallCache(200, CachePolicy::kLru));
+  for (int pass = 0; pass < 20; ++pass) {
+    for (uint64_t f = 0; f < 3; ++f) {
+      if (!cache.Lookup(f)) {
+        cache.Insert(f, Bytes::Of(100));
+      }
+    }
+  }
+  EXPECT_FALSE(cache.InLoopMode());
+}
+
+}  // namespace
+}  // namespace tcs

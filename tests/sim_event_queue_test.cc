@@ -1,0 +1,105 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcs {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(TimePoint::FromMicros(30), [&] { order.push_back(3); });
+  q.Schedule(TimePoint::FromMicros(10), [&] { order.push_back(1); });
+  q.Schedule(TimePoint::FromMicros(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    TimePoint when;
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(TimePoint::FromMicros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    TimePoint when;
+    q.Pop(&when)();
+  }
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Schedule(TimePoint::FromMicros(50), [] {});
+  q.Schedule(TimePoint::FromMicros(20), [] {});
+  EXPECT_EQ(q.NextTime(), TimePoint::FromMicros(20));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(TimePoint::FromMicros(10), [&] { fired = true; });
+  EXPECT_TRUE(q.IsPending(id));
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.IsPending(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(TimePoint::FromMicros(10), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(TimePoint::FromMicros(10), [] {});
+  TimePoint when;
+  q.Pop(&when)();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelDefaultIdIsNoOp) {
+  EventQueue q;
+  q.Schedule(TimePoint::FromMicros(10), [] {});
+  EXPECT_FALSE(q.Cancel(EventId()));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelledHeadSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId first = q.Schedule(TimePoint::FromMicros(10), [&] { order.push_back(1); });
+  q.Schedule(TimePoint::FromMicros(20), [&] { order.push_back(2); });
+  q.Cancel(first);
+  EXPECT_EQ(q.NextTime(), TimePoint::FromMicros(20));
+  TimePoint when;
+  q.Pop(&when)();
+  EXPECT_EQ(when, TimePoint::FromMicros(20));
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Schedule(TimePoint::FromMicros(1), [] {});
+  q.Schedule(TimePoint::FromMicros(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  TimePoint when;
+  q.Pop(&when);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,74 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+TEST(DurationTest, FactoryConversions) {
+  EXPECT_EQ(Duration::Micros(1500).ToMicros(), 1500);
+  EXPECT_EQ(Duration::Millis(3).ToMicros(), 3000);
+  EXPECT_EQ(Duration::Seconds(2).ToMicros(), 2000000);
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).ToSecondsF(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Micros(2500).ToMillisF(), 2.5);
+  EXPECT_EQ(Duration::SecondsF(0.25).ToMicros(), 250000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = Duration::Millis(10);
+  Duration b = Duration::Millis(4);
+  EXPECT_EQ((a + b).ToMicros(), 14000);
+  EXPECT_EQ((a - b).ToMicros(), 6000);
+  EXPECT_EQ((a * 3).ToMicros(), 30000);
+  EXPECT_EQ((3 * a).ToMicros(), 30000);
+  EXPECT_EQ((a / 2).ToMicros(), 5000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((-a).ToMicros(), -10000);
+  a += b;
+  EXPECT_EQ(a.ToMicros(), 14000);
+  a -= b;
+  EXPECT_EQ(a.ToMicros(), 10000);
+}
+
+TEST(DurationTest, ScalarDoubleMultiply) {
+  EXPECT_EQ((Duration::Millis(10) * 0.5).ToMicros(), 5000);
+  EXPECT_EQ((Duration::Millis(10) * 1.5).ToMicros(), 15000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_GT(Duration::Infinite(), Duration::Seconds(1000000));
+  EXPECT_TRUE(Duration::Zero().IsZero());
+  EXPECT_FALSE(Duration::Micros(1).IsZero());
+  EXPECT_TRUE(Duration::Infinite().IsInfinite());
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ(Duration::Zero().ToString(), "0us");
+  EXPECT_EQ(Duration::Micros(17).ToString(), "17us");
+  EXPECT_EQ(Duration::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Duration::Micros(1500).ToString(), "1.500ms");
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2s");
+  EXPECT_EQ(Duration::Micros(2500000).ToString(), "2.500s");
+  EXPECT_EQ(Duration::Millis(-5).ToString(), "-5ms");
+  EXPECT_EQ(Duration::Infinite().ToString(), "inf");
+}
+
+TEST(TimePointTest, ArithmeticWithDuration) {
+  TimePoint t = TimePoint::FromMicros(1000);
+  EXPECT_EQ((t + Duration::Millis(1)).ToMicros(), 2000);
+  EXPECT_EQ((t - Duration::Micros(500)).ToMicros(), 500);
+  EXPECT_EQ((TimePoint::FromMicros(5000) - t).ToMicros(), 4000);
+  t += Duration::Millis(2);
+  EXPECT_EQ(t.ToMicros(), 3000);
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(TimePoint::Zero(), TimePoint::FromMicros(1));
+  EXPECT_EQ(TimePoint::Zero().ToMicros(), 0);
+  EXPECT_GT(TimePoint::Infinite(), TimePoint::FromMicros(1) + Duration::Seconds(1000));
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,85 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+FlagSet Make(std::vector<const char*> argv, std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return FlagSet(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(FlagSetTest, EqualsAndSpaceForms) {
+  FlagSet f = Make({"--os=tse", "--sinks", "10"}, {"os", "sinks"});
+  ASSERT_TRUE(f.ok()) << f.error();
+  EXPECT_EQ(f.GetString("os"), "tse");
+  EXPECT_EQ(f.GetInt("sinks"), 10);
+}
+
+TEST(FlagSetTest, BareBooleanFlag) {
+  FlagSet f = Make({"--protect", "--csv=false"}, {"protect", "csv"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f.GetBool("protect"));
+  EXPECT_FALSE(f.GetBool("csv"));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagSetTest, PositionalArguments) {
+  FlagSet f = Make({"replay", "trace.txt", "--protocol=x"}, {"protocol"});
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "replay");
+  EXPECT_EQ(f.positional()[1], "trace.txt");
+}
+
+TEST(FlagSetTest, UnknownFlagIsError) {
+  FlagSet f = Make({"--bogus=1"}, {"os"});
+  EXPECT_FALSE(f.ok());
+  EXPECT_NE(f.error().find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(FlagSetTest, DuplicateFlagIsError) {
+  FlagSet f = Make({"--os=a", "--os=b"}, {"os"});
+  EXPECT_FALSE(f.ok());
+  EXPECT_NE(f.error().find("twice"), std::string::npos);
+}
+
+TEST(FlagSetTest, MalformedIntReported) {
+  FlagSet f = Make({"--sinks=ten"}, {"sinks"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.GetInt("sinks", 7), 7);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagSetTest, MalformedDoubleReported) {
+  FlagSet f = Make({"--mbps=fast"}, {"mbps"});
+  f.GetDouble("mbps");
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagSetTest, MalformedBoolReported) {
+  FlagSet f = Make({"--csv=maybe"}, {"csv"});
+  f.GetBool("csv");
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagSetTest, DefaultsWhenAbsent) {
+  FlagSet f = Make({}, {"os"});
+  EXPECT_EQ(f.GetString("os", "linux"), "linux");
+  EXPECT_EQ(f.GetInt("sinks", 3), 3);
+  EXPECT_DOUBLE_EQ(f.GetDouble("mbps", 1.5), 1.5);
+  EXPECT_TRUE(f.ok());
+}
+
+TEST(FlagSetTest, FlagValueStartingWithDashesTreatedAsFlag) {
+  // `--os --csv`: --os becomes bare-boolean "true" and --csv is its own flag.
+  FlagSet f = Make({"--os", "--csv"}, {"os", "csv"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.GetString("os"), "true");
+  EXPECT_TRUE(f.GetBool("csv"));
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,131 @@
+#include "src/util/lz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace tcs {
+namespace {
+
+std::vector<uint8_t> FromString(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(LzCodecTest, EmptyInput) {
+  std::vector<uint8_t> empty;
+  auto compressed = LzCodec::Compress(empty);
+  EXPECT_TRUE(compressed.empty());
+  auto restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(LzCodecTest, RoundTripShortLiteral) {
+  auto input = FromString("abc");
+  auto restored = LzCodec::Decompress(LzCodec::Compress(input));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(LzCodecTest, RoundTripRepetitive) {
+  auto input = FromString(std::string(10000, 'x'));
+  auto compressed = LzCodec::Compress(input);
+  auto restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+  // Highly repetitive data must compress hard.
+  EXPECT_LT(compressed.size(), input.size() / 20);
+}
+
+TEST(LzCodecTest, RoundTripPatterned) {
+  std::string pattern;
+  for (int i = 0; i < 500; ++i) {
+    pattern += "the quick brown fox ";
+  }
+  auto input = FromString(pattern);
+  auto compressed = LzCodec::Compress(input);
+  auto restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+}
+
+TEST(LzCodecTest, IncompressibleDataExpandsOnlySlightly) {
+  Rng rng(1234);
+  std::vector<uint8_t> input(65536);
+  rng.FillBytes(input.data(), input.size(), 0.0);
+  auto compressed = LzCodec::Compress(input);
+  auto restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+  // Worst-case bound: one control byte per 128 literals, plus slack.
+  EXPECT_LE(compressed.size(), input.size() + input.size() / 128 + 2);
+}
+
+TEST(LzCodecTest, OverlappingMatchReplicates) {
+  // "ababab..." forces matches whose offset is smaller than their length.
+  std::string s;
+  for (int i = 0; i < 1000; ++i) {
+    s += "ab";
+  }
+  auto input = FromString(s);
+  auto restored = LzCodec::Decompress(LzCodec::Compress(input));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(LzCodecTest, DecompressRejectsTruncatedLiteralRun) {
+  // Control byte claims 16 literals; only 3 present.
+  std::vector<uint8_t> bogus = {0x0F, 'a', 'b', 'c'};
+  EXPECT_FALSE(LzCodec::Decompress(bogus).has_value());
+}
+
+TEST(LzCodecTest, DecompressRejectsTruncatedMatchHeader) {
+  std::vector<uint8_t> bogus = {0x80, 0x01};  // missing second offset byte
+  EXPECT_FALSE(LzCodec::Decompress(bogus).has_value());
+}
+
+TEST(LzCodecTest, DecompressRejectsBadOffset) {
+  // Literal 'a' then match with offset 5 (only 1 byte of history) and offset 0.
+  std::vector<uint8_t> bad_offset = {0x00, 'a', 0x80, 0x05, 0x00};
+  EXPECT_FALSE(LzCodec::Decompress(bad_offset).has_value());
+  std::vector<uint8_t> zero_offset = {0x00, 'a', 0x80, 0x00, 0x00};
+  EXPECT_FALSE(LzCodec::Decompress(zero_offset).has_value());
+}
+
+// Property sweep: round-trip holds across sizes and entropy levels.
+class LzRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double, uint64_t>> {};
+
+TEST_P(LzRoundTripTest, RoundTripIdentity) {
+  auto [size, redundancy, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<uint8_t> input(size);
+  rng.FillBytes(input.data(), input.size(), redundancy);
+  auto compressed = LzCodec::Compress(input);
+  auto restored = LzCodec::Decompress(compressed);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LzRoundTripTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 127, 128, 129, 4096, 70000),
+                       ::testing::Values(0.0, 0.5, 0.9, 0.99),
+                       ::testing::Values<uint64_t>(1, 99)));
+
+TEST(LzCodecTest, HigherRedundancyCompressesBetter) {
+  Rng rng(77);
+  std::vector<uint8_t> low(32768);
+  std::vector<uint8_t> high(32768);
+  rng.FillBytes(low.data(), low.size(), 0.2);
+  rng.FillBytes(high.data(), high.size(), 0.95);
+  EXPECT_GT(LzCodec::CompressedSize(low), LzCodec::CompressedSize(high));
+}
+
+}  // namespace
+}  // namespace tcs

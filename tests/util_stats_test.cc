@@ -1,0 +1,120 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcs {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  RunningStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 1);
+  EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+}
+
+TEST(HistogramTest, BinsAndBounds) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(5.0);    // bin 0
+  h.Add(15.0);   // bin 1
+  h.Add(95.0);   // bin 9
+  h.Add(-1.0);   // underflow
+  h.Add(100.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin(0), 1);
+  EXPECT_EQ(h.bin(1), 1);
+  EXPECT_EQ(h.bin(9), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 20.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.0), 0.0, 1.5);
+}
+
+TEST(SampleSetTest, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+  EXPECT_NEAR(s.Percentile(0.5), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+}
+
+TEST(SampleSetTest, UnsortedInsertionOrder) {
+  SampleSet s;
+  s.Add(9.0);
+  s.Add(1.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  s.Add(0.5);  // add after a sorted read
+  EXPECT_DOUBLE_EQ(s.Min(), 0.5);
+}
+
+}  // namespace
+}  // namespace tcs

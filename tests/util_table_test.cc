@@ -1,0 +1,57 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tcs {
+namespace {
+
+TEST(TextTableTest, NumFormatsThousands) {
+  EXPECT_EQ(TextTable::Num(0), "0");
+  EXPECT_EQ(TextTable::Num(999), "999");
+  EXPECT_EQ(TextTable::Num(1000), "1,000");
+  EXPECT_EQ(TextTable::Num(6250888), "6,250,888");
+  EXPECT_EQ(TextTable::Num(-12345), "-12,345");
+}
+
+TEST(TextTableTest, FixedAndPercent) {
+  EXPECT_EQ(TextTable::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Percent(0.229, 2), "22.90%");
+  EXPECT_EQ(TextTable::Percent(0.0465, 2), "4.65%");
+}
+
+TEST(TextTableTest, RenderAlignsColumns) {
+  TextTable t({"proto", "bytes"});
+  t.AddRow({"RDP", "888,239"});
+  t.AddRow({"X", "6,250,888"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("RDP"), std::string::npos);
+  // Each rendered line has the same length (trailing pads).
+  size_t first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.AddRow({"x,y", "said \"hi\""});
+  std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvPlainCellsUnquoted) {
+  TextTable t({"a"});
+  t.AddRow({"simple"});
+  EXPECT_EQ(t.RenderCsv(), "a\nsimple\n");
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,110 @@
+#include "src/workload/script_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proto/x_protocol.h"
+
+namespace tcs {
+namespace {
+
+TEST(ScriptIoTest, SerializeParseRoundTripOnGeneratedScripts) {
+  for (auto script : {AppScript::WordProcessor(Rng(5), 80),
+                      AppScript::PhotoEditor(Rng(6), 80),
+                      AppScript::ControlPanel(Rng(7), 80)}) {
+    std::string text = SerializeScript(script);
+    std::string error;
+    auto parsed = ParseScript(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->name(), script.name());
+    EXPECT_EQ(parsed->steps().size(), script.steps().size());
+    EXPECT_EQ(parsed->TotalInputEvents(), script.TotalInputEvents());
+    EXPECT_EQ(parsed->TotalDrawCommands(), script.TotalDrawCommands());
+    EXPECT_EQ(parsed->TotalDuration(), script.TotalDuration());
+    // Semantic identity: re-serialization is byte-identical.
+    EXPECT_EQ(SerializeScript(*parsed), text);
+  }
+}
+
+TEST(ScriptIoTest, HandwrittenTraceParses) {
+  const std::string trace = R"(# a tiny session
+script demo
+step 250
+key press 30
+key release 30
+text 1
+step 300
+move 100 120
+button press
+button release
+rect 80 24
+image 42 32 32 1024 512
+sync 800
+)";
+  std::string error;
+  auto parsed = ParseScript(trace, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name(), "demo");
+  ASSERT_EQ(parsed->steps().size(), 2u);
+  EXPECT_EQ(parsed->steps()[0].inputs.size(), 2u);
+  EXPECT_EQ(parsed->steps()[0].draws.size(), 1u);
+  EXPECT_EQ(parsed->steps()[1].inputs.size(), 3u);
+  ASSERT_EQ(parsed->steps()[1].draws.size(), 3u);
+  const DrawCommand& img = parsed->steps()[1].draws[1];
+  EXPECT_EQ(img.op, DrawOp::kPutImage);
+  EXPECT_EQ(img.bitmap.content_hash, 42u);
+  EXPECT_EQ(img.bitmap.raw_bytes, Bytes::Of(1024));
+  EXPECT_EQ(img.bitmap.compressed_bytes, Bytes::Of(512));
+  EXPECT_EQ(parsed->steps()[1].think, Duration::Millis(300));
+}
+
+TEST(ScriptIoTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseScript("# only comments\n\n   \n# more\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->steps().empty());
+}
+
+TEST(ScriptIoTest, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(ParseScript("step 100\nfrobnicate 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ScriptIoTest, RejectsContentBeforeFirstStep) {
+  std::string error;
+  EXPECT_FALSE(ParseScript("text 5\n", &error).has_value());
+  EXPECT_NE(error.find("before the first 'step'"), std::string::npos);
+}
+
+TEST(ScriptIoTest, RejectsBadArity) {
+  std::string error;
+  EXPECT_FALSE(ParseScript("step 100\nrect 5\n", &error).has_value());
+  EXPECT_FALSE(ParseScript("step 100\nkey sideways 3\n", &error).has_value());
+  EXPECT_FALSE(ParseScript("step 100\nimage 1 2 3\n", &error).has_value());
+  EXPECT_FALSE(ParseScript("step -5\n", &error).has_value());
+}
+
+TEST(ScriptIoTest, RejectsTrailingTokens) {
+  std::string error;
+  EXPECT_FALSE(ParseScript("step 100\ntext 5 extra\n", &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ScriptIoTest, ParsedTraceReplays) {
+  auto parsed = ParseScript("script t\nstep 100\ntext 10\nstep 100\nrect 10 10\n");
+  ASSERT_TRUE(parsed.has_value());
+  Simulator sim;
+  Link link(sim);
+  MessageSender display(link, HeaderModel::TcpIp());
+  MessageSender input(link, HeaderModel::TcpIp());
+  ProtoTap tap(Duration::Millis(100));
+  XProtocol x(sim, display, input, &tap, Rng(1));
+  bool done = false;
+  parsed->Replay(sim, x, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(tap.messages(Channel::kDisplay), 0);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,353 @@
+// tcsctl — command-line driver for the tcs thin-client latency framework.
+//
+//   tcsctl <command> [flags]
+//
+// Commands:
+//   idle     --os=tse|linux|ntws [--seconds=N]           idle-state profile (Figs 1-2)
+//   typing   --os=... [--sinks=N --seconds=N --cpus=N]   stall vs load (Fig 3)
+//   paging   --os=... [--full-demand --runs=N --protect] keystroke-after-hog (§5.2)
+//   traffic  --protocol=rdp|x|lbx|slim|vnc [--steps=N]   app-workload bytes (§6.1.2)
+//   webpage  [--no-banner --no-marquee --seconds=N]      Figure 4 page over RDP
+//   gif      --protocol=... [--frames=N --seconds=N --loop-aware]  Figures 5/7
+//   rtt      [--mbps=X --seconds=N]                      Figures 8-9 probe
+//   sizing   --os=... --users=N                          utilization vs latency sizing
+//   e2e      --os=... [--sinks=N --background-mbps=X --client=pc|winterm|handheld]
+//   replay   <trace-file> --protocol=...                 replay a recorded session
+//   help
+//
+// Add --csv to table-producing commands for machine-readable output.
+
+#include <cstdio>
+#include <memory>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/experiments.h"
+#include "src/proto/lbx_protocol.h"
+#include "src/proto/rdp_protocol.h"
+#include "src/proto/slim_protocol.h"
+#include "src/proto/vnc_protocol.h"
+#include "src/proto/x_protocol.h"
+#include "src/session/server.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/workload/script_io.h"
+
+namespace tcs {
+namespace {
+
+int Usage() {
+  std::printf(
+      "tcsctl — thin-client latency framework driver\n"
+      "commands: idle typing paging traffic webpage gif rtt sizing e2e replay help\n"
+      "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
+  return 2;
+}
+
+bool ParseOs(const std::string& word, OsProfile* profile) {
+  if (word == "tse") {
+    *profile = OsProfile::Tse();
+  } else if (word == "linux") {
+    *profile = OsProfile::LinuxX();
+  } else if (word == "ntws") {
+    *profile = OsProfile::NtWorkstation();
+  } else if (word == "svr4") {
+    *profile = OsProfile::LinuxSvr4();
+  } else {
+    std::fprintf(stderr, "unknown --os '%s' (tse|linux|ntws|svr4)\n", word.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseProtocol(const std::string& word, ProtocolKind* kind) {
+  if (word == "rdp") {
+    *kind = ProtocolKind::kRdp;
+  } else if (word == "x") {
+    *kind = ProtocolKind::kX;
+  } else if (word == "lbx") {
+    *kind = ProtocolKind::kLbx;
+  } else if (word == "slim") {
+    *kind = ProtocolKind::kSlim;
+  } else if (word == "vnc") {
+    *kind = ProtocolKind::kVnc;
+  } else {
+    std::fprintf(stderr, "unknown --protocol '%s' (rdp|x|lbx|slim|vnc)\n", word.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Emit(const TextTable& table, bool csv) {
+  std::printf("%s", csv ? table.RenderCsv().c_str() : table.Render().c_str());
+}
+
+int CmdIdle(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  int64_t seconds = flags.GetInt("seconds", 60);
+  IdleProfileResult r = RunIdleProfile(profile, Duration::Seconds(seconds));
+  TextTable table({"event length (ms)", "cumulative busy (s)"});
+  for (const auto& pt : r.cumulative) {
+    table.AddRow({TextTable::Fixed(pt.event_length.ToMillisF(), 1),
+                  TextTable::Fixed(pt.cumulative_latency.ToSecondsF(), 3)});
+  }
+  Emit(table, flags.GetBool("csv"));
+  std::printf("total idle busy over %llds: %s (%.2f%% of the trace)\n",
+              static_cast<long long>(seconds), r.total_busy.ToString().c_str(),
+              100.0 * r.total_busy.ToSecondsF() / static_cast<double>(seconds));
+  return 0;
+}
+
+int CmdTyping(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  TypingUnderLoadResult r = RunTypingUnderLoad(
+      profile, static_cast<int>(flags.GetInt("sinks", 0)),
+      Duration::Seconds(flags.GetInt("seconds", 60)), 1,
+      static_cast<int>(flags.GetInt("cpus", 1)));
+  std::printf("%s, %d sinks: avg stall %.1f ms, max %.1f ms, jitter %.1f ms, %lld "
+              "updates\n",
+              r.os_name.c_str(), r.sinks, r.avg_stall_ms, r.max_stall_ms, r.jitter_ms,
+              static_cast<long long>(r.updates));
+  return 0;
+}
+
+int CmdPaging(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "linux"), &profile)) {
+    return 2;
+  }
+  EvictionPolicy policy = flags.GetBool("protect") ? EvictionPolicy::kInteractiveProtect
+                                                   : EvictionPolicy::kGlobalLru;
+  PagingLatencyResult r =
+      RunPagingLatency(profile, flags.GetBool("full-demand", true),
+                       static_cast<int>(flags.GetInt("runs", 10)), 1, policy);
+  std::printf("%s (%s demand, %s): min %.0f ms, avg %.0f ms, max %.0f ms over %d runs\n",
+              r.os_name.c_str(), r.full_demand ? ">=100%" : "<100%",
+              policy == EvictionPolicy::kGlobalLru ? "global LRU" : "interactive-protect",
+              r.min_ms, r.avg_ms, r.max_ms, r.runs);
+  return 0;
+}
+
+int CmdTraffic(FlagSet& flags) {
+  ProtocolKind kind;
+  if (!ParseProtocol(flags.GetString("protocol", "rdp"), &kind)) {
+    return 2;
+  }
+  ProtocolTrafficResult r =
+      RunAppWorkloadTraffic(kind, 1, static_cast<int>(flags.GetInt("steps", 600)));
+  TextTable table({"channel", "bytes", "messages"});
+  table.AddRow({"input", TextTable::Num(r.input.bytes), TextTable::Num(r.input.messages)});
+  table.AddRow(
+      {"display", TextTable::Num(r.display.bytes), TextTable::Num(r.display.messages)});
+  table.AddRow({"total", TextTable::Num(r.total_bytes), TextTable::Num(r.total_messages)});
+  Emit(table, flags.GetBool("csv"));
+  std::printf("avg message %.1f B; VIP would save %s\n", r.avg_message_size,
+              TextTable::Percent(static_cast<double>(r.total_bytes - r.vip_bytes) /
+                                 static_cast<double>(r.total_bytes), 2)
+                  .c_str());
+  return 0;
+}
+
+int CmdWebpage(FlagSet& flags) {
+  AnimationLoadResult r = RunWebPageLoad(
+      ProtocolKind::kRdp, !flags.GetBool("no-banner"), !flags.GetBool("no-marquee"),
+      Duration::Seconds(flags.GetInt("seconds", 160)));
+  std::printf("%s: sustained %.3f Mbps (mean %.3f); cache %lld hits / %lld misses\n",
+              r.protocol.c_str(), r.sustained_mbps, r.mean_mbps,
+              static_cast<long long>(r.cache_hits), static_cast<long long>(r.cache_misses));
+  return 0;
+}
+
+int CmdGif(FlagSet& flags) {
+  ProtocolKind kind;
+  if (!ParseProtocol(flags.GetString("protocol", "rdp"), &kind)) {
+    return 2;
+  }
+  GifAnimationOptions opt;
+  opt.frames = static_cast<int>(flags.GetInt("frames", 10));
+  opt.duration = Duration::Seconds(flags.GetInt("seconds", 20));
+  if (flags.GetBool("loop-aware")) {
+    opt.cache_policy = CachePolicy::kLoopAware;
+  }
+  AnimationLoadResult r = RunGifAnimation(kind, opt);
+  std::printf("%s, %d frames: sustained %.3f Mbps; cache hit ratio %.1f%%\n",
+              r.protocol.c_str(), opt.frames, r.sustained_mbps,
+              r.cumulative_hit_ratio * 100.0);
+  return 0;
+}
+
+int CmdRtt(FlagSet& flags) {
+  RttProbeResult r = RunRttProbe(flags.GetDouble("mbps", 0.0),
+                                 Duration::Seconds(flags.GetInt("seconds", 60)));
+  std::printf("offered %.1f Mbps: mean RTT %.2f ms, variance %.3f ms^2\n",
+              r.offered_mbps, r.mean_rtt_ms, r.rtt_variance);
+  return 0;
+}
+
+int CmdSizing(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  SizingPoint p = RunServerSizing(profile, static_cast<int>(flags.GetInt("users", 10)));
+  std::printf("%s, %d users: CPU %.1f%%, avg stall %.1f ms, worst user %.1f ms\n",
+              p.os_name.c_str(), p.users, p.cpu_utilization * 100.0, p.avg_stall_ms,
+              p.worst_stall_ms);
+  return 0;
+}
+
+int CmdE2e(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  EndToEndOptions opt;
+  opt.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+  opt.background_mbps = flags.GetDouble("background-mbps", 0.0);
+  std::string client = flags.GetString("client", "pc");
+  if (client == "pc") {
+    opt.client = ThinClientConfig::DesktopPc();
+  } else if (client == "winterm") {
+    opt.client = ThinClientConfig::WinTerm();
+  } else if (client == "handheld") {
+    opt.client = ThinClientConfig::Handheld();
+  } else {
+    std::fprintf(stderr, "unknown --client '%s' (pc|winterm|handheld)\n", client.c_str());
+    return 2;
+  }
+  EndToEndResult r = RunEndToEndLatency(profile, opt);
+  std::printf("%s on %s: input %.2f + server %.2f + display %.2f + client %.2f = %.2f ms "
+              "(%lld updates)\n",
+              r.os_name.c_str(), r.client_name.c_str(), r.input_net_ms, r.server_ms,
+              r.display_net_ms, r.client_ms, r.total_ms,
+              static_cast<long long>(r.updates));
+  return 0;
+}
+
+int CmdReplay(FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "replay needs a trace file\n");
+    return 2;
+  }
+  ProtocolKind kind;
+  if (!ParseProtocol(flags.GetString("protocol", "rdp"), &kind)) {
+    return 2;
+  }
+  std::ifstream in(flags.positional()[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", flags.positional()[1].c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto script = ParseScript(buffer.str(), &error);
+  if (!script) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 2;
+  }
+  // Replay through the protocol-only harness used by the traffic experiments.
+  Simulator sim;
+  Link link(sim);
+  MessageSender display(link, HeaderModel::TcpIp());
+  MessageSender input(link, HeaderModel::TcpIp());
+  ProtoTap tap(Duration::Seconds(1));
+  Rng rng(1);
+  std::unique_ptr<DisplayProtocol> protocol;
+  switch (kind) {
+    case ProtocolKind::kRdp:
+      protocol = std::make_unique<RdpProtocol>(sim, display, input, &tap, rng);
+      break;
+    case ProtocolKind::kX:
+      protocol = std::make_unique<XProtocol>(sim, display, input, &tap, rng);
+      break;
+    case ProtocolKind::kLbx:
+      protocol = std::make_unique<LbxProtocol>(sim, display, input, &tap, rng);
+      break;
+    case ProtocolKind::kSlim:
+      protocol = std::make_unique<SlimProtocol>(sim, display, input, &tap, rng);
+      break;
+    case ProtocolKind::kVnc: {
+      auto vnc = std::make_unique<VncProtocol>(sim, display, input, &tap, rng);
+      vnc->StartClientPull();
+      protocol = std::move(vnc);
+      break;
+    }
+  }
+  script->Replay(sim, *protocol);
+  sim.RunUntil(TimePoint::Zero() + script->TotalDuration());
+  if (auto* vnc = dynamic_cast<VncProtocol*>(protocol.get())) {
+    vnc->StopClientPull();
+  }
+  protocol->Flush();
+  sim.Run();
+  std::printf("replayed '%s' (%zu steps, %s of user time) over %s:\n",
+              script->name().c_str(), script->steps().size(),
+              script->TotalDuration().ToString().c_str(), protocol->name().c_str());
+  std::printf("  display: %lld msgs, %lld bytes;  input: %lld msgs, %lld bytes\n",
+              static_cast<long long>(tap.messages(Channel::kDisplay)),
+              static_cast<long long>(tap.counted_bytes(Channel::kDisplay).count()),
+              static_cast<long long>(tap.messages(Channel::kInput)),
+              static_cast<long long>(tap.counted_bytes(Channel::kInput).count()));
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  FlagSet flags(argc, argv,
+                {"os", "seconds", "sinks", "cpus", "full-demand", "runs", "protect",
+                 "protocol", "steps", "no-banner", "no-marquee", "frames", "loop-aware",
+                 "mbps", "users", "background-mbps", "client", "csv"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 2;
+  }
+  if (command == "idle") {
+    return CmdIdle(flags);
+  }
+  if (command == "typing") {
+    return CmdTyping(flags);
+  }
+  if (command == "paging") {
+    return CmdPaging(flags);
+  }
+  if (command == "traffic") {
+    return CmdTraffic(flags);
+  }
+  if (command == "webpage") {
+    return CmdWebpage(flags);
+  }
+  if (command == "gif") {
+    return CmdGif(flags);
+  }
+  if (command == "rtt") {
+    return CmdRtt(flags);
+  }
+  if (command == "sizing") {
+    return CmdSizing(flags);
+  }
+  if (command == "e2e") {
+    return CmdE2e(flags);
+  }
+  if (command == "replay") {
+    return CmdReplay(flags);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tcs
+
+int main(int argc, char** argv) {
+  return tcs::Run(argc, argv);
+}
