@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_boost.dir/bench_ablation_boost.cc.o"
+  "CMakeFiles/bench_ablation_boost.dir/bench_ablation_boost.cc.o.d"
+  "bench_ablation_boost"
+  "bench_ablation_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_links.dir/bench_access_links.cc.o"
+  "CMakeFiles/bench_access_links.dir/bench_access_links.cc.o.d"
+  "bench_access_links"
+  "bench_access_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_budget.dir/bench_e2e_budget.cc.o"
+  "CMakeFiles/bench_e2e_budget.dir/bench_e2e_budget.cc.o.d"
+  "bench_e2e_budget"
+  "bench_e2e_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_stall_vs_load.dir/bench_fig3_stall_vs_load.cc.o"
+  "CMakeFiles/bench_fig3_stall_vs_load.dir/bench_fig3_stall_vs_load.cc.o.d"
+  "bench_fig3_stall_vs_load"
+  "bench_fig3_stall_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_stall_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

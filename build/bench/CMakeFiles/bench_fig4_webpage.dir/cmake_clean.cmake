@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_webpage.dir/bench_fig4_webpage.cc.o"
+  "CMakeFiles/bench_fig4_webpage.dir/bench_fig4_webpage.cc.o.d"
+  "bench_fig4_webpage"
+  "bench_fig4_webpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_webpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gif.dir/bench_fig5_gif.cc.o"
+  "CMakeFiles/bench_fig5_gif.dir/bench_fig5_gif.cc.o.d"
+  "bench_fig5_gif"
+  "bench_fig5_gif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

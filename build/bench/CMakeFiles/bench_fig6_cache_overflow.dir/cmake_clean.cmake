@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cache_overflow.dir/bench_fig6_cache_overflow.cc.o"
+  "CMakeFiles/bench_fig6_cache_overflow.dir/bench_fig6_cache_overflow.cc.o.d"
+  "bench_fig6_cache_overflow"
+  "bench_fig6_cache_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cache_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rtt.dir/bench_fig8_rtt.cc.o"
+  "CMakeFiles/bench_fig8_rtt.dir/bench_fig8_rtt.cc.o.d"
+  "bench_fig8_rtt"
+  "bench_fig8_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

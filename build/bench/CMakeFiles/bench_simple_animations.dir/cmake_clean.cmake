@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simple_animations.dir/bench_simple_animations.cc.o"
+  "CMakeFiles/bench_simple_animations.dir/bench_simple_animations.cc.o.d"
+  "bench_simple_animations"
+  "bench_simple_animations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simple_animations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

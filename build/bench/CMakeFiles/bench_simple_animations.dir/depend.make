@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_simple_animations.
+# This may be replaced when dependencies are built.

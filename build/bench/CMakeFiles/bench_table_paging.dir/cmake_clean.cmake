@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_paging.dir/bench_table_paging.cc.o"
+  "CMakeFiles/bench_table_paging.dir/bench_table_paging.cc.o.d"
+  "bench_table_paging"
+  "bench_table_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_session_memory.dir/bench_table_session_memory.cc.o"
+  "CMakeFiles/bench_table_session_memory.dir/bench_table_session_memory.cc.o.d"
+  "bench_table_session_memory"
+  "bench_table_session_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_session_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_setup_bytes.dir/bench_table_setup_bytes.cc.o"
+  "CMakeFiles/bench_table_setup_bytes.dir/bench_table_setup_bytes.cc.o.d"
+  "bench_table_setup_bytes"
+  "bench_table_setup_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_setup_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_x_profile.cc" "bench/CMakeFiles/bench_x_profile.dir/bench_x_profile.cc.o" "gcc" "bench/CMakeFiles/bench_x_profile.dir/bench_x_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/tcs_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/tcs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tcs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tcs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

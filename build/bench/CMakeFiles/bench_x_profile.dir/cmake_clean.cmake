@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x_profile.dir/bench_x_profile.cc.o"
+  "CMakeFiles/bench_x_profile.dir/bench_x_profile.cc.o.d"
+  "bench_x_profile"
+  "bench_x_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_client.dir/thin_client.cc.o"
+  "CMakeFiles/tcs_client.dir/thin_client.cc.o.d"
+  "libtcs_client.a"
+  "libtcs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

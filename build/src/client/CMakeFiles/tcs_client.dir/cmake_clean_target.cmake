@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcs_client.a"
+)

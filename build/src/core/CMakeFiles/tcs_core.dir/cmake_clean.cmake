@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_core.dir/experiments.cc.o"
+  "CMakeFiles/tcs_core.dir/experiments.cc.o.d"
+  "libtcs_core.a"
+  "libtcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/idle_profiler.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/idle_profiler.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/idle_profiler.cc.o.d"
+  "/root/repo/src/cpu/linux_scheduler.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/linux_scheduler.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/linux_scheduler.cc.o.d"
+  "/root/repo/src/cpu/nt_scheduler.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/nt_scheduler.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/nt_scheduler.cc.o.d"
+  "/root/repo/src/cpu/svr4_scheduler.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/svr4_scheduler.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/svr4_scheduler.cc.o.d"
+  "/root/repo/src/cpu/thread.cc" "src/cpu/CMakeFiles/tcs_cpu.dir/thread.cc.o" "gcc" "src/cpu/CMakeFiles/tcs_cpu.dir/thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_cpu.dir/cpu.cc.o"
+  "CMakeFiles/tcs_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/tcs_cpu.dir/idle_profiler.cc.o"
+  "CMakeFiles/tcs_cpu.dir/idle_profiler.cc.o.d"
+  "CMakeFiles/tcs_cpu.dir/linux_scheduler.cc.o"
+  "CMakeFiles/tcs_cpu.dir/linux_scheduler.cc.o.d"
+  "CMakeFiles/tcs_cpu.dir/nt_scheduler.cc.o"
+  "CMakeFiles/tcs_cpu.dir/nt_scheduler.cc.o.d"
+  "CMakeFiles/tcs_cpu.dir/svr4_scheduler.cc.o"
+  "CMakeFiles/tcs_cpu.dir/svr4_scheduler.cc.o.d"
+  "CMakeFiles/tcs_cpu.dir/thread.cc.o"
+  "CMakeFiles/tcs_cpu.dir/thread.cc.o.d"
+  "libtcs_cpu.a"
+  "libtcs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

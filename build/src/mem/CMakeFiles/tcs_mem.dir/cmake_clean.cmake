@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_mem.dir/address_space.cc.o"
+  "CMakeFiles/tcs_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/tcs_mem.dir/disk.cc.o"
+  "CMakeFiles/tcs_mem.dir/disk.cc.o.d"
+  "CMakeFiles/tcs_mem.dir/pager.cc.o"
+  "CMakeFiles/tcs_mem.dir/pager.cc.o.d"
+  "libtcs_mem.a"
+  "libtcs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

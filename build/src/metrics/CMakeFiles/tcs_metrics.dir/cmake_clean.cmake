@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_metrics.dir/latency.cc.o"
+  "CMakeFiles/tcs_metrics.dir/latency.cc.o.d"
+  "libtcs_metrics.a"
+  "libtcs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_net.dir/endpoint.cc.o"
+  "CMakeFiles/tcs_net.dir/endpoint.cc.o.d"
+  "CMakeFiles/tcs_net.dir/link.cc.o"
+  "CMakeFiles/tcs_net.dir/link.cc.o.d"
+  "CMakeFiles/tcs_net.dir/ping.cc.o"
+  "CMakeFiles/tcs_net.dir/ping.cc.o.d"
+  "CMakeFiles/tcs_net.dir/traffic_gen.cc.o"
+  "CMakeFiles/tcs_net.dir/traffic_gen.cc.o.d"
+  "libtcs_net.a"
+  "libtcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

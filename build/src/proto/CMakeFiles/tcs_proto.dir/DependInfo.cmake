@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/bitmap_cache.cc" "src/proto/CMakeFiles/tcs_proto.dir/bitmap_cache.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/bitmap_cache.cc.o.d"
+  "/root/repo/src/proto/display_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/display_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/display_protocol.cc.o.d"
+  "/root/repo/src/proto/draw.cc" "src/proto/CMakeFiles/tcs_proto.dir/draw.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/draw.cc.o.d"
+  "/root/repo/src/proto/lbx_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/lbx_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/lbx_protocol.cc.o.d"
+  "/root/repo/src/proto/prototap.cc" "src/proto/CMakeFiles/tcs_proto.dir/prototap.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/prototap.cc.o.d"
+  "/root/repo/src/proto/rdp_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/rdp_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/rdp_protocol.cc.o.d"
+  "/root/repo/src/proto/slim_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/slim_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/slim_protocol.cc.o.d"
+  "/root/repo/src/proto/vnc_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/vnc_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/vnc_protocol.cc.o.d"
+  "/root/repo/src/proto/x_protocol.cc" "src/proto/CMakeFiles/tcs_proto.dir/x_protocol.cc.o" "gcc" "src/proto/CMakeFiles/tcs_proto.dir/x_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

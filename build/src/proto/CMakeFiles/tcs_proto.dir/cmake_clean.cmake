@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_proto.dir/bitmap_cache.cc.o"
+  "CMakeFiles/tcs_proto.dir/bitmap_cache.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/display_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/display_protocol.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/draw.cc.o"
+  "CMakeFiles/tcs_proto.dir/draw.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/lbx_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/lbx_protocol.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/prototap.cc.o"
+  "CMakeFiles/tcs_proto.dir/prototap.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/rdp_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/rdp_protocol.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/slim_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/slim_protocol.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/vnc_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/vnc_protocol.cc.o.d"
+  "CMakeFiles/tcs_proto.dir/x_protocol.cc.o"
+  "CMakeFiles/tcs_proto.dir/x_protocol.cc.o.d"
+  "libtcs_proto.a"
+  "libtcs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_session.dir/os_profile.cc.o"
+  "CMakeFiles/tcs_session.dir/os_profile.cc.o.d"
+  "CMakeFiles/tcs_session.dir/server.cc.o"
+  "CMakeFiles/tcs_session.dir/server.cc.o.d"
+  "libtcs_session.a"
+  "libtcs_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tcs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tcs_sim.dir/periodic.cc.o"
+  "CMakeFiles/tcs_sim.dir/periodic.cc.o.d"
+  "CMakeFiles/tcs_sim.dir/random.cc.o"
+  "CMakeFiles/tcs_sim.dir/random.cc.o.d"
+  "CMakeFiles/tcs_sim.dir/simulator.cc.o"
+  "CMakeFiles/tcs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tcs_sim.dir/time.cc.o"
+  "CMakeFiles/tcs_sim.dir/time.cc.o.d"
+  "CMakeFiles/tcs_sim.dir/units.cc.o"
+  "CMakeFiles/tcs_sim.dir/units.cc.o.d"
+  "libtcs_sim.a"
+  "libtcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

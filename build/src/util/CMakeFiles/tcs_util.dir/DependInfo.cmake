@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/tcs_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/tcs_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/lz.cc" "src/util/CMakeFiles/tcs_util.dir/lz.cc.o" "gcc" "src/util/CMakeFiles/tcs_util.dir/lz.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/tcs_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/tcs_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/tcs_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/tcs_util.dir/table.cc.o.d"
+  "/root/repo/src/util/time_series.cc" "src/util/CMakeFiles/tcs_util.dir/time_series.cc.o" "gcc" "src/util/CMakeFiles/tcs_util.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_util.dir/flags.cc.o"
+  "CMakeFiles/tcs_util.dir/flags.cc.o.d"
+  "CMakeFiles/tcs_util.dir/lz.cc.o"
+  "CMakeFiles/tcs_util.dir/lz.cc.o.d"
+  "CMakeFiles/tcs_util.dir/stats.cc.o"
+  "CMakeFiles/tcs_util.dir/stats.cc.o.d"
+  "CMakeFiles/tcs_util.dir/table.cc.o"
+  "CMakeFiles/tcs_util.dir/table.cc.o.d"
+  "CMakeFiles/tcs_util.dir/time_series.cc.o"
+  "CMakeFiles/tcs_util.dir/time_series.cc.o.d"
+  "libtcs_util.a"
+  "libtcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/animation.cc" "src/workload/CMakeFiles/tcs_workload.dir/animation.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/animation.cc.o.d"
+  "/root/repo/src/workload/app_script.cc" "src/workload/CMakeFiles/tcs_workload.dir/app_script.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/app_script.cc.o.d"
+  "/root/repo/src/workload/memory_hog.cc" "src/workload/CMakeFiles/tcs_workload.dir/memory_hog.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/memory_hog.cc.o.d"
+  "/root/repo/src/workload/script_io.cc" "src/workload/CMakeFiles/tcs_workload.dir/script_io.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/script_io.cc.o.d"
+  "/root/repo/src/workload/sink.cc" "src/workload/CMakeFiles/tcs_workload.dir/sink.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/sink.cc.o.d"
+  "/root/repo/src/workload/typist.cc" "src/workload/CMakeFiles/tcs_workload.dir/typist.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/typist.cc.o.d"
+  "/root/repo/src/workload/webpage.cc" "src/workload/CMakeFiles/tcs_workload.dir/webpage.cc.o" "gcc" "src/workload/CMakeFiles/tcs_workload.dir/webpage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tcs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tcs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcs_workload.dir/animation.cc.o"
+  "CMakeFiles/tcs_workload.dir/animation.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/app_script.cc.o"
+  "CMakeFiles/tcs_workload.dir/app_script.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/memory_hog.cc.o"
+  "CMakeFiles/tcs_workload.dir/memory_hog.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/script_io.cc.o"
+  "CMakeFiles/tcs_workload.dir/script_io.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/sink.cc.o"
+  "CMakeFiles/tcs_workload.dir/sink.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/typist.cc.o"
+  "CMakeFiles/tcs_workload.dir/typist.cc.o.d"
+  "CMakeFiles/tcs_workload.dir/webpage.cc.o"
+  "CMakeFiles/tcs_workload.dir/webpage.cc.o.d"
+  "libtcs_workload.a"
+  "libtcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_e2e_test.dir/client_e2e_test.cc.o"
+  "CMakeFiles/client_e2e_test.dir/client_e2e_test.cc.o.d"
+  "client_e2e_test"
+  "client_e2e_test.pdb"
+  "client_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_idle_profiler_test.dir/cpu_idle_profiler_test.cc.o"
+  "CMakeFiles/cpu_idle_profiler_test.dir/cpu_idle_profiler_test.cc.o.d"
+  "cpu_idle_profiler_test"
+  "cpu_idle_profiler_test.pdb"
+  "cpu_idle_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_idle_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_smp_test.dir/cpu_smp_test.cc.o"
+  "CMakeFiles/cpu_smp_test.dir/cpu_smp_test.cc.o.d"
+  "cpu_smp_test"
+  "cpu_smp_test.pdb"
+  "cpu_smp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

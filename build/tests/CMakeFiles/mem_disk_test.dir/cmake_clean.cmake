@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_disk_test.dir/mem_disk_test.cc.o"
+  "CMakeFiles/mem_disk_test.dir/mem_disk_test.cc.o.d"
+  "mem_disk_test"
+  "mem_disk_test.pdb"
+  "mem_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

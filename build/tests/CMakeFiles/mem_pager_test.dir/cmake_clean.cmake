@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_pager_test.dir/mem_pager_test.cc.o"
+  "CMakeFiles/mem_pager_test.dir/mem_pager_test.cc.o.d"
+  "mem_pager_test"
+  "mem_pager_test.pdb"
+  "mem_pager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_latency_test.dir/metrics_latency_test.cc.o"
+  "CMakeFiles/metrics_latency_test.dir/metrics_latency_test.cc.o.d"
+  "metrics_latency_test"
+  "metrics_latency_test.pdb"
+  "metrics_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_bitmap_cache_test.dir/proto_bitmap_cache_test.cc.o"
+  "CMakeFiles/proto_bitmap_cache_test.dir/proto_bitmap_cache_test.cc.o.d"
+  "proto_bitmap_cache_test"
+  "proto_bitmap_cache_test.pdb"
+  "proto_bitmap_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_bitmap_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proto_protocols_test.cc" "tests/CMakeFiles/proto_protocols_test.dir/proto_protocols_test.cc.o" "gcc" "tests/CMakeFiles/proto_protocols_test.dir/proto_protocols_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/tcs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_protocols_test.dir/proto_protocols_test.cc.o"
+  "CMakeFiles/proto_protocols_test.dir/proto_protocols_test.cc.o.d"
+  "proto_protocols_test"
+  "proto_protocols_test.pdb"
+  "proto_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

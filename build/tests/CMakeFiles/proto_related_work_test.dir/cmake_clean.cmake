@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_related_work_test.dir/proto_related_work_test.cc.o"
+  "CMakeFiles/proto_related_work_test.dir/proto_related_work_test.cc.o.d"
+  "proto_related_work_test"
+  "proto_related_work_test.pdb"
+  "proto_related_work_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_related_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

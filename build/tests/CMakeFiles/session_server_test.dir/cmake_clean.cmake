@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_server_test.dir/session_server_test.cc.o"
+  "CMakeFiles/session_server_test.dir/session_server_test.cc.o.d"
+  "session_server_test"
+  "session_server_test.pdb"
+  "session_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_lz_test.dir/util_lz_test.cc.o"
+  "CMakeFiles/util_lz_test.dir/util_lz_test.cc.o.d"
+  "util_lz_test"
+  "util_lz_test.pdb"
+  "util_lz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_lz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

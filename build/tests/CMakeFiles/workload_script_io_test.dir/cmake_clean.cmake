@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_script_io_test.dir/workload_script_io_test.cc.o"
+  "CMakeFiles/workload_script_io_test.dir/workload_script_io_test.cc.o.d"
+  "workload_script_io_test"
+  "workload_script_io_test.pdb"
+  "workload_script_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_script_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsctl.dir/tcsctl.cc.o"
+  "CMakeFiles/tcsctl.dir/tcsctl.cc.o.d"
+  "tcsctl"
+  "tcsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
