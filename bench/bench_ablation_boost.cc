@@ -4,13 +4,19 @@
 // window (completes untouched) vs when it is stranded behind the daemon (the 900 ms case).
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/util/table.h"
 
 namespace tcs {
 namespace {
+
+const double kSpeeds[] = {1.0, 1.5, 2.0, 2.5, 2.8, 3.0, 4.0, 5.5};
+const int kStretches[] = {1, 2, 3};
 
 void Run() {
   PrintBanner("Ablation A1 — GUI boost grace period vs operation length",
@@ -20,14 +26,25 @@ void Run() {
                  "(500 -> 900 ms); processors ~3x faster bring it under the threshold "
                  "with no scheduler change.");
 
+  constexpr int kStretchCount = static_cast<int>(std::size(kStretches));
+  ParallelSweep sweep;
+  std::vector<Duration> done = sweep.Map(
+      static_cast<int>(std::size(kSpeeds)) * kStretchCount, [&](int i) {
+        return RunMaximizeScenario(kStretches[i % kStretchCount],
+                                   kSpeeds[i / kStretchCount]);
+      });
+
   TextTable table({"CPU speed", "op length (ms)", "stretch=1", "stretch=2", "stretch=3"});
-  for (double speed : {1.0, 1.5, 2.0, 2.5, 2.8, 3.0, 4.0, 5.5}) {
+  for (size_t s = 0; s < std::size(kSpeeds); ++s) {
+    double speed = kSpeeds[s];
     std::vector<std::string> row;
     row.push_back(TextTable::Fixed(speed, 1) + "x");
     row.push_back(TextTable::Fixed(500.0 / speed, 0));
-    for (int stretch : {1, 2, 3}) {
-      Duration done = RunMaximizeScenario(stretch, speed);
-      row.push_back(TextTable::Fixed(done.ToMillisF(), 0));
+    for (int stretch = 0; stretch < kStretchCount; ++stretch) {
+      row.push_back(TextTable::Fixed(
+          done[s * static_cast<size_t>(kStretchCount) + static_cast<size_t>(stretch)]
+              .ToMillisF(),
+          0));
     }
     table.AddRow(std::move(row));
   }

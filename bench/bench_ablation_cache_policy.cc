@@ -3,13 +3,18 @@
 // somehow detect loop patterns and adjust its eviction behavior accordingly").
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/util/table.h"
 
 namespace tcs {
 namespace {
+
+const int kFrames[] = {25, 45, 60, 65, 66, 70, 80, 100};
 
 void Run() {
   PrintBanner("Ablation A2 — bitmap cache eviction policy vs looping animations",
@@ -18,20 +23,27 @@ void Run() {
                  "defeat LRU disk caches. A loop-aware policy keeps a stable prefix "
                  "resident and removes the Figure 7 cliff.");
 
+  // Frame count x eviction policy, fanned out in parallel (policy is the fast-varying
+  // index: even i = LRU, odd i = loop-aware).
+  ParallelSweep sweep;
+  std::vector<AnimationLoadResult> results =
+      sweep.Map(static_cast<int>(std::size(kFrames)) * 2, [&](int i) {
+        GifAnimationOptions opt;
+        opt.frames = kFrames[i / 2];
+        opt.frame_period = Duration::Millis(200);
+        opt.width = 200;
+        opt.height = 150;
+        opt.compression_ratio = 0.8;
+        opt.duration = Duration::Seconds(60);
+        opt.cache_policy = i % 2 == 0 ? CachePolicy::kLru : CachePolicy::kLoopAware;
+        return RunGifAnimation(ProtocolKind::kRdp, opt);
+      });
+
   TextTable table({"frames", "LRU (Mbps)", "loop-aware (Mbps)", "LRU hit %", "loop-aware hit %"});
-  for (int frames : {25, 45, 60, 65, 66, 70, 80, 100}) {
-    GifAnimationOptions opt;
-    opt.frames = frames;
-    opt.frame_period = Duration::Millis(200);
-    opt.width = 200;
-    opt.height = 150;
-    opt.compression_ratio = 0.8;
-    opt.duration = Duration::Seconds(60);
-    opt.cache_policy = CachePolicy::kLru;
-    AnimationLoadResult lru = RunGifAnimation(ProtocolKind::kRdp, opt);
-    opt.cache_policy = CachePolicy::kLoopAware;
-    AnimationLoadResult loop = RunGifAnimation(ProtocolKind::kRdp, opt);
-    table.AddRow({TextTable::Num(frames), TextTable::Fixed(lru.sustained_mbps, 3),
+  for (size_t f = 0; f < std::size(kFrames); ++f) {
+    const AnimationLoadResult& lru = results[f * 2];
+    const AnimationLoadResult& loop = results[f * 2 + 1];
+    table.AddRow({TextTable::Num(kFrames[f]), TextTable::Fixed(lru.sustained_mbps, 3),
                   TextTable::Fixed(loop.sustained_mbps, 3),
                   TextTable::Fixed(lru.cumulative_hit_ratio * 100.0, 1),
                   TextTable::Fixed(loop.cumulative_hit_ratio * 100.0, 1)});

@@ -7,14 +7,19 @@
 // perception threshold) — and shows how far apart the two capacity answers are.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/metrics/latency.h"
 #include "src/util/table.h"
 
 namespace tcs {
 namespace {
+
+const int kUsers[] = {2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32};
 
 void Run() {
   PrintBanner("Ablation A4 — utilization-based vs latency-based server sizing",
@@ -22,8 +27,20 @@ void Run() {
   PrintPaperNote("Sizing white papers report supported users from utilization alone; the "
                  "paper's framework asks what latency those users actually experience.");
 
-  for (const OsProfile& base : {OsProfile::Tse(), OsProfile::LinuxX(),
-                                OsProfile::LinuxSvr4()}) {
+  const OsProfile profiles[] = {OsProfile::Tse(), OsProfile::LinuxX(),
+                                OsProfile::LinuxSvr4()};
+  constexpr int kUserCount = static_cast<int>(std::size(kUsers));
+
+  // All profile x user-count sizing runs fan out together; the ceiling scan below reads
+  // them back in the same order the serial loops produced.
+  ParallelSweep sweep;
+  std::vector<SizingPoint> points =
+      sweep.Map(static_cast<int>(std::size(profiles)) * kUserCount, [&](int i) {
+        return RunServerSizing(profiles[i / kUserCount], kUsers[i % kUserCount]);
+      });
+
+  for (size_t prof = 0; prof < std::size(profiles); ++prof) {
+    const OsProfile& base = profiles[prof];
     std::printf("--- %s ---\n", base.name.c_str());
     TextTable table({"users", "CPU util", "avg stall (ms)", "worst user (ms)",
                      "util verdict", "latency verdict"});
@@ -31,8 +48,10 @@ void Run() {
     int latency_ceiling = 0;
     bool util_failed = false;
     bool latency_failed = false;
-    for (int users : {2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32}) {
-      SizingPoint p = RunServerSizing(base, users);
+    for (int u = 0; u < kUserCount; ++u) {
+      int users = kUsers[u];
+      const SizingPoint& p = points[prof * static_cast<size_t>(kUserCount) +
+                                    static_cast<size_t>(u)];
       bool util_ok = p.cpu_utilization < 0.85;
       bool latency_ok = p.avg_stall_ms < kPerceptionThreshold.ToMillisF();
       if (util_ok && !util_failed) {

@@ -7,13 +7,19 @@
 // while the SVR4 interactive class never needed the extra silicon.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/util/table.h"
 
 namespace tcs {
 namespace {
+
+const int kSinks[] = {0, 2, 5, 10, 15, 20, 30};
+const int kProcs[] = {1, 2, 4};
 
 void Run() {
   PrintBanner("Ablation A5 — SMP scaling of the Figure 3 experiment",
@@ -21,15 +27,30 @@ void Run() {
   PrintPaperNote("Not a paper experiment: quantifies how much of the scheduling problem "
                  "can be bought off with hardware (and how much cannot).");
 
-  for (const OsProfile& profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
-    std::printf("--- %s ---\n", profile.name.c_str());
+  const OsProfile profiles[] = {OsProfile::Tse(), OsProfile::LinuxX()};
+  constexpr int kSinkCount = static_cast<int>(std::size(kSinks));
+  constexpr int kProcCount = static_cast<int>(std::size(kProcs));
+  constexpr int kPerProfile = kSinkCount * kProcCount;
+
+  // The whole profile x sinks x procs grid fans out across the worker pool; results come
+  // back in submission order, so rendering below is identical to the serial loops.
+  ParallelSweep sweep;
+  std::vector<TypingUnderLoadResult> results =
+      sweep.Map(static_cast<int>(std::size(profiles)) * kPerProfile, [&](int i) {
+        const OsProfile& profile = profiles[i / kPerProfile];
+        int sinks = kSinks[(i % kPerProfile) / kProcCount];
+        int procs = kProcs[i % kProcCount];
+        return RunTypingUnderLoad(profile, sinks, Duration::Seconds(30), 1, procs);
+      });
+
+  for (size_t p = 0; p < std::size(profiles); ++p) {
+    std::printf("--- %s ---\n", profiles[p].name.c_str());
     TextTable table({"sinks", "1 cpu", "2 cpus", "4 cpus"});
-    for (int sinks : {0, 2, 5, 10, 15, 20, 30}) {
-      std::vector<std::string> row{TextTable::Num(sinks)};
-      for (int procs : {1, 2, 4}) {
-        TypingUnderLoadResult r =
-            RunTypingUnderLoad(profile, sinks, Duration::Seconds(30), 1, procs);
-        row.push_back(TextTable::Fixed(r.avg_stall_ms, 1));
+    for (int s = 0; s < kSinkCount; ++s) {
+      std::vector<std::string> row{TextTable::Num(kSinks[s])};
+      for (int c = 0; c < kProcCount; ++c) {
+        size_t i = p * kPerProfile + static_cast<size_t>(s * kProcCount + c);
+        row.push_back(TextTable::Fixed(results[i].avg_stall_ms, 1));
       }
       table.AddRow(std::move(row));
     }

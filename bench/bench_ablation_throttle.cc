@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/util/table.h"
 
 namespace tcs {
@@ -22,15 +25,24 @@ void Run() {
   PrintPaperNote("Evans et al. demonstrated that non-interactive process throttling "
                  "eliminated this pathology in their modified SVR4 kernel.");
 
+  const OsProfile profiles[] = {OsProfile::LinuxX(), OsProfile::Tse()};
+
+  // Profile x eviction-policy grid in parallel (even i = global LRU, odd i = protect).
+  ParallelSweep sweep;
+  std::vector<PagingLatencyResult> results =
+      sweep.Map(static_cast<int>(std::size(profiles)) * 2, [&](int i) {
+        EvictionPolicy policy = i % 2 == 0 ? EvictionPolicy::kGlobalLru
+                                           : EvictionPolicy::kInteractiveProtect;
+        return RunPagingLatency(profiles[i / 2], true, 10, 1, policy);
+      });
+
   TextTable table({"OS", "policy", "min (ms)", "avg (ms)", "max (ms)"});
-  for (const OsProfile& profile : {OsProfile::LinuxX(), OsProfile::Tse()}) {
-    PagingLatencyResult lru =
-        RunPagingLatency(profile, true, 10, 1, EvictionPolicy::kGlobalLru);
-    PagingLatencyResult prot =
-        RunPagingLatency(profile, true, 10, 1, EvictionPolicy::kInteractiveProtect);
-    table.AddRow({profile.name, "global LRU", Floor50(lru.min_ms), Floor50(lru.avg_ms),
-                  Floor50(lru.max_ms)});
-    table.AddRow({profile.name, "interactive-protect", Floor50(prot.min_ms),
+  for (size_t p = 0; p < std::size(profiles); ++p) {
+    const PagingLatencyResult& lru = results[p * 2];
+    const PagingLatencyResult& prot = results[p * 2 + 1];
+    table.AddRow({profiles[p].name, "global LRU", Floor50(lru.min_ms),
+                  Floor50(lru.avg_ms), Floor50(lru.max_ms)});
+    table.AddRow({profiles[p].name, "interactive-protect", Floor50(prot.min_ms),
                   Floor50(prot.avg_ms), Floor50(prot.max_ms)});
   }
   std::printf("%s\n", table.Render().c_str());

@@ -4,9 +4,12 @@
 // transit, client decode + blit.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/util/table.h"
 
 namespace tcs {
@@ -18,32 +21,49 @@ void AddRow(TextTable& table, const char* scenario, const EndToEndResult& r) {
                 TextTable::Fixed(r.client_ms, 2), TextTable::Fixed(r.total_ms, 2)});
 }
 
+struct Scenario {
+  const char* label;
+  EndToEndOptions options;
+};
+
+std::vector<Scenario> Scenarios() {
+  EndToEndOptions baseline;
+  EndToEndOptions loaded = baseline;
+  loaded.sinks = 10;
+  EndToEndOptions congested = baseline;
+  congested.background_mbps = 9.0;
+  EndToEndOptions weak_client = baseline;
+  weak_client.client = ThinClientConfig::Handheld();
+  return {{"idle server, desktop client", baseline},
+          {"10 sinks (CPU stress)", loaded},
+          {"9 Mbps background (net stress)", congested},
+          {"handheld client (client stress)", weak_client}};
+}
+
 void Run() {
   PrintBanner("Extension R3 — end-to-end keystroke latency budget (mean ms per leg)",
               "input net | server (queue+pipeline) | display net | client decode+blit");
   PrintPaperNote("Not a paper figure: §3.2's 'three categories of factors' made "
                  "measurable. Shows which leg dominates under each kind of stress.");
 
-  for (const OsProfile& profile : {OsProfile::Tse(), OsProfile::LinuxX()}) {
-    std::printf("--- %s ---\n", profile.name.c_str());
+  const OsProfile profiles[] = {OsProfile::Tse(), OsProfile::LinuxX()};
+  const std::vector<Scenario> scenarios = Scenarios();
+  const int per_profile = static_cast<int>(scenarios.size());
+
+  ParallelSweep sweep;
+  std::vector<EndToEndResult> results =
+      sweep.Map(static_cast<int>(std::size(profiles)) * per_profile, [&](int i) {
+        return RunEndToEndLatency(profiles[i / per_profile],
+                                  scenarios[static_cast<size_t>(i % per_profile)].options);
+      });
+
+  for (size_t p = 0; p < std::size(profiles); ++p) {
+    std::printf("--- %s ---\n", profiles[p].name.c_str());
     TextTable table({"scenario", "input net", "server", "display net", "client", "total"});
-
-    EndToEndOptions baseline;
-    AddRow(table, "idle server, desktop client", RunEndToEndLatency(profile, baseline));
-
-    EndToEndOptions loaded = baseline;
-    loaded.sinks = 10;
-    AddRow(table, "10 sinks (CPU stress)", RunEndToEndLatency(profile, loaded));
-
-    EndToEndOptions congested = baseline;
-    congested.background_mbps = 9.0;
-    AddRow(table, "9 Mbps background (net stress)", RunEndToEndLatency(profile, congested));
-
-    EndToEndOptions weak_client = baseline;
-    weak_client.client = ThinClientConfig::Handheld();
-    AddRow(table, "handheld client (client stress)",
-           RunEndToEndLatency(profile, weak_client));
-
+    for (size_t s = 0; s < scenarios.size(); ++s) {
+      AddRow(table, scenarios[s].label,
+             results[p * static_cast<size_t>(per_profile) + s]);
+    }
     std::printf("%s\n", table.Render().c_str());
   }
 }

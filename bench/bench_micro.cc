@@ -33,6 +33,55 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
+// Cancellation-heavy churn: schedule a burst, cancel half of it out from under the queue,
+// then drain. Timer re-arming (Periodic, StallDetector, protocol flush timers) makes
+// Cancel a hot operation, not an edge case.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(q.Schedule(TimePoint::FromMicros((i * 7919) % 10000), [] {}));
+    }
+    for (int i = 0; i < 1000; i += 2) {
+      q.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    TimePoint when;
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop(&when));
+    }
+  }
+  // 1000 schedules + 500 cancels + 500 pops per iteration.
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+// One million events flowing through a queue that holds ~10k outstanding at any moment —
+// the shape of a long experiment run, where the working set stays bounded while the
+// event count is effectively unbounded.
+void BM_EventQueueMillionEvents(benchmark::State& state) {
+  constexpr int kOutstanding = 10000;
+  constexpr int kTotal = 1000000;
+  for (auto _ : state) {
+    EventQueue q;
+    uint64_t t = 0;
+    for (int i = 0; i < kOutstanding; ++i) {
+      q.Schedule(TimePoint::FromMicros(static_cast<int64_t>((t += 13) % 100000)), [] {});
+    }
+    TimePoint when;
+    for (int i = kOutstanding; i < kTotal; ++i) {
+      benchmark::DoNotOptimize(q.Pop(&when));
+      q.Schedule(when + Duration::Micros(static_cast<int64_t>((t += 13) % 1000)), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop(&when));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_EventQueueMillionEvents);
+
 void BM_NtSchedulerDecision(benchmark::State& state) {
   NtScheduler sched;
   std::vector<std::unique_ptr<Thread>> threads;

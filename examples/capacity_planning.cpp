@@ -7,9 +7,11 @@
 // the network ceiling for animation-heavy behaviour on 10 Mbps Ethernet.
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/metrics/latency.h"
 #include "src/session/server.h"
 #include "src/util/table.h"
@@ -57,13 +59,27 @@ int main() {
   using namespace tcs;
 
   std::printf("CPU ceiling: concurrent typing users vs average stall (30 s runs)\n\n");
+
+  // Every (user count, OS) cell of the table is an independent 30 s simulation; fan the
+  // whole grid out across the machine and read the results back in submission order.
+  const int user_steps[] = {1, 2, 4, 6, 8, 10, 12, 16, 20};
+  const OsProfile profiles[] = {OsProfile::Tse(), OsProfile::LinuxX(),
+                                OsProfile::LinuxSvr4()};
+  constexpr int kProfileCount = static_cast<int>(std::size(profiles));
+  ParallelSweep sweep;
+  std::vector<double> stalls = sweep.Map(
+      static_cast<int>(std::size(user_steps)) * kProfileCount, [&](int i) {
+        return AvgStallMs(profiles[i % kProfileCount], user_steps[i / kProfileCount]);
+      });
+
   TextTable table({"users", "NT TSE (ms)", "Linux/X (ms)", "Linux+SVR4-IA (ms)"});
   int tse_limit = -1;
   int lin_limit = -1;
-  for (int users : {1, 2, 4, 6, 8, 10, 12, 16, 20}) {
-    double tse = AvgStallMs(OsProfile::Tse(), users);
-    double lin = AvgStallMs(OsProfile::LinuxX(), users);
-    double svr4 = AvgStallMs(OsProfile::LinuxSvr4(), users);
+  for (size_t u = 0; u < std::size(user_steps); ++u) {
+    int users = user_steps[u];
+    double tse = stalls[u * kProfileCount];
+    double lin = stalls[u * kProfileCount + 1];
+    double svr4 = stalls[u * kProfileCount + 2];
     if (tse_limit < 0 && tse > kPerceptionThreshold.ToMillisF()) {
       tse_limit = users;
     }

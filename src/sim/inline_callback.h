@@ -1,0 +1,125 @@
+// Small-buffer-optimized, move-only replacement for std::function<void()> on the
+// simulator's hot path.
+//
+// Nearly every scheduled callback in the models is a lambda capturing `this` plus a
+// couple of scalars — far below the 48-byte inline buffer — so Schedule() never touches
+// the heap for them. Callables larger than the buffer (or with throwing moves) fall back
+// to a single heap allocation, preserving std::function's generality. Unlike
+// std::function the type is move-only, which is what an event queue needs: callbacks are
+// scheduled once and consumed once, and captured state (unique_ptrs, buffers) need not
+// be copyable.
+
+#ifndef TCS_SRC_SIM_INLINE_CALLBACK_H_
+#define TCS_SRC_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tcs {
+
+class InlineCallback {
+ public:
+  // Covers a vtable-less lambda capturing `this` plus ~5 scalar words, and a whole
+  // std::function (32 bytes on common ABIs) when one is forwarded through.
+  static constexpr size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit, mirrors std::function
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) {
+        ops_->destroy(storage_);
+      }
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Must not be called on an empty callback.
+  void operator()() { ops_->invoke(storage_); }
+
+  // True if the callable is stored in the inline buffer (no heap allocation). Exposed so
+  // tests can pin down which capture sizes stay allocation-free.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct the callable from `from` into `to`, then destroy it at `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline = sizeof(D) <= kInlineSize &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) {
+        D* f = static_cast<D*>(from);
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
+      [](void* p) { delete *static_cast<D**>(p); },
+      /*inline_storage=*/false,
+  };
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_SIM_INLINE_CALLBACK_H_

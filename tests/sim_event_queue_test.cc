@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "src/session/server.h"
+#include "src/sim/periodic.h"
+#include "src/sim/simulator.h"
 
 namespace tcs {
 namespace {
@@ -87,6 +94,121 @@ TEST(EventQueueTest, CancelledHeadSkipped) {
   q.Pop(&when)();
   EXPECT_EQ(when, TimePoint::FromMicros(20));
   EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+// A slot freed by Cancel and recycled by a later Schedule must not honor the old
+// tenant's id: the generation tag moved on.
+TEST(EventQueueTest, StaleIdAfterCancelCannotTouchRecycledSlot) {
+  EventQueue q;
+  bool new_fired = false;
+  EventId stale = q.Schedule(TimePoint::FromMicros(10), [] {});
+  ASSERT_TRUE(q.Cancel(stale));
+  // The free list is LIFO, so this reuses the slot the cancelled event vacated.
+  EventId fresh = q.Schedule(TimePoint::FromMicros(20), [&] { new_fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.IsPending(stale));
+  EXPECT_TRUE(q.IsPending(fresh));
+  EXPECT_FALSE(q.Cancel(stale));  // must not cancel the slot's new tenant
+  EXPECT_TRUE(q.IsPending(fresh));
+  TimePoint when;
+  q.Pop(&when)();
+  EXPECT_TRUE(new_fired);
+}
+
+// Same hazard via the fire path: popping an event frees its slot too.
+TEST(EventQueueTest, StaleIdAfterFireCannotTouchRecycledSlot) {
+  EventQueue q;
+  EventId stale = q.Schedule(TimePoint::FromMicros(10), [] {});
+  TimePoint when;
+  q.Pop(&when)();
+  EventId fresh = q.Schedule(TimePoint::FromMicros(20), [] {});
+  EXPECT_FALSE(q.Cancel(stale));
+  EXPECT_FALSE(q.IsPending(stale));
+  EXPECT_TRUE(q.IsPending(fresh));
+  EXPECT_TRUE(q.Cancel(fresh));
+}
+
+// Interleaved schedule/cancel/pop churn, checked against a brute-force reference model.
+// Exercises slot recycling, tombstone skipping, and heap repair under load.
+TEST(EventQueueTest, InterleavedChurnMatchesReferenceModel) {
+  EventQueue q;
+  struct Ref {
+    int64_t when_us;
+    uint64_t order;  // scheduling order, the tie-breaker
+    EventId id;
+  };
+  std::vector<Ref> live;
+  std::vector<std::pair<int64_t, uint64_t>> expected;
+  std::vector<std::pair<int64_t, uint64_t>> fired;
+  uint64_t order = 0;
+  uint64_t rng = 12345;
+  auto next_rand = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+
+  for (int round = 0; round < 2000; ++round) {
+    uint64_t r = next_rand();
+    if (r % 100 < 55 || live.empty()) {
+      int64_t when_us = static_cast<int64_t>(next_rand() % 512);
+      uint64_t tag = order++;
+      EventId id = q.Schedule(TimePoint::FromMicros(when_us),
+                              [&fired, when_us, tag] { fired.push_back({when_us, tag}); });
+      live.push_back({when_us, tag, id});
+    } else if (r % 100 < 75) {
+      size_t victim = next_rand() % live.size();
+      EXPECT_TRUE(q.Cancel(live[victim].id));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      auto earliest = std::min_element(
+          live.begin(), live.end(), [](const Ref& a, const Ref& b) {
+            return a.when_us != b.when_us ? a.when_us < b.when_us : a.order < b.order;
+          });
+      expected.push_back({earliest->when_us, earliest->order});
+      TimePoint when;
+      q.Pop(&when)();
+      EXPECT_EQ(when, TimePoint::FromMicros(earliest->when_us));
+      live.erase(earliest);
+    }
+    ASSERT_EQ(q.size(), live.size());
+  }
+  while (!live.empty()) {
+    auto earliest =
+        std::min_element(live.begin(), live.end(), [](const Ref& a, const Ref& b) {
+          return a.when_us != b.when_us ? a.when_us < b.when_us : a.order < b.order;
+        });
+    expected.push_back({earliest->when_us, earliest->order});
+    TimePoint when;
+    q.Pop(&when)();
+    live.erase(earliest);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, expected);
+}
+
+// The determinism contract: two identically seeded runs of a loaded server execute the
+// same events in the same order and emit display updates at identical times.
+TEST(EventQueueTest, LoadedServerRunsAreDeterministic) {
+  auto run_once = [] {
+    Simulator sim;
+    Server server(sim, OsProfile::Tse());
+    server.StartDaemons();
+    Session& session = server.Login();
+    server.StartSinks(5);
+    std::vector<TimePoint> updates;
+    session.set_on_display_update([&updates](TimePoint t) { updates.push_back(t); });
+    PeriodicTask typist(sim, Duration::Millis(200),
+                        [&server, &session] { server.Keystroke(session); });
+    typist.Start();
+    sim.RunUntil(TimePoint::Zero() + Duration::Seconds(5));
+    return std::make_pair(std::move(updates), sim.events_executed());
+  };
+  auto first = run_once();
+  auto second = run_once();
+  EXPECT_GT(first.second, 0u);
+  EXPECT_EQ(first.second, second.second);
+  ASSERT_FALSE(first.first.empty());
+  EXPECT_EQ(first.first, second.first);
 }
 
 TEST(EventQueueTest, SizeTracksLiveEvents) {

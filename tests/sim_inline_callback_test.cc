@@ -1,0 +1,107 @@
+#include "src/sim/inline_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace tcs {
+namespace {
+
+TEST(InlineCallbackTest, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(cb);
+  InlineCallback null_cb(nullptr);
+  EXPECT_FALSE(null_cb);
+}
+
+TEST(InlineCallbackTest, InvokesStoredLambda) {
+  int calls = 0;
+  InlineCallback cb([&calls] { ++calls; });
+  ASSERT_TRUE(cb);
+  cb();
+  cb();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallbackTest, SmallCapturesStayInline) {
+  // The hot-path shape: `this` plus a couple of scalars.
+  struct Model {
+    int x = 0;
+  } model;
+  uint64_t a = 1, b = 2;
+  InlineCallback cb([&model, a, b] { model.x = static_cast<int>(a + b); });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(model.x, 3);
+  // A whole std::function forwarded through still fits the 48-byte buffer.
+  std::function<void()> fn = [&model] { model.x = 7; };
+  InlineCallback wrapped(std::move(fn));
+  EXPECT_TRUE(wrapped.is_inline());
+  wrapped();
+  EXPECT_EQ(model.x, 7);
+}
+
+TEST(InlineCallbackTest, LargeCapturesFallBackToHeapAndStillRun) {
+  std::array<uint64_t, 16> payload{};  // 128 bytes: over the inline budget
+  payload[15] = 42;
+  uint64_t seen = 0;
+  InlineCallback cb([payload, &seen] { seen = payload[15]; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineCallback a([&calls] { ++calls; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from must read empty
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(c);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallbackTest, SupportsMoveOnlyCaptures) {
+  // std::function cannot hold this; the event queue needs it for one-shot payloads.
+  auto owned = std::make_unique<int>(9);
+  int seen = 0;
+  InlineCallback cb([owned = std::move(owned), &seen] { seen = *owned; });
+  cb();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(InlineCallbackTest, DestroysCaptureExactlyOnce) {
+  struct Counter {
+    explicit Counter(int* deaths) : deaths_(deaths) {}
+    Counter(Counter&& other) noexcept : deaths_(std::exchange(other.deaths_, nullptr)) {}
+    Counter(const Counter&) = delete;
+    ~Counter() {
+      if (deaths_ != nullptr) {
+        ++*deaths_;
+      }
+    }
+    int* deaths_;
+  };
+  int deaths = 0;
+  {
+    InlineCallback cb([c = Counter(&deaths)] { (void)c; });
+    InlineCallback moved(std::move(cb));
+    moved();  // invoking must not destroy the capture
+    EXPECT_EQ(deaths, 0);
+  }
+  EXPECT_EQ(deaths, 1);
+}
+
+}  // namespace
+}  // namespace tcs

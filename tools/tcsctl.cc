@@ -12,10 +12,17 @@
 //   rtt      [--mbps=X --seconds=N]                      Figures 8-9 probe
 //   sizing   --os=... --users=N                          utilization vs latency sizing
 //   e2e      --os=... [--sinks=N --background-mbps=X --client=pc|winterm|handheld]
+//   sweep    --experiment=typing|sizing|e2e [--os=tse,linux,... --sinks=L --users=L
+//            --seconds=N --jobs=N --seed=N]              parallel config-matrix sweep
 //   replay   <trace-file> --protocol=...                 replay a recorded session
 //   help
 //
 // Add --csv to table-producing commands for machine-readable output.
+//
+// `sweep` crosses the OS list with the load list (sinks for typing/e2e, users for
+// sizing) and fans the configurations out over a worker pool (--jobs, default: all
+// cores). Each configuration gets a deterministic seed derived from --seed and its
+// position in the matrix, so output is byte-identical for any worker count.
 
 #include <cstdio>
 #include <memory>
@@ -24,6 +31,7 @@
 #include <string>
 
 #include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
 #include "src/proto/lbx_protocol.h"
 #include "src/proto/rdp_protocol.h"
 #include "src/proto/slim_protocol.h"
@@ -40,7 +48,7 @@ namespace {
 int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
-      "commands: idle typing paging traffic webpage gif rtt sizing e2e replay help\n"
+      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -231,6 +239,136 @@ int CmdE2e(FlagSet& flags) {
   return 0;
 }
 
+// Splits a comma-separated flag value ("0,2,5") into tokens.
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::string token;
+  std::stringstream stream(value);
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) {
+      out.push_back(token);
+    }
+  }
+  return out;
+}
+
+bool ParseIntList(const std::string& value, const char* flag, std::vector<int>* out) {
+  for (const std::string& token : SplitList(value)) {
+    try {
+      out->push_back(std::stoi(token));
+    } catch (...) {
+      std::fprintf(stderr, "bad --%s entry '%s'\n", flag, token.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdSweep(FlagSet& flags) {
+  std::string experiment = flags.GetString("experiment", "typing");
+  if (experiment != "typing" && experiment != "sizing" && experiment != "e2e") {
+    std::fprintf(stderr, "unknown --experiment '%s' (typing|sizing|e2e)\n",
+                 experiment.c_str());
+    return 2;
+  }
+
+  std::string os_list = flags.GetString("os", "all");
+  if (os_list == "all") {
+    os_list = "tse,linux,ntws,svr4";
+  }
+  std::vector<OsProfile> profiles;
+  for (const std::string& word : SplitList(os_list)) {
+    OsProfile profile;
+    if (!ParseOs(word, &profile)) {
+      return 2;
+    }
+    profiles.push_back(std::move(profile));
+  }
+
+  std::vector<int> loads;  // sinks for typing/e2e, users for sizing
+  const char* load_label = experiment == "sizing" ? "users" : "sinks";
+  std::string load_default = experiment == "sizing" ? "2,4,8,16" : "0,2,5,10";
+  if (!ParseIntList(flags.GetString(load_label, load_default), load_label, &loads)) {
+    return 2;
+  }
+  if (profiles.empty() || loads.empty()) {
+    std::fprintf(stderr, "sweep needs at least one --os and one --%s value\n", load_label);
+    return 2;
+  }
+
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  int load_count = static_cast<int>(loads.size());
+  int configs = static_cast<int>(profiles.size()) * load_count;
+
+  // One row per configuration, OS-major, load-minor: the same order the equivalent
+  // serial loops would produce, regardless of --jobs.
+  ParallelSweep sweep(jobs);
+  TextTable table = [&] {
+    if (experiment == "typing") {
+      return TextTable({"os", "sinks", "avg stall (ms)", "max stall (ms)", "jitter (ms)",
+                        "updates"});
+    }
+    if (experiment == "sizing") {
+      return TextTable({"os", "users", "CPU util", "avg stall (ms)", "worst user (ms)"});
+    }
+    return TextTable({"os", "sinks", "input (ms)", "server (ms)", "display (ms)",
+                      "client (ms)", "total (ms)"});
+  }();
+
+  std::vector<std::vector<std::string>> rows;
+  if (experiment == "typing") {
+    auto results = sweep.Map(configs, [&](int i) {
+      return RunTypingUnderLoad(profiles[static_cast<size_t>(i / load_count)],
+                                loads[static_cast<size_t>(i % load_count)], seconds,
+                                SweepSeed(base_seed, static_cast<uint64_t>(i)));
+    });
+    for (const TypingUnderLoadResult& r : results) {
+      rows.push_back({r.os_name, TextTable::Num(r.sinks),
+                      TextTable::Fixed(r.avg_stall_ms, 1),
+                      TextTable::Fixed(r.max_stall_ms, 1),
+                      TextTable::Fixed(r.jitter_ms, 1), TextTable::Num(r.updates)});
+    }
+  } else if (experiment == "sizing") {
+    auto results = sweep.Map(configs, [&](int i) {
+      return RunServerSizing(profiles[static_cast<size_t>(i / load_count)],
+                             loads[static_cast<size_t>(i % load_count)], {}, seconds,
+                             SweepSeed(base_seed, static_cast<uint64_t>(i)));
+    });
+    for (const SizingPoint& p : results) {
+      rows.push_back({p.os_name, TextTable::Num(p.users),
+                      TextTable::Percent(p.cpu_utilization, 1),
+                      TextTable::Fixed(p.avg_stall_ms, 1),
+                      TextTable::Fixed(p.worst_stall_ms, 1)});
+    }
+  } else {
+    auto results = sweep.Map(configs, [&](int i) {
+      EndToEndOptions opt;
+      opt.sinks = loads[static_cast<size_t>(i % load_count)];
+      opt.background_mbps = flags.GetDouble("background-mbps", 0.0);
+      opt.duration = seconds;
+      opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
+      return RunEndToEndLatency(profiles[static_cast<size_t>(i / load_count)], opt);
+    });
+    for (size_t i = 0; i < results.size(); ++i) {
+      const EndToEndResult& r = results[i];
+      rows.push_back({r.os_name, TextTable::Num(loads[i % loads.size()]),
+                      TextTable::Fixed(r.input_net_ms, 2),
+                      TextTable::Fixed(r.server_ms, 2),
+                      TextTable::Fixed(r.display_net_ms, 2),
+                      TextTable::Fixed(r.client_ms, 2), TextTable::Fixed(r.total_ms, 2)});
+    }
+  }
+  for (auto& row : rows) {
+    table.AddRow(std::move(row));
+  }
+  Emit(table, flags.GetBool("csv"));
+  // stderr, so stdout stays byte-identical for any --jobs value (and CSV stays clean).
+  std::fprintf(stderr, "%d configs over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
 int CmdReplay(FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "replay needs a trace file\n");
@@ -307,7 +445,8 @@ int Run(int argc, char** argv) {
   FlagSet flags(argc, argv,
                 {"os", "seconds", "sinks", "cpus", "full-demand", "runs", "protect",
                  "protocol", "steps", "no-banner", "no-marquee", "frames", "loop-aware",
-                 "mbps", "users", "background-mbps", "client", "csv"});
+                 "mbps", "users", "background-mbps", "client", "csv", "experiment",
+                 "jobs", "seed"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -338,6 +477,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "e2e") {
     return CmdE2e(flags);
+  }
+  if (command == "sweep") {
+    return CmdSweep(flags);
   }
   if (command == "replay") {
     return CmdReplay(flags);
