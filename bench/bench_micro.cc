@@ -8,6 +8,7 @@
 
 #include "src/cpu/cpu.h"
 #include "src/cpu/nt_scheduler.h"
+#include "src/obs/trace.h"
 #include "src/proto/bitmap_cache.h"
 #include "src/session/server.h"
 #include "src/sim/simulator.h"
@@ -151,6 +152,33 @@ void BM_SimulateLoadedServerSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateLoadedServerSecond)->Arg(0)->Arg(10)->Arg(50);
+
+// Observability overhead on the same loaded-server second. Arg meaning:
+//   0 — no tracer attached (the shipping default: one null-pointer branch per site)
+//   1 — tracer attached with every category masked off (branch + filtered Push)
+//   2 — tracer attached, all categories captured
+// The 0-vs-1 gap prices the null-sink promise; 0-vs-2 prices full capture.
+void BM_SimulateTracedServerSecond(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Tracer tracer(TracerConfig{mode == 2 ? kAllTraceCategories : 0u});
+    ServerConfig cfg;
+    if (mode != 0) {
+      cfg.tracer = &tracer;
+    }
+    Server server(sim, OsProfile::Tse(), cfg);
+    server.StartDaemons();
+    Session& session = server.Login();
+    server.StartSinks(10);
+    Typist typist(sim, [&] { server.Keystroke(session); });
+    typist.Start();
+    sim.RunUntil(TimePoint::Zero() + Duration::Seconds(1));
+    benchmark::DoNotOptimize(server.tap().total_messages());
+    benchmark::DoNotOptimize(tracer.event_count());
+  }
+}
+BENCHMARK(BM_SimulateTracedServerSecond)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace tcs

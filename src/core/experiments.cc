@@ -1,7 +1,9 @@
 #include "src/core/experiments.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <sstream>
 
 #include "src/cpu/nt_scheduler.h"
 #include "src/metrics/latency.h"
@@ -65,6 +67,29 @@ struct ProtocolHarness {
     return rdp != nullptr ? &rdp->bitmap_cache() : nullptr;
   }
 
+  // Wires the ObsConfig's tracer through the harness's layers and registers the link
+  // backlog gauge (protocol-only experiments have no cpu/pager to observe).
+  void ApplyObs(const ObsConfig* obs) {
+    if (obs == nullptr) {
+      return;
+    }
+    if (obs->tracer != nullptr) {
+      link.SetTracer(obs->tracer);
+      protocol->SetTracer(obs->tracer);
+    }
+    if (obs->metrics != nullptr) {
+      Link* l = &link;
+      Simulator* s = &sim;
+      obs->metrics->AddGauge("link_backlog_bytes", [l, s] {
+        return static_cast<double>(l->BacklogBytesAt(s->Now()).count());
+      });
+      if (const BitmapCache* c = cache()) {
+        obs->metrics->AddGauge("bitmap_cache_hit_rate",
+                               [c] { return c->CumulativeHitRatio(); });
+      }
+    }
+  }
+
   Simulator sim;
   Link link;
   MessageSender display;
@@ -87,6 +112,69 @@ std::string ProtocolName(ProtocolKind kind) {
       return "VNC";
   }
   return "?";
+}
+
+using WallClock = std::chrono::steady_clock;
+
+// Adds one simulator run's kernel counters and wall-clock time into `rs`.
+void FinishRun(RunStats& rs, const Simulator& sim, WallClock::time_point t0) {
+  rs.events_executed += sim.events_executed();
+  rs.pending_events += sim.pending_events();
+  rs.wall_ms +=
+      std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
+}
+
+// Mirrors the kernel's pending-event depth as a sim-category counter track.
+void AttachSimHook(Simulator& sim, const ObsConfig* obs) {
+  if (obs == nullptr || obs->tracer == nullptr ||
+      !obs->tracer->Enabled(TraceCategory::kSim)) {
+    return;
+  }
+  Tracer* tracer = obs->tracer;
+  TraceTrack track = tracer->RegisterTrack("sim", "kernel");
+  sim.set_dispatch_hook([tracer, track](TimePoint when, size_t pending) {
+    tracer->Counter(TraceCategory::kSim, "pending_events", track, when,
+                    static_cast<double>(pending));
+  });
+}
+
+// Starts gauge sampling if the ObsConfig carries a registry; null otherwise.
+std::unique_ptr<PeriodicSampler> StartSampler(Simulator& sim, const ObsConfig* obs) {
+  if (obs == nullptr || obs->metrics == nullptr) {
+    return nullptr;
+  }
+  auto sampler = std::make_unique<PeriodicSampler>(sim, *obs->metrics,
+                                                   obs->sample_period, obs->tracer);
+  sampler->Start();
+  return sampler;
+}
+
+// Owns the run's PeriodicSampler; on destruction renders the sampled gauge series into
+// obs->sampler_csv (when requested) so the data survives the experiment's scope.
+class SamplerScope {
+ public:
+  SamplerScope(Simulator& sim, const ObsConfig* obs)
+      : obs_(obs), sampler_(StartSampler(sim, obs)) {}
+  ~SamplerScope() {
+    if (sampler_ != nullptr && obs_->sampler_csv != nullptr) {
+      std::ostringstream out;
+      sampler_->WriteCsv(out);
+      *obs_->sampler_csv = out.str();
+    }
+  }
+  SamplerScope(const SamplerScope&) = delete;
+  SamplerScope& operator=(const SamplerScope&) = delete;
+
+ private:
+  const ObsConfig* obs_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+};
+
+void ApplyObs(ServerConfig& cfg, const ObsConfig* obs) {
+  if (obs != nullptr) {
+    cfg.tracer = obs->tracer;
+    cfg.metrics = obs->metrics;
+  }
 }
 
 AnimationLoadResult CollectLoad(const ProtocolHarness& harness, Duration duration,
@@ -128,6 +216,7 @@ AnimationLoadResult CollectLoad(const ProtocolHarness& harness, Duration duratio
 
 IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
                                  uint64_t seed) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   ServerConfig cfg;
   cfg.seed = seed;
@@ -149,17 +238,22 @@ IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
   }
   result.cumulative = profiler.CumulativeLatencyCurve();
   result.total_busy = profiler.TotalBusy();
+  FinishRun(result.run, sim, t0);
   return result;
 }
 
 TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
                                          Duration duration, uint64_t seed,
-                                         int processors) {
+                                         int processors, const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   ServerConfig cfg;
   cfg.seed = seed;
   cfg.cpu.processors = processors;
+  ApplyObs(cfg, obs);
+  AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
   server.StartDaemons();
   Session& session = server.Login();
   server.StartSinks(sinks);
@@ -178,6 +272,7 @@ TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
   result.max_stall_ms = stalls.MaxStall().ToMillisF();
   result.jitter_ms = stalls.Jitter().ToMillisF();
   result.updates = stalls.updates();
+  FinishRun(result.run, sim, t0);
   return result;
 }
 
@@ -204,6 +299,7 @@ Duration RunMaximizeScenario(int foreground_stretch, double cpu_speed) {
 // Memory
 
 SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   ServerConfig cfg;
   Server server(sim, profile, cfg);
@@ -225,18 +321,27 @@ SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light) {
   size_t ws = profile.editor_working_set_pages;
   result.measured_resident = Bytes::Of(
       static_cast<int64_t>(frames_after - frames_before - ws) * 4096);
+  FinishRun(result.run, sim, t0);
   return result;
 }
 
 PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand, int runs,
-                                     uint64_t seed, EvictionPolicy eviction) {
+                                     uint64_t seed, EvictionPolicy eviction,
+                                     const ObsConfig* obs) {
   RunningStats latency_ms;
+  PagingLatencyResult result;
   for (int run = 0; run < runs; ++run) {
+    WallClock::time_point t0 = WallClock::now();
     Simulator sim;
     ServerConfig cfg;
     cfg.seed = seed * 1000 + static_cast<uint64_t>(run);
     cfg.eviction = eviction;
+    // Observe the first trial only: one server's worth of tracks, not `runs` copies.
+    const ObsConfig* run_obs = run == 0 ? obs : nullptr;
+    ApplyObs(cfg, run_obs);
+    AttachSimHook(sim, run_obs);
     Server server(sim, profile, cfg);
+    SamplerScope sampler(sim, run_obs);
     Session& session = server.Login();
     Rng run_rng(cfg.seed ^ 0xFEEDFACE);
 
@@ -276,9 +381,9 @@ PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand,
     sim.At(keystroke_at, [&server, &session] { server.Keystroke(session); });
     sim.RunUntil(keystroke_at + Duration::Seconds(120));
     latency_ms.Add(responded ? response.ToMillisF() : 120000.0);
+    FinishRun(result.run, sim, t0);
   }
 
-  PagingLatencyResult result;
   result.os_name = profile.name;
   result.full_demand = full_demand;
   result.runs = runs;
@@ -292,8 +397,12 @@ PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand,
 // Network
 
 ProtocolTrafficResult RunAppWorkloadTraffic(ProtocolKind kind, uint64_t seed,
-                                            int steps_per_app) {
+                                            int steps_per_app, const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
   ProtocolHarness harness(kind, seed, Duration::Seconds(1));
+  harness.ApplyObs(obs);
+  AttachSimHook(harness.sim, obs);
+  SamplerScope sampler(harness.sim, obs);
   Rng script_rng(seed ^ 0xABCD);
   AppScript word = AppScript::WordProcessor(script_rng.Fork(), steps_per_app);
   AppScript photo = AppScript::PhotoEditor(script_rng.Fork(), steps_per_app);
@@ -321,11 +430,13 @@ ProtocolTrafficResult RunAppWorkloadTraffic(ProtocolKind kind, uint64_t seed,
   result.avg_message_size = harness.tap.AverageMessageSize();
   result.packets = harness.display.packets_sent() + harness.input.packets_sent();
   result.vip_bytes = result.total_bytes - 20 * result.packets;
+  FinishRun(result.run, harness.sim, t0);
   return result;
 }
 
 AnimationLoadResult RunWebPageLoad(ProtocolKind kind, bool banner, bool marquee,
                                    Duration duration, uint64_t seed) {
+  WallClock::time_point t0 = WallClock::now();
   ProtocolHarness harness(kind, seed, Duration::Seconds(1));
   WebPageConfig page_cfg;
   page_cfg.banner = banner;
@@ -338,11 +449,18 @@ AnimationLoadResult RunWebPageLoad(ProtocolKind kind, bool banner, bool marquee,
   std::string name = ProtocolName(kind);
   name += banner && marquee ? " marquee+banner" : (banner ? " banner" : " marquee");
   // Skip the cache-warming first 15 s when judging the sustained level.
-  return CollectLoad(harness, duration, Duration::Seconds(1), 15, name);
+  AnimationLoadResult result = CollectLoad(harness, duration, Duration::Seconds(1), 15, name);
+  FinishRun(result.run, harness.sim, t0);
+  return result;
 }
 
-AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options) {
+AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options,
+                                    const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
   ProtocolHarness harness(kind, options.seed, options.bucket, options.cache_policy);
+  harness.ApplyObs(obs);
+  AttachSimHook(harness.sim, obs);
+  SamplerScope sampler(harness.sim, obs);
   AnimationConfig anim_cfg;
   anim_cfg.id = 1;
   anim_cfg.frame_count = options.frames;
@@ -358,10 +476,14 @@ AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions
   size_t warm = std::max<size_t>(
       1, static_cast<size_t>((options.frame_period * options.frames * 2).ToMicros() /
                              options.bucket.ToMicros()));
-  return CollectLoad(harness, options.duration, options.bucket, warm, ProtocolName(kind));
+  AnimationLoadResult result =
+      CollectLoad(harness, options.duration, options.bucket, warm, ProtocolName(kind));
+  FinishRun(result.run, harness.sim, t0);
+  return result;
 }
 
 CacheOverflowResult RunCacheOverflow(int frames, Duration duration, uint64_t seed) {
+  WallClock::time_point t0 = WallClock::now();
   ProtocolHarness harness(ProtocolKind::kRdp, seed, Duration::Seconds(1));
   auto* rdp = dynamic_cast<RdpProtocol*>(harness.protocol.get());
 
@@ -412,10 +534,12 @@ CacheOverflowResult RunCacheOverflow(int frames, Duration duration, uint64_t see
     result.cpu_utilization.push_back(
         i < profiler.utilization().bucket_count() ? profiler.UtilizationAt(i) : 0.0);
   }
+  FinishRun(result.run, sim, t0);
   return result;
 }
 
 RttProbeResult RunRttProbe(double offered_mbps, Duration duration, uint64_t seed) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   // The paper's testbed segment was shared half-duplex Ethernet: model CSMA/CD
   // contention, not just FIFO queueing.
@@ -437,6 +561,7 @@ RttProbeResult RunRttProbe(double offered_mbps, Duration duration, uint64_t seed
   result.offered_mbps = offered_mbps;
   result.mean_rtt_ms = ping.rtt().mean();
   result.rtt_variance = ping.rtt().variance();
+  FinishRun(result.run, sim, t0);
   return result;
 }
 
@@ -446,11 +571,15 @@ Bytes SessionSetupBytes(ProtocolKind kind) {
 }
 
 SizingPoint RunServerSizing(const OsProfile& profile, int users, SizingBehavior behavior,
-                            Duration duration, uint64_t seed) {
+                            Duration duration, uint64_t seed, const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   ServerConfig cfg;
   cfg.seed = seed;
+  ApplyObs(cfg, obs);
+  AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
   server.StartDaemons();
 
   struct UserRuntime {
@@ -501,14 +630,20 @@ SizingPoint RunServerSizing(const OsProfile& profile, int users, SizingBehavior 
   }
   point.avg_stall_ms = users > 0 ? total / static_cast<double>(users) : 0.0;
   point.worst_stall_ms = worst;
+  FinishRun(point.run, sim, t0);
   return point;
 }
 
-EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options) {
+EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options,
+                                  const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
   Simulator sim;
   ServerConfig cfg;
   cfg.seed = options.seed;
+  ApplyObs(cfg, obs);
+  AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
   server.StartDaemons();
   server.AttachClient(options.client);
   Session& session = server.Login();
@@ -553,6 +688,7 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   result.client_ms = client_ms.mean();
   result.total_ms = total_ms.mean();
   result.updates = total_ms.count();
+  FinishRun(result.run, sim, t0);
   return result;
 }
 

@@ -15,11 +15,22 @@
 #include "src/client/thin_client.h"
 #include "src/cpu/idle_profiler.h"
 #include "src/mem/pager.h"
+#include "src/obs/metrics.h"
 #include "src/proto/bitmap_cache.h"
 #include "src/session/os_profile.h"
 #include "src/sim/time.h"
 
 namespace tcs {
+
+// Standard kernel/run accounting attached to every experiment result: how many events
+// the simulation kernel dispatched, how many were still pending at the end, and the
+// real (wall-clock) time the run took. For multi-run experiments these are summed over
+// the runs. wall_ms is the only non-deterministic field anywhere in a result.
+struct RunStats {
+  uint64_t events_executed = 0;
+  uint64_t pending_events = 0;
+  double wall_ms = 0.0;
+};
 
 // ---------------------------------------------------------------------------
 // Processor (Figures 1-3)
@@ -32,6 +43,7 @@ struct IdleProfileResult {
   std::vector<IdleLoopProfiler::CumulativePoint> cumulative;
   Duration total_busy;
   Duration duration;
+  RunStats run;
 };
 
 IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
@@ -45,11 +57,13 @@ struct TypingUnderLoadResult {
   double max_stall_ms = 0.0;
   double jitter_ms = 0.0;
   int64_t updates = 0;
+  RunStats run;
 };
 
 TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
                                          Duration duration = Duration::Seconds(60),
-                                         uint64_t seed = 1, int processors = 1);
+                                         uint64_t seed = 1, int processors = 1,
+                                         const ObsConfig* obs = nullptr);
 
 // The §4.2.1 worked example: time to complete a 500 ms maximize operation that intersects
 // a 400 ms priority-13 daemon event, as a function of quantum stretching and CPU speed.
@@ -71,6 +85,7 @@ struct SessionMemoryResult {
   Bytes idle_system = Bytes::Zero();  // kernel + services with no sessions
   // Measured from the pager after login (must equal `total` rounded to pages).
   Bytes measured_resident = Bytes::Zero();
+  RunStats run;
 };
 
 SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light = false);
@@ -82,6 +97,7 @@ struct PagingLatencyResult {
   double min_ms = 0.0;
   double avg_ms = 0.0;
   double max_ms = 0.0;
+  RunStats run;  // summed over the runs
 };
 
 // §5.2: editor idles while a streaming hog runs for ~30 s, then one keystroke; response
@@ -89,7 +105,8 @@ struct PagingLatencyResult {
 // `eviction` switches on the Evans-style protection/throttling ablation.
 PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand,
                                      int runs = 10, uint64_t seed = 1,
-                                     EvictionPolicy eviction = EvictionPolicy::kGlobalLru);
+                                     EvictionPolicy eviction = EvictionPolicy::kGlobalLru,
+                                     const ObsConfig* obs = nullptr);
 
 // ---------------------------------------------------------------------------
 // Network (§6 tables and Figures 4-9)
@@ -109,12 +126,14 @@ struct ProtocolTrafficResult {
   int64_t packets = 0;
   // Bytes with the IP header elided on every packet (the VIP table).
   int64_t vip_bytes = 0;
+  RunStats run;
 };
 
 // §6.1.2's application workload: the word-processor, photo-editor, and control-panel
 // scripts replayed over the given protocol.
 ProtocolTrafficResult RunAppWorkloadTraffic(ProtocolKind kind, uint64_t seed = 1,
-                                            int steps_per_app = 600);
+                                            int steps_per_app = 600,
+                                            const ObsConfig* obs = nullptr);
 
 struct AnimationLoadResult {
   std::string protocol;
@@ -127,6 +146,7 @@ struct AnimationLoadResult {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   double cumulative_hit_ratio = 0.0;
+  RunStats run;
 };
 
 // Figure 4: the synthetic webpage (banner and/or marquee) over a protocol.
@@ -147,13 +167,15 @@ struct GifAnimationOptions {
   uint64_t seed = 1;
 };
 
-AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options);
+AnimationLoadResult RunGifAnimation(ProtocolKind kind, const GifAnimationOptions& options,
+                                    const ObsConfig* obs = nullptr);
 
 // Figure 6: CPU utilization and cumulative bitmap-cache hit ratio over time for an
 // animation that overflows the cache, after a warm session whose UI rasters seeded it.
 struct CacheOverflowResult {
   std::vector<double> cpu_utilization;       // per second
   std::vector<double> cumulative_hit_ratio;  // per second
+  RunStats run;
 };
 
 CacheOverflowResult RunCacheOverflow(int frames, Duration duration = Duration::Seconds(60),
@@ -164,6 +186,7 @@ struct RttProbeResult {
   double offered_mbps = 0.0;
   double mean_rtt_ms = 0.0;
   double rtt_variance = 0.0;
+  RunStats run;
 };
 
 RttProbeResult RunRttProbe(double offered_mbps, Duration duration = Duration::Seconds(60),
@@ -196,11 +219,13 @@ struct SizingPoint {
   // The paper's criterion: mean and worst per-user average stall.
   double avg_stall_ms = 0.0;
   double worst_stall_ms = 0.0;
+  RunStats run;
 };
 
 SizingPoint RunServerSizing(const OsProfile& profile, int users,
                             SizingBehavior behavior = {},
-                            Duration duration = Duration::Seconds(30), uint64_t seed = 1);
+                            Duration duration = Duration::Seconds(30), uint64_t seed = 1,
+                            const ObsConfig* obs = nullptr);
 
 // ---------------------------------------------------------------------------
 // End-to-end latency budget (§3.2's factor taxonomy made measurable)
@@ -227,9 +252,11 @@ struct EndToEndResult {
   double client_ms = 0.0;
   double total_ms = 0.0;
   int64_t updates = 0;
+  RunStats run;
 };
 
-EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options);
+EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options,
+                                  const ObsConfig* obs = nullptr);
 
 }  // namespace tcs
 

@@ -1,0 +1,166 @@
+#include "src/core/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tcs {
+
+namespace {
+
+// Minimal JSON object builder: appends comma-separated "key": value pairs. Keys here are
+// all literals and values numbers/strings without control characters, so escaping is
+// limited to quotes and backslashes.
+class JsonObject {
+ public:
+  void Str(const char* key, const std::string& value) {
+    Key(key);
+    out_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+      }
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  void Int(const char* key, int64_t value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out_ += buf;
+  }
+
+  void UInt(const char* key, uint64_t value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ += buf;
+  }
+
+  void Bool(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+  }
+
+  void Double(const char* key, double value) {
+    Key(key);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += buf;
+  }
+
+  void Raw(const char* key, const std::string& json) {
+    Key(key);
+    out_ += json;
+  }
+
+  std::string Finish() { return "{" + out_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    if (!out_.empty()) {
+      out_ += ',';
+    }
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
+
+std::string RunJson(const RunStats& run) {
+  JsonObject o;
+  o.UInt("events_executed", run.events_executed);
+  o.UInt("pending_events", run.pending_events);
+  o.Double("wall_ms", run.wall_ms);
+  return o.Finish();
+}
+
+}  // namespace
+
+std::string ToJson(const TypingUnderLoadResult& r) {
+  JsonObject o;
+  o.Str("experiment", "typing_under_load");
+  o.Str("os", r.os_name);
+  o.Int("sinks", r.sinks);
+  o.Double("avg_stall_ms", r.avg_stall_ms);
+  o.Double("max_stall_ms", r.max_stall_ms);
+  o.Double("jitter_ms", r.jitter_ms);
+  o.Int("updates", r.updates);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const PagingLatencyResult& r) {
+  JsonObject o;
+  o.Str("experiment", "paging_latency");
+  o.Str("os", r.os_name);
+  o.Bool("full_demand", r.full_demand);
+  o.Int("runs", r.runs);
+  o.Double("min_ms", r.min_ms);
+  o.Double("avg_ms", r.avg_ms);
+  o.Double("max_ms", r.max_ms);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const EndToEndResult& r) {
+  JsonObject o;
+  o.Str("experiment", "end_to_end_latency");
+  o.Str("os", r.os_name);
+  o.Str("client", r.client_name);
+  o.Double("input_net_ms", r.input_net_ms);
+  o.Double("server_ms", r.server_ms);
+  o.Double("display_net_ms", r.display_net_ms);
+  o.Double("client_ms", r.client_ms);
+  o.Double("total_ms", r.total_ms);
+  o.Int("updates", r.updates);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const SizingPoint& r) {
+  JsonObject o;
+  o.Str("experiment", "server_sizing");
+  o.Str("os", r.os_name);
+  o.Int("users", r.users);
+  o.Double("cpu_utilization", r.cpu_utilization);
+  o.Double("avg_stall_ms", r.avg_stall_ms);
+  o.Double("worst_stall_ms", r.worst_stall_ms);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const ProtocolTrafficResult& r) {
+  JsonObject o;
+  o.Str("experiment", "app_workload_traffic");
+  o.Str("protocol", r.protocol);
+  o.Int("input_bytes", r.input.bytes);
+  o.Int("input_messages", r.input.messages);
+  o.Int("display_bytes", r.display.bytes);
+  o.Int("display_messages", r.display.messages);
+  o.Int("total_bytes", r.total_bytes);
+  o.Int("total_messages", r.total_messages);
+  o.Double("avg_message_size", r.avg_message_size);
+  o.Int("packets", r.packets);
+  o.Int("vip_bytes", r.vip_bytes);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const AnimationLoadResult& r) {
+  JsonObject o;
+  o.Str("experiment", "gif_animation");
+  o.Str("protocol", r.protocol);
+  o.Double("mean_mbps", r.mean_mbps);
+  o.Double("sustained_mbps", r.sustained_mbps);
+  o.Int("cache_hits", r.cache_hits);
+  o.Int("cache_misses", r.cache_misses);
+  o.Double("cumulative_hit_ratio", r.cumulative_hit_ratio);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+}  // namespace tcs

@@ -1,0 +1,26 @@
+// Structured JSON reports for experiment results.
+//
+// Each ToJson overload renders one result struct (including its RunStats) as a
+// self-describing JSON object, so experiment output can be archived next to the trace and
+// metrics files and diffed/consumed by scripts. Field order is fixed; all simulated
+// quantities are deterministic for a given seed (run.wall_ms is the one exception).
+
+#ifndef TCS_SRC_CORE_REPORT_H_
+#define TCS_SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/experiments.h"
+
+namespace tcs {
+
+std::string ToJson(const TypingUnderLoadResult& r);
+std::string ToJson(const PagingLatencyResult& r);
+std::string ToJson(const EndToEndResult& r);
+std::string ToJson(const SizingPoint& r);
+std::string ToJson(const ProtocolTrafficResult& r);
+std::string ToJson(const AnimationLoadResult& r);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_CORE_REPORT_H_

@@ -20,7 +20,26 @@ Cpu::Cpu(Simulator& sim, std::unique_ptr<Scheduler> scheduler, CpuConfig config)
 Thread* Cpu::CreateThread(std::string name, ThreadClass cls, int base_priority) {
   threads_.push_back(
       std::make_unique<Thread>(next_thread_id_++, std::move(name), cls, base_priority));
-  return threads_.back().get();
+  Thread* t = threads_.back().get();
+  if (tracer_ != nullptr) {
+    t->trace_name = tracer_->Intern(t->name());
+  }
+  return t;
+}
+
+void Cpu::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  cpu_tracks_.clear();
+  for (size_t p = 0; p < processors_.size(); ++p) {
+    cpu_tracks_.push_back(tracer_->RegisterTrack("cpu", "cpu" + std::to_string(p)));
+  }
+  scheduler_->SetTracer(tracer_, tracer_->RegisterTrack("cpu", "sched"));
+  for (const auto& t : threads_) {
+    t->trace_name = tracer_->Intern(t->name());
+  }
 }
 
 bool Cpu::IsIdle() const {
@@ -137,6 +156,12 @@ void Cpu::AccountSegment(Processor& proc, TimePoint end) {
     for (const auto& obs : observers_) {
       obs(proc.segment_start, end, t);
     }
+    if (tracer_ != nullptr) {
+      tracer_->Span(TraceCategory::kCpu, t.trace_name,
+                    cpu_tracks_[static_cast<size_t>(proc.index)], proc.segment_start, end,
+                    "prio", t.sched_priority, "switch_us",
+                    proc.segment_switch_cost.ToMicros());
+    }
   }
 }
 
@@ -145,6 +170,11 @@ void Cpu::Preempt(Processor& proc) {
   sim_.Cancel(proc.segment_end);
   AccountSegment(proc, sim_.Now());
   Thread& t = *proc.running;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceCategory::kCpu, "preempt",
+                     cpu_tracks_[static_cast<size_t>(proc.index)], sim_.Now(), "thread",
+                     static_cast<int64_t>(t.id()));
+  }
   proc.running = nullptr;
   t.set_state(ThreadState::kReady);
   t.set_last_ready_at(sim_.Now());

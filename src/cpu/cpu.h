@@ -63,6 +63,12 @@ class Cpu {
 
   void AddSegmentObserver(SegmentObserver obs) { observers_.push_back(std::move(obs)); }
 
+  // Observability: registers one trace track per processor plus a policy track for the
+  // scheduler, then emits every executed segment as a cpu-category span (named after the
+  // running thread) and every preemption as an instant. Null tracer disables all of it at
+  // the cost of one branch per segment.
+  void SetTracer(Tracer* tracer);
+
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
   int processor_count() const { return static_cast<int>(processors_.size()); }
@@ -105,6 +111,8 @@ class Cpu {
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<SegmentObserver> observers_;
   std::vector<Processor> processors_;
+  Tracer* tracer_ = nullptr;
+  std::vector<TraceTrack> cpu_tracks_;  // one per processor
 
   Duration busy_time_ = Duration::Zero();
   uint64_t next_thread_id_ = 1;

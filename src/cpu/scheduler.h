@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/cpu/thread.h"
+#include "src/obs/trace.h"
 #include "src/sim/time.h"
 
 namespace tcs {
@@ -18,6 +19,15 @@ namespace tcs {
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
+
+  // Observability: when set, implementations emit their policy decisions (priority
+  // boosts, band promotions/demotions) as sched-category events on `track`. Null by
+  // default; schedulers have no clock, so they stamp events with the thread's
+  // last_ready_at / last_blocked_at, which the Cpu engine sets just before each callback.
+  void SetTracer(Tracer* tracer, TraceTrack track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
 
   // `t` became runnable (was blocked, or is newly created with work). The scheduler
   // enqueues it and applies any wake-time boost implied by `reason`.
@@ -48,6 +58,10 @@ class Scheduler {
   virtual size_t ReadyCount() const = 0;
 
   virtual std::string name() const = 0;
+
+ protected:
+  Tracer* tracer_ = nullptr;
+  TraceTrack trace_track_;
 };
 
 }  // namespace tcs

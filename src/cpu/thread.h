@@ -69,6 +69,9 @@ class Thread {
   Duration quantum_used = Duration::Zero();
   // Set by Svr4InteractiveScheduler: recent sleep-time based interactivity score.
   double interactivity = 0.0;
+  // Tracer-interned copy of name() (set by Cpu::SetTracer / CreateThread). Trace events
+  // referencing the thread use this pointer, which outlives the thread itself.
+  const char* trace_name = nullptr;
 
   // --- Lifetime / accounting ---
   Duration cpu_time() const { return cpu_time_; }

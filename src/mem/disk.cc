@@ -24,11 +24,22 @@ Duration Disk::ServiceTime(int pages) {
   return service;
 }
 
-void Disk::Enqueue(int pages, std::function<void()> done) {
+void Disk::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->RegisterTrack("mem", "disk");
+  }
+}
+
+void Disk::Enqueue(const char* op, int pages, std::function<void()> done) {
   Duration service = ServiceTime(pages);
   TimePoint start = std::max(sim_.Now(), busy_until_);
   busy_until_ = start + service;
   total_busy_ += service;
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceCategory::kMem, op, trace_track_, start, busy_until_, "pages",
+                  static_cast<int64_t>(pages), "queue_us", (start - sim_.Now()).ToMicros());
+  }
   if (done) {
     sim_.At(busy_until_, std::move(done));
   }
@@ -37,13 +48,13 @@ void Disk::Enqueue(int pages, std::function<void()> done) {
 void Disk::Read(int pages, std::function<void()> done) {
   ++reads_;
   pages_read_ += pages;
-  Enqueue(pages, std::move(done));
+  Enqueue("disk-read", pages, std::move(done));
 }
 
 void Disk::Write(int pages, std::function<void()> done) {
   ++writes_;
   pages_written_ += pages;
-  Enqueue(pages, std::move(done));
+  Enqueue("disk-write", pages, std::move(done));
 }
 
 }  // namespace tcs

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/trace.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/units.h"
@@ -46,6 +47,10 @@ class Disk {
   TimePoint busy_until() const { return busy_until_; }
   bool IsBusyAt(TimePoint t) const { return busy_until_ > t; }
 
+  // Observability: each request becomes a mem-category span covering its service window
+  // on the device (queueing excluded; the `queue_us` arg records it).
+  void SetTracer(Tracer* tracer);
+
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
   int64_t pages_read() const { return pages_read_; }
@@ -54,11 +59,13 @@ class Disk {
 
  private:
   Duration ServiceTime(int pages);
-  void Enqueue(int pages, std::function<void()> done);
+  void Enqueue(const char* op, int pages, std::function<void()> done);
 
   Simulator& sim_;
   Rng rng_;
   DiskConfig config_;
+  Tracer* tracer_ = nullptr;
+  TraceTrack trace_track_;
   TimePoint busy_until_ = TimePoint::Zero();
   int64_t reads_ = 0;
   int64_t writes_ = 0;

@@ -11,6 +11,13 @@ Pager::Pager(Simulator& sim, Disk& disk, PagerConfig config)
   assert(config_.cluster_pages >= 1);
 }
 
+void Pager::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->RegisterTrack("mem", "pager");
+  }
+}
+
 AddressSpace* Pager::CreateAddressSpace(std::string name, bool interactive) {
   spaces_.push_back(
       std::make_unique<AddressSpace>(next_as_id_++, std::move(name), interactive));
@@ -47,6 +54,11 @@ void Pager::EvictOneFrame(const AddressSpace& for_whom) {
   frame_index_.erase(FramesKey::Of(vas, vvpn));
   lru_.erase(victim);
   ++evictions_;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceCategory::kMem, dirty ? "evict-dirty" : "evict", trace_track_,
+                     sim_.Now(), "as", static_cast<int64_t>(vas.id()), "vpn",
+                     static_cast<int64_t>(vvpn));
+  }
   if (dirty) {
     ++dirty_writebacks_;
     disk_.Write(1);  // fire-and-forget, but it occupies the disk queue ahead of reads
@@ -63,6 +75,10 @@ bool Pager::MakeResident(AddressSpace& as, uint64_t vpn, bool write) {
     return false;
   }
   ++faults_;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceCategory::kMem, "fault", trace_track_, sim_.Now(), "as",
+                     static_cast<int64_t>(as.id()), "vpn", static_cast<int64_t>(vpn));
+  }
   if (lru_.size() >= config_.total_frames) {
     EvictOneFrame(as);
   }
@@ -106,6 +122,7 @@ void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<voi
 void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool write,
                         std::function<void()> done) {
   assert(count > 0);
+  TimePoint access_start = sim_.Now();
   Duration throttle = ThrottleFor(as);
   // Bookkeeping first: compute contiguous runs of missing pages, make everything resident,
   // then simulate the I/O chain for the runs.
@@ -135,10 +152,28 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
     runs->push_back(static_cast<int>(current_run));
   }
   if (runs->empty()) {
+    if (tracer_ != nullptr) {
+      tracer_->Span(TraceCategory::kMem, "access", trace_track_, access_start, access_start,
+                    "pages", static_cast<int64_t>(count), "io_pages", int64_t{0});
+    }
     if (done) {
       sim_.Schedule(Duration::Zero(), std::move(done));
     }
     return;
+  }
+  if (tracer_ != nullptr) {
+    // Wrap completion so the span closes at the moment the last clustered read lands.
+    int64_t io_pages = 0;
+    for (int r : *runs) {
+      io_pages += r;
+    }
+    done = [this, access_start, count, io_pages, done = std::move(done)]() mutable {
+      tracer_->Span(TraceCategory::kMem, "page-in", trace_track_, access_start, sim_.Now(),
+                    "pages", static_cast<int64_t>(count), "io_pages", io_pages);
+      if (done) {
+        done();
+      }
+    };
   }
   if (throttle.IsZero()) {
     IssueRuns(runs, 0, std::move(done));

@@ -23,6 +23,7 @@
 
 #include "src/mem/address_space.h"
 #include "src/mem/disk.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace tcs {
@@ -85,6 +86,10 @@ class Pager {
 
   const PagerConfig& config() const { return config_; }
 
+  // Observability: faults/evictions/writebacks become mem-category instants and each
+  // AccessRange that touches the disk becomes a "page-in" span. One branch when null.
+  void SetTracer(Tracer* tracer);
+
  private:
   struct FramesKey {
     static uint64_t Of(const AddressSpace& as, uint64_t vpn) {
@@ -109,6 +114,8 @@ class Pager {
   Simulator& sim_;
   Disk& disk_;
   PagerConfig config_;
+  Tracer* tracer_ = nullptr;
+  TraceTrack trace_track_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::list<Resident> lru_;  // front = least recently used
   std::unordered_map<uint64_t, std::list<Resident>::iterator> frame_index_;

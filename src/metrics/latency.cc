@@ -1,8 +1,19 @@
 #include "src/metrics/latency.h"
 
+#include <cmath>
+
 namespace tcs {
 
 void LatencyRecorder::Record(Duration latency) {
+  int64_t us = latency.ToMicros();
+  if (stats_.count() == 0 || us < min_us_) {
+    min_us_ = us;
+  }
+  if (stats_.count() == 0 || us > max_us_) {
+    max_us_ = us;
+  }
+  total_us_ += us;
+  sum_sq_us_ += static_cast<__int128>(us) * us;
   double ms = latency.ToMillisF();
   stats_.Add(ms);
   samples_.Add(ms);
@@ -11,16 +22,29 @@ void LatencyRecorder::Record(Duration latency) {
   }
 }
 
-Duration LatencyRecorder::Max() const {
-  return Duration::Micros(static_cast<int64_t>(stats_.max() * 1e3));
-}
-
-Duration LatencyRecorder::Min() const {
-  return Duration::Micros(static_cast<int64_t>(stats_.min() * 1e3));
+Duration LatencyRecorder::Mean() const {
+  int64_t n = stats_.count();
+  if (n == 0) {
+    return Duration::Zero();
+  }
+  return Duration::Micros((total_us_ + n / 2) / n);
 }
 
 Duration LatencyRecorder::Jitter() const {
-  return Duration::Micros(static_cast<int64_t>(stats_.stddev() * 1e3));
+  int64_t n = stats_.count();
+  if (n == 0) {
+    return Duration::Zero();
+  }
+  // Population variance via n·Σx² − (Σx)², all in exact 128-bit integer arithmetic; only
+  // the final square root goes through floating point.
+  __int128 num = static_cast<__int128>(n) * sum_sq_us_ -
+                 static_cast<__int128>(total_us_) * total_us_;
+  if (num < 0) {
+    num = 0;
+  }
+  double var_us2 =
+      static_cast<double>(num) / (static_cast<double>(n) * static_cast<double>(n));
+  return Duration::Micros(static_cast<int64_t>(std::sqrt(var_us2) + 0.5));
 }
 
 double LatencyRecorder::PerceptibleFraction() const {

@@ -25,9 +25,12 @@ class LatencyRecorder {
   void Record(Duration latency);
 
   int64_t count() const { return stats_.count(); }
-  Duration Mean() const { return Duration::Micros(static_cast<int64_t>(ms_mean_us())); }
-  Duration Max() const;
-  Duration Min() const;
+  // Mean/Min/Max/Jitter are computed from integer-microsecond accumulators, so they are
+  // exact (no double round-trip through milliseconds): Mean is the rounded integer mean
+  // and Jitter the population standard deviation of the recorded microsecond values.
+  Duration Mean() const;
+  Duration Max() const { return Duration::Micros(max_us_); }
+  Duration Min() const { return Duration::Micros(min_us_); }
   // Standard deviation — the jitter criterion.
   Duration Jitter() const;
   // Operations above the perception threshold (degradation mode 2).
@@ -41,11 +44,15 @@ class LatencyRecorder {
   const SampleSet& samples() const { return samples_; }
 
  private:
-  double ms_mean_us() const { return stats_.mean() * 1e3; }
-
-  RunningStats stats_;  // milliseconds
+  RunningStats stats_;  // milliseconds, for raw()/percentile consumers
   SampleSet samples_;   // milliseconds, for percentiles
   int64_t perceptible_ = 0;
+  // Exact accumulators (microseconds). The sum of squares uses 128-bit storage so even
+  // long runs of 100+ second latencies cannot overflow.
+  int64_t total_us_ = 0;
+  int64_t min_us_ = 0;
+  int64_t max_us_ = 0;
+  __int128 sum_sq_us_ = 0;
 };
 
 class StallDetector {

@@ -61,8 +61,28 @@ void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
   ++frames_sent_;
   bytes_carried_ += wire_bytes;
   load_.AddSpread(start, busy_until_, static_cast<double>(wire_bytes.count()));
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceCategory::kNet, "frame", trace_track_, start, busy_until_, "bytes",
+                  wire_bytes.count(), "queue_us", (start - now).ToMicros());
+  }
   if (delivered) {
     sim_.At(busy_until_ + config_.propagation, std::move(delivered));
+  }
+}
+
+Bytes Link::BacklogBytesAt(TimePoint now) const {
+  if (busy_until_ <= now) {
+    return Bytes::Zero();
+  }
+  double seconds = (busy_until_ - now).ToSecondsF();
+  double bits = seconds * static_cast<double>(config_.rate.bps());
+  return Bytes::Of(static_cast<int64_t>(bits / 8.0));
+}
+
+void Link::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->RegisterTrack("net", "link");
   }
 }
 

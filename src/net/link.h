@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/trace.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/units.h"
@@ -63,6 +64,13 @@ class Link {
 
   int64_t collisions() const { return collisions_; }
 
+  // Bytes still waiting for (or in) transmission at `now` — the wire-time backlog
+  // converted back to bytes at the link rate. Used by queue-depth gauges.
+  Bytes BacklogBytesAt(TimePoint now) const;
+
+  // Observability: each frame becomes a net-category span over its serialization window.
+  void SetTracer(Tracer* tracer);
+
  private:
   // Extra delay from CSMA/CD contention for a frame starting at `start`.
   Duration ContentionDelay(TimePoint start);
@@ -70,6 +78,8 @@ class Link {
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
+  TraceTrack trace_track_;
   TimePoint busy_until_ = TimePoint::Zero();
   int64_t frames_sent_ = 0;
   int64_t collisions_ = 0;

@@ -1,0 +1,120 @@
+// Named metrics (the observability layer's aggregate side).
+//
+// A MetricsRegistry holds counters (monotonic int64 totals), gauges (poll functions over
+// live model state: run-queue depth, resident pages, link backlog, cache hit rate), and
+// histograms (RunningStats streams). A PeriodicSampler snapshots every gauge into a
+// util::TimeSeries on a virtual-time cadence and, when a Tracer is attached, mirrors each
+// sample as a Chrome counter event so the gauges render as counter tracks in Perfetto.
+//
+// Registration order is the export order, so CSV/JSON output is deterministic.
+
+#ifndef TCS_SRC_OBS_METRICS_H_
+#define TCS_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/sim/periodic.h"
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+#include "src/util/time_series.h"
+
+namespace tcs {
+
+class MetricsCounter {
+ public:
+  explicit MetricsCounter(std::string name) : name_(std::move(name)) {}
+  void Inc(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  struct Gauge {
+    std::string name;
+    std::function<double()> poll;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Pointers stay valid for the registry's lifetime.
+  MetricsCounter* AddCounter(const std::string& name);
+  RunningStats* AddHistogram(const std::string& name);
+
+  // `poll` reads live model state; it runs only when a PeriodicSampler fires.
+  void AddGauge(const std::string& name, std::function<double()> poll);
+
+  const std::vector<std::unique_ptr<MetricsCounter>>& counters() const {
+    return counters_;
+  }
+  const std::vector<Gauge>& gauges() const { return gauges_; }
+  const std::vector<std::pair<std::string, std::unique_ptr<RunningStats>>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  // One "name,value" row per counter, then per histogram mean/max. Deterministic order.
+  void WriteCountersCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::unique_ptr<MetricsCounter>> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<RunningStats>>> histograms_;
+};
+
+// Samples every registered gauge each `period` of virtual time.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(Simulator& sim, MetricsRegistry& registry, Duration period,
+                  Tracer* tracer = nullptr);
+
+  void Start(Duration initial_delay = Duration::Zero());
+  void Stop();
+
+  // The sampled series for gauge `i` (registration order), bucketed at the cadence.
+  const TimeSeries& series(size_t i) const { return *series_[i]; }
+  size_t gauge_count() const { return series_.size(); }
+  int64_t samples_taken() const { return samples_taken_; }
+
+  // "time_s,<gauge names...>" header then one row per sample interval (bucket means).
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  void Sample();
+
+  Simulator& sim_;
+  MetricsRegistry& registry_;
+  Tracer* tracer_;
+  TraceTrack track_;
+  std::vector<std::unique_ptr<TimeSeries>> series_;
+  PeriodicTask task_;
+  int64_t samples_taken_ = 0;
+};
+
+// Everything an experiment needs to run observed: a tracer and/or metrics registry plus
+// the gauge-sampling cadence. Experiments that receive a non-null ObsConfig wire the
+// tracer through every layer and run a PeriodicSampler for the registry's gauges.
+struct ObsConfig {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  Duration sample_period = Duration::Millis(100);
+  // When non-null, the experiment renders its PeriodicSampler's gauge series (CSV) here
+  // before the sampler goes out of scope, so callers can persist it.
+  std::string* sampler_csv = nullptr;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_OBS_METRICS_H_

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "src/net/endpoint.h"
+#include "src/obs/trace.h"
 #include "src/proto/draw.h"
 #include "src/proto/prototap.h"
 #include "src/sim/simulator.h"
@@ -55,7 +56,13 @@ class DisplayProtocol {
     display_hook_ = std::move(hook);
   }
 
+  // Observability: every emitted message becomes a proto-category instant on a per-channel
+  // track; implementations add their own events (cache hits, compression) via tracer().
+  void SetTracer(Tracer* tracer);
+
  protected:
+  Tracer* tracer() { return tracer_; }
+  TraceTrack display_track() const { return display_track_; }
   // Emits one protocol message on the given channel: records it in the tap and hands it
   // to the channel's MessageSender for wire timing.
   void EmitMessage(Channel channel, Bytes payload);
@@ -73,6 +80,9 @@ class DisplayProtocol {
   MessageSender& display_out_;
   MessageSender& input_out_;
   ProtoTap* tap_;
+  Tracer* tracer_ = nullptr;
+  TraceTrack display_track_;
+  TraceTrack input_track_;
   std::function<void(Duration)> encode_cost_sink_;
   std::function<void(Bytes)> display_hook_;
 };

@@ -64,12 +64,22 @@ void RdpProtocol::SubmitDraw(const DrawCommand& cmd) {
       if (cache_.Lookup(cmd.bitmap.content_hash)) {
         // Client already holds the pixels: a tiny order swaps them onto the screen.
         ChargeEncode(Duration::Micros(40));
+        if (tracer() != nullptr) {
+          tracer()->Instant(TraceCategory::kProto, "cache-hit", display_track(),
+                            sim().Now(), "raw", cmd.bitmap.raw_bytes.count(), "sent",
+                            config_.cache_hit_order.count());
+        }
         AppendOrder(config_.cache_hit_order);
       } else {
         // Miss: the server compresses and ships the raster, and the client caches it.
         double kib = cmd.bitmap.raw_bytes.ToKiBF();
         ChargeEncode(config_.bitmap_encode_per_kib * kib);
         cache_.Insert(cmd.bitmap.content_hash, cmd.bitmap.compressed_bytes);
+        if (tracer() != nullptr) {
+          tracer()->Instant(TraceCategory::kProto, "cache-miss", display_track(),
+                            sim().Now(), "raw", cmd.bitmap.raw_bytes.count(), "compressed",
+                            cmd.bitmap.compressed_bytes.count());
+        }
         AppendOrder(config_.bitmap_order_header + cmd.bitmap.compressed_bytes);
         FlushPdu();  // raster orders go out immediately
       }

@@ -69,6 +69,28 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
   protocol_ = MakeProtocol(profile_.protocol_kind, sim_, display_sender_, input_sender_,
                            &tap_, rng_.Fork());
   protocol_->set_display_message_hook([this](Bytes payload) { update_payload_ += payload; });
+  if (config_.tracer != nullptr) {
+    cpu_.SetTracer(config_.tracer);
+    pager_.SetTracer(config_.tracer);
+    disk_.SetTracer(config_.tracer);
+    link_.SetTracer(config_.tracer);
+    protocol_->SetTracer(config_.tracer);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->AddGauge("runq_depth", [this] {
+      return static_cast<double>(cpu_.scheduler().ReadyCount());
+    });
+    config_.metrics->AddGauge("resident_pages", [this] {
+      return static_cast<double>(pager_.frames_used());
+    });
+    config_.metrics->AddGauge("link_backlog_bytes", [this] {
+      return static_cast<double>(link_.BacklogBytesAt(sim_.Now()).count());
+    });
+    if (auto* rdp = dynamic_cast<RdpProtocol*>(protocol_.get())) {
+      config_.metrics->AddGauge("bitmap_cache_hit_rate",
+                                [rdp] { return rdp->bitmap_cache().CumulativeHitRatio(); });
+    }
+  }
 }
 
 void Server::StartDaemons() {
@@ -111,6 +133,10 @@ Session& Server::Login(bool light_session) {
   sessions_.push_back(std::make_unique<Session>());
   Session& s = *sessions_.back();
   s.id_ = sessions_.size();
+  if (config_.tracer != nullptr) {
+    s.trace_track_ =
+        config_.tracer->RegisterTrack("session", "user" + std::to_string(s.id_));
+  }
 
   const std::vector<ProcessSpec>& processes =
       light_session ? profile_.light_login_processes : profile_.login_processes;
@@ -157,6 +183,10 @@ void Server::Keystroke(Session& session) {
 }
 
 void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at) {
+  if (config_.tracer != nullptr) {
+    config_.tracer->Span(TraceCategory::kSession, "input-net", session.trace_track_,
+                         sent_at, sim_.Now());
+  }
   if (session.pending_keystrokes_ == 0) {
     session.oldest_pending_sent_ = sent_at;
     session.oldest_pending_arrived_ = sim_.Now();
@@ -213,6 +243,11 @@ void Server::CompletePipeline(Session& session, int batch) {
   protocol_->SubmitDraw(DrawCommand::Text(batch));
   protocol_->Flush();
   TimePoint emitted = sim_.Now();
+  if (config_.tracer != nullptr) {
+    config_.tracer->Span(TraceCategory::kSession, "keystroke-batch", session.trace_track_,
+                         session.current_batch_arrived_, emitted, "batch",
+                         static_cast<int64_t>(batch));
+  }
   if (session.on_display_update_) {
     session.on_display_update_(emitted);
   }

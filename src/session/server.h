@@ -13,6 +13,7 @@
 #include "src/cpu/cpu.h"
 #include "src/mem/pager.h"
 #include "src/net/endpoint.h"
+#include "src/obs/metrics.h"
 #include "src/proto/display_protocol.h"
 #include "src/session/os_profile.h"
 #include "src/sim/periodic.h"
@@ -36,6 +37,11 @@ struct ServerConfig {
   Duration pager_throttle = Duration::Millis(20);
   Duration tap_bucket = Duration::Seconds(1);
   uint64_t seed = 1;
+  // Observability (both optional, non-owning). With a tracer, every layer of the server
+  // emits trace events; with a registry, the standard gauges (run-queue depth, resident
+  // pages, link backlog, bitmap-cache hit rate) are registered at construction.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Where one keystroke's end-to-end latency went (requires an attached client device for
@@ -73,6 +79,7 @@ class Session {
   friend class Server;
 
   uint64_t id_ = 0;
+  TraceTrack trace_track_;  // "session/userN"; meaningful only when the server traces
   Bytes private_memory_ = Bytes::Zero();
   std::vector<AddressSpace*> process_spaces_;
   AddressSpace* working_set_ = nullptr;

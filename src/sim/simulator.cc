@@ -27,6 +27,9 @@ uint64_t Simulator::RunUntil(TimePoint deadline) {
     cb();
     ++executed;
     ++events_executed_;
+    if (dispatch_hook_) {
+      dispatch_hook_(when, queue_.size());
+    }
   }
   if (deadline != TimePoint::Infinite() && now_ < deadline && !stop_requested_) {
     now_ = deadline;

@@ -52,11 +52,19 @@ class Simulator {
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
 
+  // Observability hook: invoked after each executed event with its dispatch time and the
+  // queue depth it left behind. Unset (the default) costs one branch per event; the obs
+  // layer wires it to sim-category trace events. The kernel itself stays obs-free so the
+  // dependency arrow keeps pointing obs -> sim.
+  using DispatchHook = std::function<void(TimePoint when, size_t pending_after)>;
+  void set_dispatch_hook(DispatchHook hook) { dispatch_hook_ = std::move(hook); }
+
  private:
   TimePoint now_ = TimePoint::Zero();
   EventQueue queue_;
   bool stop_requested_ = false;
   uint64_t events_executed_ = 0;
+  DispatchHook dispatch_hook_;
 };
 
 }  // namespace tcs

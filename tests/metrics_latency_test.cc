@@ -16,6 +16,33 @@ TEST(LatencyRecorderTest, BasicStats) {
   EXPECT_EQ(rec.Max(), Duration::Millis(30));
 }
 
+TEST(LatencyRecorderTest, SingleSampleRoundTripsExactly) {
+  LatencyRecorder rec;
+  // 0.333 ms is not representable in binary floating point; a double-millisecond
+  // round-trip truncates it to 332 µs. The integer accumulators keep it exact.
+  rec.Record(Duration::Micros(333));
+  EXPECT_EQ(rec.Mean(), Duration::Micros(333));
+  EXPECT_EQ(rec.Min(), Duration::Micros(333));
+  EXPECT_EQ(rec.Max(), Duration::Micros(333));
+  EXPECT_EQ(rec.Jitter(), Duration::Zero());
+}
+
+TEST(LatencyRecorderTest, MeanRoundsToNearestMicrosecond) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Micros(333));
+  rec.Record(Duration::Micros(334));
+  // (333 + 334) / 2 = 333.5, rounded up.
+  EXPECT_EQ(rec.Mean(), Duration::Micros(334));
+}
+
+TEST(LatencyRecorderTest, JitterExactForIntegerSpread) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Micros(100));
+  rec.Record(Duration::Micros(104));
+  // Population stddev of {100, 104} is exactly 2 µs.
+  EXPECT_EQ(rec.Jitter(), Duration::Micros(2));
+}
+
 TEST(LatencyRecorderTest, PerceptionThresholdCounting) {
   LatencyRecorder rec;
   rec.Record(Duration::Millis(50));   // imperceptible

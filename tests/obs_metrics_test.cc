@@ -1,0 +1,105 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace tcs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulateAndKeepRegistrationOrder) {
+  MetricsRegistry registry;
+  MetricsCounter* faults = registry.AddCounter("page_faults");
+  MetricsCounter* frames = registry.AddCounter("frames_sent");
+  faults->Inc();
+  faults->Inc(3);
+  frames->Inc(10);
+  ASSERT_EQ(registry.counters().size(), 2u);
+  EXPECT_EQ(registry.counters()[0]->name(), "page_faults");
+  EXPECT_EQ(registry.counters()[0]->value(), 4);
+  EXPECT_EQ(registry.counters()[1]->value(), 10);
+}
+
+TEST(MetricsRegistryTest, CountersCsvListsCountersThenHistograms) {
+  MetricsRegistry registry;
+  registry.AddCounter("events")->Inc(7);
+  RunningStats* lat = registry.AddHistogram("latency_ms");
+  lat->Add(10.0);
+  lat->Add(30.0);
+  std::ostringstream out;
+  registry.WriteCountersCsv(out);
+  EXPECT_EQ(out.str(),
+            "metric,value\n"
+            "events,7\n"
+            "latency_ms_mean,20\n"
+            "latency_ms_max,30\n"
+            "latency_ms_count,2\n");
+}
+
+TEST(PeriodicSamplerTest, SamplesEveryPeriodOfVirtualTime) {
+  Simulator sim;
+  MetricsRegistry registry;
+  int polls = 0;
+  registry.AddGauge("depth", [&polls] { return static_cast<double>(++polls); });
+  PeriodicSampler sampler(sim, registry, Duration::Millis(100));
+  sampler.Start(Duration::Millis(100));
+  sim.RunUntil(TimePoint::FromMicros(1'000'000));
+  sampler.Stop();
+  // One sample per 100 ms over 1 s of virtual time: t = 100 ms .. 1000 ms.
+  EXPECT_EQ(sampler.samples_taken(), 10);
+  EXPECT_EQ(polls, 10);
+  ASSERT_EQ(sampler.gauge_count(), 1u);
+  EXPECT_GE(sampler.series(0).bucket_count(), 9u);
+}
+
+TEST(PeriodicSamplerTest, CsvHasHeaderAndOneRowPerBucket) {
+  Simulator sim;
+  MetricsRegistry registry;
+  registry.AddGauge("runq_depth", [] { return 2.0; });
+  registry.AddGauge("resident_pages", [] { return 512.0; });
+  PeriodicSampler sampler(sim, registry, Duration::Millis(100));
+  sampler.Start();
+  sim.RunUntil(TimePoint::FromMicros(300'000));
+  sampler.Stop();
+  std::ostringstream out;
+  sampler.WriteCsv(out);
+  std::string csv = out.str();
+  EXPECT_EQ(csv.find("time_s,runq_depth,resident_pages\n"), 0u);
+  EXPECT_NE(csv.find(",2,512\n"), std::string::npos);
+}
+
+TEST(PeriodicSamplerTest, MirrorsSamplesAsTracerCounterEvents) {
+  Simulator sim;
+  MetricsRegistry registry;
+  registry.AddGauge("backlog", [] { return 1.5; });
+  Tracer tracer;
+  PeriodicSampler sampler(sim, registry, Duration::Millis(100), &tracer);
+  sampler.Start(Duration::Millis(100));
+  sim.RunUntil(TimePoint::FromMicros(200'000));
+  sampler.Stop();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"backlog\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":1.5"), std::string::npos);
+}
+
+TEST(PeriodicSamplerTest, GaugesRegisteredAfterConstructionGetSeries) {
+  Simulator sim;
+  MetricsRegistry registry;
+  registry.AddGauge("first", [] { return 1.0; });
+  PeriodicSampler sampler(sim, registry, Duration::Millis(100));
+  registry.AddGauge("late", [] { return 9.0; });
+  sampler.Start();
+  sim.RunUntil(TimePoint::FromMicros(200'000));
+  sampler.Stop();
+  ASSERT_EQ(sampler.gauge_count(), 2u);
+  EXPECT_GT(sampler.series(1).TotalSum(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -14,6 +14,12 @@
 //   e2e      --os=... [--sinks=N --background-mbps=X --client=pc|winterm|handheld]
 //   sweep    --experiment=typing|sizing|e2e [--os=tse,linux,... --sinks=L --users=L
 //            --seconds=N --jobs=N --seed=N]              parallel config-matrix sweep
+//   trace    <experiment> [experiment flags] [--out=trace.json --metrics-out=metrics.csv
+//            --report-out=report.json --categories=cpu,sched,...]
+//            run one experiment observed: writes a Perfetto-loadable Chrome trace, the
+//            sampled gauge series as CSV, and a structured JSON report. Experiments:
+//            typing|paging|e2e|sizing|traffic|gif (long aliases accepted). The trace is
+//            byte-identical for a given seed.
 //   replay   <trace-file> --protocol=...                 replay a recorded session
 //   help
 //
@@ -32,6 +38,9 @@
 
 #include "src/core/experiments.h"
 #include "src/core/parallel_sweep.h"
+#include "src/core/report.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proto/lbx_protocol.h"
 #include "src/proto/rdp_protocol.h"
 #include "src/proto/slim_protocol.h"
@@ -48,7 +57,8 @@ namespace {
 int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
-      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep replay help\n"
+      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep trace "
+      "replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -369,6 +379,165 @@ int CmdSweep(FlagSet& flags) {
   return 0;
 }
 
+bool ParseCategories(const std::string& list, uint32_t* mask) {
+  uint32_t out = 0;
+  for (const std::string& word : SplitList(list)) {
+    if (word == "all") {
+      out |= kAllTraceCategories;
+    } else if (word == "sim") {
+      out |= static_cast<uint32_t>(TraceCategory::kSim);
+    } else if (word == "cpu") {
+      out |= static_cast<uint32_t>(TraceCategory::kCpu);
+    } else if (word == "sched") {
+      out |= static_cast<uint32_t>(TraceCategory::kSched);
+    } else if (word == "mem") {
+      out |= static_cast<uint32_t>(TraceCategory::kMem);
+    } else if (word == "net") {
+      out |= static_cast<uint32_t>(TraceCategory::kNet);
+    } else if (word == "proto") {
+      out |= static_cast<uint32_t>(TraceCategory::kProto);
+    } else if (word == "session") {
+      out |= static_cast<uint32_t>(TraceCategory::kSession);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --categories entry '%s' "
+                   "(sim|cpu|sched|mem|net|proto|session|all)\n",
+                   word.c_str());
+      return false;
+    }
+  }
+  *mask = out;
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+int CmdTrace(FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "trace needs an experiment (typing|paging|e2e|sizing|traffic|gif)\n");
+    return 2;
+  }
+  std::string experiment = flags.positional()[1];
+  // Long-form aliases so docs can use the descriptive names.
+  if (experiment == "typing_under_load") {
+    experiment = "typing";
+  } else if (experiment == "paging_latency") {
+    experiment = "paging";
+  } else if (experiment == "end_to_end" || experiment == "end_to_end_latency") {
+    experiment = "e2e";
+  } else if (experiment == "server_sizing") {
+    experiment = "sizing";
+  } else if (experiment == "app_workload_traffic") {
+    experiment = "traffic";
+  } else if (experiment == "gif_animation") {
+    experiment = "gif";
+  }
+
+  TracerConfig tracer_cfg;
+  std::string categories = flags.GetString("categories", "");
+  if (!categories.empty() && !ParseCategories(categories, &tracer_cfg.categories)) {
+    return 2;
+  }
+  Tracer tracer(tracer_cfg);
+  MetricsRegistry metrics;
+  std::string sampler_csv;
+  ObsConfig obs;
+  obs.tracer = &tracer;
+  obs.metrics = &metrics;
+  obs.sampler_csv = &sampler_csv;
+
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  std::string report;
+  if (experiment == "typing") {
+    OsProfile profile;
+    if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+      return 2;
+    }
+    TypingUnderLoadResult r = RunTypingUnderLoad(
+        profile, static_cast<int>(flags.GetInt("sinks", 2)), seconds, seed,
+        static_cast<int>(flags.GetInt("cpus", 1)), &obs);
+    report = ToJson(r);
+  } else if (experiment == "paging") {
+    OsProfile profile;
+    if (!ParseOs(flags.GetString("os", "linux"), &profile)) {
+      return 2;
+    }
+    EvictionPolicy policy = flags.GetBool("protect") ? EvictionPolicy::kInteractiveProtect
+                                                     : EvictionPolicy::kGlobalLru;
+    PagingLatencyResult r =
+        RunPagingLatency(profile, flags.GetBool("full-demand", true),
+                         static_cast<int>(flags.GetInt("runs", 3)), seed, policy, &obs);
+    report = ToJson(r);
+  } else if (experiment == "e2e") {
+    OsProfile profile;
+    if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+      return 2;
+    }
+    EndToEndOptions opt;
+    opt.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+    opt.background_mbps = flags.GetDouble("background-mbps", 0.0);
+    opt.duration = seconds;
+    opt.seed = seed;
+    EndToEndResult r = RunEndToEndLatency(profile, opt, &obs);
+    report = ToJson(r);
+  } else if (experiment == "sizing") {
+    OsProfile profile;
+    if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+      return 2;
+    }
+    SizingPoint r = RunServerSizing(profile, static_cast<int>(flags.GetInt("users", 10)),
+                                    {}, seconds, seed, &obs);
+    report = ToJson(r);
+  } else if (experiment == "traffic") {
+    ProtocolKind kind;
+    if (!ParseProtocol(flags.GetString("protocol", "rdp"), &kind)) {
+      return 2;
+    }
+    ProtocolTrafficResult r = RunAppWorkloadTraffic(
+        kind, seed, static_cast<int>(flags.GetInt("steps", 600)), &obs);
+    report = ToJson(r);
+  } else if (experiment == "gif") {
+    ProtocolKind kind;
+    if (!ParseProtocol(flags.GetString("protocol", "rdp"), &kind)) {
+      return 2;
+    }
+    GifAnimationOptions opt;
+    opt.frames = static_cast<int>(flags.GetInt("frames", 10));
+    opt.duration = Duration::Seconds(flags.GetInt("seconds", 20));
+    opt.seed = seed;
+    if (flags.GetBool("loop-aware")) {
+      opt.cache_policy = CachePolicy::kLoopAware;
+    }
+    AnimationLoadResult r = RunGifAnimation(kind, opt, &obs);
+    report = ToJson(r);
+  } else {
+    std::fprintf(stderr, "unknown experiment '%s' (typing|paging|e2e|sizing|traffic|gif)\n",
+                 experiment.c_str());
+    return 2;
+  }
+
+  std::string trace_path = flags.GetString("out", "trace.json");
+  std::string metrics_path = flags.GetString("metrics-out", "metrics.csv");
+  std::string report_path = flags.GetString("report-out", "report.json");
+  if (!WriteFile(trace_path, tracer.ToJson()) || !WriteFile(metrics_path, sampler_csv) ||
+      !WriteFile(report_path, report + "\n")) {
+    return 1;
+  }
+  std::printf("%s: %zu trace events on %zu tracks -> %s; gauges -> %s; report -> %s\n",
+              experiment.c_str(), tracer.event_count(), tracer.track_count(),
+              trace_path.c_str(), metrics_path.c_str(), report_path.c_str());
+  return 0;
+}
+
 int CmdReplay(FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "replay needs a trace file\n");
@@ -446,7 +615,7 @@ int Run(int argc, char** argv) {
                 {"os", "seconds", "sinks", "cpus", "full-demand", "runs", "protect",
                  "protocol", "steps", "no-banner", "no-marquee", "frames", "loop-aware",
                  "mbps", "users", "background-mbps", "client", "csv", "experiment",
-                 "jobs", "seed"});
+                 "jobs", "seed", "out", "metrics-out", "report-out", "categories"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -480,6 +649,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "sweep") {
     return CmdSweep(flags);
+  }
+  if (command == "trace") {
+    return CmdTrace(flags);
   }
   if (command == "replay") {
     return CmdReplay(flags);
