@@ -640,6 +640,7 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   Simulator sim;
   ServerConfig cfg;
   cfg.seed = options.seed;
+  cfg.faults = options.faults;
   ApplyObs(cfg, obs);
   AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
@@ -688,8 +689,74 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   result.client_ms = client_ms.mean();
   result.total_ms = total_ms.mean();
   result.updates = total_ms.count();
+  result.faults =
+      server.CollectFaultStats(Duration::Seconds(2) + options.duration + Duration::Seconds(1));
   FinishRun(result.run, sim, t0);
   return result;
+}
+
+ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
+                         const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = options.seed;
+  cfg.faults.seed = options.seed ^ 0xFA017u;
+  cfg.faults.link.loss_rate = options.loss_rate;
+  if (options.flap_every > Duration::Zero() && options.flap_duration > Duration::Zero()) {
+    cfg.faults.link.flap_every = options.flap_every;
+    cfg.faults.link.flap_duration = options.flap_duration;
+  }
+  cfg.faults.disk.stall_rate = options.disk_stall_rate;
+  cfg.faults.session.disconnect_every = options.disconnect_every;
+  ApplyObs(cfg, obs);
+  AttachSimHook(sim, obs);
+  Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
+  server.StartDaemons();
+  server.AttachClient(ThinClientConfig::DesktopPc());
+  Session& session = server.Login();
+  server.StartSinks(options.sinks);
+
+  SampleSet total_ms;
+  int64_t perceptible = 0;
+  Duration threshold = options.threshold;
+  session.set_on_frame_painted([&](const KeystrokeLatency& lat) {
+    total_ms.Add(lat.total().ToMillisF());
+    if (lat.total() > threshold) {
+      ++perceptible;
+    }
+  });
+
+  Typist typist(sim, [&server, &session] { server.Keystroke(session); });
+  typist.Start(Duration::Seconds(2));  // past session setup and warm-up
+  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(2) + options.duration);
+  typist.Stop();
+  sim.RunFor(Duration::Seconds(1));  // drain retransmissions and in-flight updates
+
+  Duration total_run = Duration::Seconds(2) + options.duration + Duration::Seconds(1);
+  ChaosPoint point;
+  point.os_name = profile.name;
+  point.loss_rate = options.loss_rate;
+  point.flap_ms = options.flap_duration.ToMillisF();
+  point.updates = static_cast<int64_t>(total_ms.size());
+  if (!total_ms.empty()) {
+    point.p50_ms = total_ms.Percentile(0.50);
+    point.p99_ms = total_ms.Percentile(0.99);
+    point.mean_ms = total_ms.Mean();
+    point.perceptible_fraction =
+        static_cast<double>(perceptible) / static_cast<double>(total_ms.size());
+  }
+  point.crosses_threshold = point.p99_ms > threshold.ToMillisF();
+  point.faults = server.CollectFaultStats(total_run);
+  point.link_frames_sent = server.link().frames_sent();
+  point.link_frames_delivered = server.link().frames_delivered();
+  point.link_frames_lost = server.link().frames_lost();
+  point.retransmissions = server.reliable() != nullptr
+                              ? static_cast<int64_t>(server.reliable()->retransmissions())
+                              : 0;
+  FinishRun(point.run, sim, t0);
+  return point;
 }
 
 }  // namespace tcs

@@ -14,6 +14,7 @@
 
 #include "src/client/thin_client.h"
 #include "src/cpu/idle_profiler.h"
+#include "src/fault/fault_plan.h"
 #include "src/mem/pager.h"
 #include "src/obs/metrics.h"
 #include "src/proto/bitmap_cache.h"
@@ -240,6 +241,9 @@ struct EndToEndOptions {
   ThinClientConfig client = ThinClientConfig::DesktopPc();
   Duration duration = Duration::Seconds(30);
   uint64_t seed = 1;
+  // Chaos knobs: an empty (default) plan leaves the run byte-identical to a fault-free
+  // build; a non-empty plan injects the configured faults and fills result.faults.
+  FaultPlan faults;
 };
 
 struct EndToEndResult {
@@ -252,11 +256,59 @@ struct EndToEndResult {
   double client_ms = 0.0;
   double total_ms = 0.0;
   int64_t updates = 0;
+  // Fault/recovery accounting; `faults.active` is false for an empty plan.
+  FaultStats faults;
   RunStats run;
 };
 
 EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOptions& options,
                                   const ObsConfig* obs = nullptr);
+
+// ---------------------------------------------------------------------------
+// Chaos (fault-injection) sweep
+//
+// The robustness question the latency budget doesn't answer: at what combination of
+// frame loss and link flapping does a remote session stop feeling interactive? One chaos
+// point runs the end-to-end typing workload under a deterministic fault plan and reports
+// the keystroke latency distribution (p50/p99), how much of it crossed the perception
+// threshold, and the fault/recovery ledger (availability, retransmissions, stalls).
+
+struct ChaosOptions {
+  double loss_rate = 0.0;        // per-frame loss probability on the session link
+  Duration flap_every = Duration::Zero();     // mean time between link outages (0 = off)
+  Duration flap_duration = Duration::Zero();  // outage length per flap
+  double disk_stall_rate = 0.0;  // per-request probability of a pager-disk stall
+  Duration disconnect_every = Duration::Zero();  // mean time between forced disconnects
+  int sinks = 0;
+  Duration duration = Duration::Seconds(30);
+  uint64_t seed = 1;
+  // Latency above this counts as a perception-threshold crossing in the report.
+  Duration threshold = Duration::Millis(150);
+};
+
+struct ChaosPoint {
+  std::string os_name;
+  double loss_rate = 0.0;
+  double flap_ms = 0.0;
+  // Keystroke end-to-end latency distribution (milliseconds).
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  // Fraction of keystrokes whose end-to-end latency exceeded options.threshold.
+  double perceptible_fraction = 0.0;
+  bool crosses_threshold = false;  // p99 above options.threshold
+  int64_t updates = 0;
+  FaultStats faults;
+  // Link ledger: sent = delivered + lost, attempts = originals + retransmissions.
+  int64_t link_frames_sent = 0;
+  int64_t link_frames_delivered = 0;
+  int64_t link_frames_lost = 0;
+  int64_t retransmissions = 0;
+  RunStats run;
+};
+
+ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
+                         const ObsConfig* obs = nullptr);
 
 }  // namespace tcs
 

@@ -78,6 +78,22 @@ std::string RunJson(const RunStats& run) {
   return o.Finish();
 }
 
+std::string FaultsJson(const FaultStats& f) {
+  JsonObject o;
+  o.Double("availability", f.availability);
+  o.Double("disk_stall_rate", f.disk_stall_rate);
+  o.UInt("frames_lost", f.frames_lost);
+  o.UInt("frames_corrupted", f.frames_corrupted);
+  o.UInt("retransmissions", f.retransmissions);
+  o.UInt("input_frames_lost", f.input_frames_lost);
+  o.UInt("disconnects", f.disconnects);
+  o.UInt("dropped_keystrokes", f.dropped_keystrokes);
+  o.UInt("daemon_crashes", f.daemon_crashes);
+  o.UInt("disk_stalls", f.disk_stalls);
+  o.UInt("io_errors", f.io_errors);
+  return o.Finish();
+}
+
 }  // namespace
 
 std::string ToJson(const TypingUnderLoadResult& r) {
@@ -117,6 +133,11 @@ std::string ToJson(const EndToEndResult& r) {
   o.Double("client_ms", r.client_ms);
   o.Double("total_ms", r.total_ms);
   o.Int("updates", r.updates);
+  // Only faulted runs carry the block, so fault-free reports stay byte-identical with
+  // pre-fault builds.
+  if (r.faults.active) {
+    o.Raw("faults", FaultsJson(r.faults));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -146,6 +167,27 @@ std::string ToJson(const ProtocolTrafficResult& r) {
   o.Double("avg_message_size", r.avg_message_size);
   o.Int("packets", r.packets);
   o.Int("vip_bytes", r.vip_bytes);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const ChaosPoint& r) {
+  JsonObject o;
+  o.Str("experiment", "chaos_point");
+  o.Str("os", r.os_name);
+  o.Double("loss_rate", r.loss_rate);
+  o.Double("flap_ms", r.flap_ms);
+  o.Double("p50_ms", r.p50_ms);
+  o.Double("p99_ms", r.p99_ms);
+  o.Double("mean_ms", r.mean_ms);
+  o.Double("perceptible_fraction", r.perceptible_fraction);
+  o.Bool("crosses_threshold", r.crosses_threshold);
+  o.Int("updates", r.updates);
+  o.Int("link_frames_sent", r.link_frames_sent);
+  o.Int("link_frames_delivered", r.link_frames_delivered);
+  o.Int("link_frames_lost", r.link_frames_lost);
+  o.Int("retransmissions", r.retransmissions);
+  o.Raw("faults", FaultsJson(r.faults));
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }

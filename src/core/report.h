@@ -17,6 +17,7 @@ namespace tcs {
 std::string ToJson(const TypingUnderLoadResult& r);
 std::string ToJson(const PagingLatencyResult& r);
 std::string ToJson(const EndToEndResult& r);
+std::string ToJson(const ChaosPoint& r);
 std::string ToJson(const SizingPoint& r);
 std::string ToJson(const ProtocolTrafficResult& r);
 std::string ToJson(const AnimationLoadResult& r);

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "src/util/config_error.h"
+
 namespace tcs {
 
-LinuxScheduler::LinuxScheduler(LinuxSchedulerConfig config) : config_(config) {}
+LinuxScheduler::LinuxScheduler(LinuxSchedulerConfig config) : config_(config) {
+  if (!(config_.quantum > Duration::Zero())) {
+    throw ConfigError("LinuxSchedulerConfig.quantum", "quantum must be positive");
+  }
+}
 
 void LinuxScheduler::OnReady(Thread& t, WakeReason /*reason*/) {
   t.sched_priority = t.base_priority();  // nice value; no dynamic adjustment

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/config_error.h"
+
 namespace tcs {
 
 NtScheduler::NtScheduler(NtSchedulerConfig config) : config_(config) {
+  if (!(config_.quantum > Duration::Zero())) {
+    throw ConfigError("NtSchedulerConfig.quantum", "quantum must be positive");
+  }
   assert(config_.foreground_stretch >= 1 && config_.foreground_stretch <= 3);
   assert(config_.gui_boost_priority >= 0 && config_.gui_boost_priority < kLevels);
 }

@@ -1,9 +1,15 @@
 #include "src/cpu/svr4_scheduler.h"
 
+#include "src/util/config_error.h"
+
 namespace tcs {
 
 Svr4InteractiveScheduler::Svr4InteractiveScheduler(Svr4SchedulerConfig config)
-    : config_(config) {}
+    : config_(config) {
+  if (!(config_.quantum > Duration::Zero())) {
+    throw ConfigError("Svr4SchedulerConfig.quantum", "quantum must be positive");
+  }
+}
 
 bool Svr4InteractiveScheduler::IsInteractive(const Thread& t) const {
   if (t.thread_class() == ThreadClass::kGui || t.thread_class() == ThreadClass::kDaemon) {

@@ -1,0 +1,152 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace tcs {
+
+namespace {
+
+// Jitters a mean duration by +/-50% — the "seeded-probabilistic" half of a plan.
+Duration Jitter(Rng& rng, Duration mean) {
+  return std::max(Duration::Micros(1), mean * (0.5 + rng.NextDouble()));
+}
+
+}  // namespace
+
+LinkFaultInjector::LinkFaultInjector(LinkFaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed), input_rng_(seed ^ 0x1A7E57ull) {}
+
+void LinkFaultInjector::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->RegisterTrack("fault", "link-outage");
+    // Scripted windows are known up front; emit them immediately.
+    for (const OutageWindow& w : plan_.scripted_outages) {
+      tracer_->Span(TraceCategory::kFault, "outage", trace_track_, w.from, w.until);
+    }
+  }
+}
+
+void LinkFaultInjector::GenerateFlapsThrough(TimePoint horizon) {
+  if (plan_.flap_every.IsZero() || plan_.flap_duration.IsZero()) {
+    return;
+  }
+  while (flap_cursor_ <= horizon) {
+    TimePoint start = flap_cursor_ + Jitter(rng_, plan_.flap_every);
+    TimePoint end = start + Jitter(rng_, plan_.flap_duration);
+    generated_.push_back(OutageWindow{start, end});
+    if (tracer_ != nullptr) {
+      tracer_->Span(TraceCategory::kFault, "flap", trace_track_, start, end);
+    }
+    flap_cursor_ = end;
+  }
+}
+
+bool LinkFaultInjector::Overlaps(const std::vector<OutageWindow>& windows,
+                                 TimePoint start, TimePoint end) {
+  // First window whose `from` is at or past `end`; only its predecessor can overlap.
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), end,
+      [](TimePoint t, const OutageWindow& w) { return t <= w.from; });
+  if (it == windows.begin()) {
+    return false;
+  }
+  --it;
+  return it->until > start;
+}
+
+TimePoint LinkFaultInjector::OutageEndAfter(TimePoint t) {
+  TimePoint end = t;
+  for (const std::vector<OutageWindow>* windows : {&plan_.scripted_outages, &generated_}) {
+    for (const OutageWindow& w : *windows) {
+      if (w.from <= t && t < w.until) {
+        end = std::max(end, w.until);
+      }
+    }
+  }
+  return end;
+}
+
+bool LinkFaultInjector::InOutage(TimePoint t) {
+  GenerateFlapsThrough(t);
+  return Overlaps(plan_.scripted_outages, t, t + Duration::Micros(1)) ||
+         Overlaps(generated_, t, t + Duration::Micros(1));
+}
+
+LinkFaultInjector::Fate LinkFaultInjector::Classify(TimePoint start, TimePoint end) {
+  GenerateFlapsThrough(end);
+  if (Overlaps(plan_.scripted_outages, start, end) || Overlaps(generated_, start, end)) {
+    ++outage_drops_;
+    return Fate::kOutage;
+  }
+  if (plan_.corruption_rate > 0.0 && rng_.NextBool(plan_.corruption_rate)) {
+    ++frames_corrupted_;
+    return Fate::kCorrupted;
+  }
+  if (plan_.loss_rate > 0.0 && rng_.NextBool(plan_.loss_rate)) {
+    ++frames_lost_;
+    return Fate::kLost;
+  }
+  return Fate::kDelivered;
+}
+
+Duration LinkFaultInjector::InputDelayPenalty(TimePoint now, Duration retry_interval) {
+  Duration penalty = Duration::Zero();
+  if (InOutage(now)) {
+    // The keystroke (and every retry) is pinned behind the outage window.
+    penalty += OutageEndAfter(now) - now;
+  }
+  double p = std::min(0.95, plan_.loss_rate + plan_.corruption_rate);
+  if (p > 0.0) {
+    Duration interval = std::max(Duration::Micros(1), retry_interval);
+    Duration cap = interval * 8;
+    int tries = 0;
+    while (tries < 16 && input_rng_.NextBool(p)) {
+      ++input_frames_lost_;
+      penalty += interval;
+      interval = std::min(interval * 2, cap);
+      ++tries;
+    }
+  }
+  return penalty;
+}
+
+Duration LinkFaultInjector::OutageTimeBefore(TimePoint end) {
+  GenerateFlapsThrough(end);
+  Duration total = Duration::Zero();
+  for (const std::vector<OutageWindow>* windows : {&plan_.scripted_outages, &generated_}) {
+    for (const OutageWindow& w : *windows) {
+      if (w.from >= end) {
+        break;
+      }
+      total += std::min(w.until, end) - w.from;
+    }
+  }
+  return total;
+}
+
+DiskFaultInjector::DiskFaultInjector(DiskFaultPlan plan, uint64_t seed)
+    : plan_(plan), rng_(seed) {}
+
+Duration DiskFaultInjector::Perturb(Duration service) {
+  ++requests_;
+  Duration extra = Duration::Zero();
+  if (plan_.stall_rate > 0.0 && rng_.NextBool(plan_.stall_rate)) {
+    ++stalls_;
+    extra += plan_.stall;
+  }
+  if (plan_.error_rate > 0.0) {
+    // Transient errors retry after a recovery delay and re-pay the full service time;
+    // three consecutive failures give up on injecting more (the request still completes).
+    int attempts = 0;
+    while (attempts < 3 && rng_.NextBool(plan_.error_rate)) {
+      ++io_errors_;
+      extra += plan_.error_retry + service;
+      ++attempts;
+    }
+  }
+  total_stall_ += extra;
+  return extra;
+}
+
+}  // namespace tcs

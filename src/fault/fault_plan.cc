@@ -1,0 +1,50 @@
+#include "src/fault/fault_plan.h"
+
+#include "src/util/config_error.h"
+
+namespace tcs {
+
+namespace {
+
+void CheckRate(const char* field, double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw ConfigError(field, "probability must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void Validate(const FaultPlan& plan) {
+  CheckRate("FaultPlan.link.loss_rate", plan.link.loss_rate);
+  CheckRate("FaultPlan.link.corruption_rate", plan.link.corruption_rate);
+  CheckRate("FaultPlan.disk.stall_rate", plan.disk.stall_rate);
+  CheckRate("FaultPlan.disk.error_rate", plan.disk.error_rate);
+  if ((plan.link.flap_every > Duration::Zero()) !=
+      (plan.link.flap_duration > Duration::Zero())) {
+    throw ConfigError("FaultPlan.link.flap_every",
+                      "flap_every and flap_duration must be set together");
+  }
+  TimePoint last_end = TimePoint::Zero();
+  for (const OutageWindow& w : plan.link.scripted_outages) {
+    if (w.until <= w.from || w.from < last_end) {
+      throw ConfigError("FaultPlan.link.scripted_outages",
+                        "windows must be non-empty, sorted, and non-overlapping");
+    }
+    last_end = w.until;
+  }
+  if (plan.disk.Any() && plan.disk.stall < Duration::Zero()) {
+    throw ConfigError("FaultPlan.disk.stall", "stall duration must be >= 0");
+  }
+  if (plan.session.disconnect_every > Duration::Zero() &&
+      plan.session.reconnect_after <= Duration::Zero()) {
+    throw ConfigError("FaultPlan.session.reconnect_after",
+                      "must be positive when disconnects are enabled");
+  }
+  if (plan.session.daemon_crash_every > Duration::Zero() &&
+      plan.session.daemon_restart_after <= Duration::Zero()) {
+    throw ConfigError("FaultPlan.session.daemon_restart_after",
+                      "must be positive when daemon crashes are enabled");
+  }
+}
+
+}  // namespace tcs

@@ -1,0 +1,112 @@
+// Deterministic fault plans.
+//
+// A FaultPlan composes scripted and seeded-probabilistic degradations of the testbed:
+// frame loss/corruption and outage windows ("flaps") on the link, latency spikes and
+// transient I/O errors on the paging disk, and session disconnects / daemon crashes on
+// the server. Every fault decision is keyed to virtual time and drawn from a dedicated
+// Rng seeded by the plan, so a faulted run is byte-identical across reruns and across
+// ParallelSweep worker counts — and an empty plan leaves every existing random stream
+// untouched (injectors are simply not constructed).
+
+#ifndef TCS_SRC_FAULT_FAULT_PLAN_H_
+#define TCS_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tcs {
+
+// One link outage: frames whose transmission overlaps [from, until) are lost.
+// Scripted windows must be non-overlapping and sorted by `from`.
+struct OutageWindow {
+  TimePoint from;
+  TimePoint until;
+};
+
+struct LinkFaultPlan {
+  // Per-frame Bernoulli loss (the frame occupies the wire but never arrives).
+  double loss_rate = 0.0;
+  // Per-frame corruption: the frame arrives, fails its checksum, and is discarded —
+  // indistinguishable from loss to the transport, but counted separately.
+  double corruption_rate = 0.0;
+  // Scripted outages, e.g. a cable pull at a known virtual time.
+  std::vector<OutageWindow> scripted_outages;
+  // Seeded-probabilistic flaps: mean up-time between outages and mean outage length
+  // (both jittered +/-50% by the fault Rng). Zero disables random flaps.
+  Duration flap_every = Duration::Zero();
+  Duration flap_duration = Duration::Zero();
+
+  bool Any() const {
+    return loss_rate > 0.0 || corruption_rate > 0.0 || !scripted_outages.empty() ||
+           (flap_every > Duration::Zero() && flap_duration > Duration::Zero());
+  }
+};
+
+struct DiskFaultPlan {
+  // Per-request probability of a latency spike (thermal recalibration, firmware GC).
+  double stall_rate = 0.0;
+  Duration stall = Duration::Millis(200);
+  // Per-request probability of a transient I/O error; the driver retries after
+  // `error_retry`, re-paying the request's full service time (at most 3 retries).
+  double error_rate = 0.0;
+  Duration error_retry = Duration::Millis(50);
+
+  bool Any() const { return stall_rate > 0.0 || error_rate > 0.0; }
+};
+
+struct SessionFaultPlan {
+  // Mean connected time between forced disconnects (jittered +/-50%); zero = never.
+  // Disconnects rotate over logged-in sessions.
+  Duration disconnect_every = Duration::Zero();
+  // Client-side downtime before the reconnect attempt.
+  Duration reconnect_after = Duration::Millis(500);
+  // Mean time between idle-daemon crashes (round-robin over the profile's daemons);
+  // zero = never. A crashed daemon misses its periods, then restarts after
+  // `daemon_restart_after` paying one extra episode of CPU (the restart storm).
+  Duration daemon_crash_every = Duration::Zero();
+  Duration daemon_restart_after = Duration::Millis(200);
+
+  bool Any() const {
+    return disconnect_every > Duration::Zero() || daemon_crash_every > Duration::Zero();
+  }
+};
+
+struct FaultPlan {
+  LinkFaultPlan link;
+  DiskFaultPlan disk;
+  SessionFaultPlan session;
+  // Root seed for every fault decision. Independent of model seeds so enabling faults
+  // never perturbs workload/scheduler/disk random streams.
+  uint64_t seed = 0xFA017;
+
+  bool Any() const { return link.Any() || disk.Any() || session.Any(); }
+};
+
+// Throws tcs::ConfigError on out-of-range rates or inconsistent windows.
+void Validate(const FaultPlan& plan);
+
+// Cross-layer fault/recovery accounting attached to experiment results. `active` is set
+// only when the run carried a non-empty FaultPlan; reports omit the block otherwise, so
+// fault-free output stays byte-identical with pre-fault builds.
+struct FaultStats {
+  bool active = false;
+  // 1 - (link outage time + session disconnected time) / run duration, clamped to [0,1].
+  double availability = 1.0;
+  // Stalled disk requests / total disk requests.
+  double disk_stall_rate = 0.0;
+  uint64_t frames_lost = 0;       // loss + outage drops on the link
+  uint64_t frames_corrupted = 0;  // checksum failures (also never delivered)
+  uint64_t retransmissions = 0;   // ReliableChannel RTO-driven resends
+  uint64_t input_frames_lost = 0; // keystroke-channel losses (recovered by retry)
+  uint64_t disconnects = 0;
+  uint64_t dropped_keystrokes = 0;  // typed while the session was disconnected
+  uint64_t daemon_crashes = 0;
+  uint64_t disk_stalls = 0;
+  uint64_t io_errors = 0;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_FAULT_FAULT_PLAN_H_

@@ -4,10 +4,31 @@
 #include <cassert>
 #include <utility>
 
+#include "src/util/config_error.h"
+
 namespace tcs {
 
+DiskConfig Validated(DiskConfig config) {
+  if (config.transfer_rate.bps() <= 0) {
+    throw ConfigError("DiskConfig.transfer_rate", "transfer rate must be positive");
+  }
+  if (config.page_size.count() <= 0) {
+    throw ConfigError("DiskConfig.page_size", "page size must be positive");
+  }
+  if (config.positioning_min < Duration::Zero() ||
+      config.positioning_mean < Duration::Zero()) {
+    throw ConfigError("DiskConfig.positioning", "positioning cost cannot be negative");
+  }
+  if (config.sequential_positioning_factor < 0.0 ||
+      config.sequential_positioning_factor > 1.0) {
+    throw ConfigError("DiskConfig.sequential_positioning_factor",
+                      "sequential positioning factor must be in [0, 1]");
+  }
+  return config;
+}
+
 Disk::Disk(Simulator& sim, Rng rng, DiskConfig config)
-    : sim_(sim), rng_(rng), config_(config) {}
+    : sim_(sim), rng_(rng), config_(Validated(config)) {}
 
 Duration Disk::ServiceTime(int pages) {
   assert(pages > 0);
@@ -33,6 +54,11 @@ void Disk::SetTracer(Tracer* tracer) {
 
 void Disk::Enqueue(const char* op, int pages, std::function<void()> done) {
   Duration service = ServiceTime(pages);
+  if (fault_ != nullptr) {
+    // Stalls and retried I/O errors lengthen this request's occupancy of the device,
+    // which queues behind-it requests too — exactly how a degraded spindle feels.
+    service += fault_->Perturb(service);
+  }
   TimePoint start = std::max(sim_.Now(), busy_until_);
   busy_until_ = start + service;
   total_busy_ += service;

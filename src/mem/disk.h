@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/fault/fault_injector.h"
 #include "src/obs/trace.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -28,6 +29,10 @@ struct DiskConfig {
   // Fraction of a positioning cost paid by each clustered page after the first.
   double sequential_positioning_factor = 0.1;
 };
+
+// Throws tcs::ConfigError on a non-positive transfer rate or page size, a negative
+// positioning cost, or a sequential factor outside [0, 1]. Returns the config.
+DiskConfig Validated(DiskConfig config);
 
 class Disk {
  public:
@@ -57,6 +62,11 @@ class Disk {
   int64_t pages_written() const { return pages_written_; }
   Duration total_busy() const { return total_busy_; }
 
+  // Fault injection (non-owning; null = healthy device, the default). An attached
+  // injector perturbs per-request service time with stalls and retried I/O errors.
+  void SetFaultInjector(DiskFaultInjector* injector) { fault_ = injector; }
+  DiskFaultInjector* fault_injector() const { return fault_; }
+
  private:
   Duration ServiceTime(int pages);
   void Enqueue(const char* op, int pages, std::function<void()> done);
@@ -64,6 +74,7 @@ class Disk {
   Simulator& sim_;
   Rng rng_;
   DiskConfig config_;
+  DiskFaultInjector* fault_ = nullptr;
   Tracer* tracer_ = nullptr;
   TraceTrack trace_track_;
   TimePoint busy_until_ = TimePoint::Zero();

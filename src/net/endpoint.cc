@@ -1,17 +1,21 @@
 #include "src/net/endpoint.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "src/util/config_error.h"
 
 namespace tcs {
 
-MessageSender::MessageSender(Link& link, HeaderModel headers)
-    : link_(link), headers_(headers) {}
+MessageSender::MessageSender(FrameTransport& transport, HeaderModel headers)
+    : link_(transport), headers_(headers) {
+  if ((transport.config().mtu - headers_.CountedPerPacket()).count() <= 0) {
+    throw ConfigError("LinkConfig.mtu", "MTU must exceed per-packet header overhead");
+  }
+}
 
 int64_t MessageSender::PacketsFor(Bytes payload) const {
   Bytes max_payload = link_.config().mtu - headers_.CountedPerPacket();
-  assert(max_payload.count() > 0);
   if (payload.count() <= 0) {
     return 1;  // a bare ACK/empty message still occupies a frame
   }

@@ -18,7 +18,9 @@ namespace tcs {
 
 class MessageSender {
  public:
-  MessageSender(Link& link, HeaderModel headers);
+  // `transport` may be a raw Link or a ReliableChannel layered on one. Throws
+  // tcs::ConfigError when the transport's MTU cannot fit the counted per-packet headers.
+  MessageSender(FrameTransport& transport, HeaderModel headers);
 
   // Sends a protocol message of `payload` bytes. It is segmented into as many frames as
   // the MTU requires; `delivered` (optional) fires when the last frame arrives.
@@ -35,7 +37,7 @@ class MessageSender {
   int64_t PacketsFor(Bytes payload) const;
 
  private:
-  Link& link_;
+  FrameTransport& link_;
   HeaderModel headers_;
   int64_t messages_sent_ = 0;
   int64_t packets_sent_ = 0;

@@ -5,12 +5,38 @@
 #include <cmath>
 #include <utility>
 
+#include "src/util/config_error.h"
+
 namespace tcs {
 
-Link::Link(Simulator& sim, LinkConfig config)
-    : sim_(sim), config_(config), rng_(config.seed), load_(config.load_bucket) {
-  assert(config_.rate.bps() > 0);
+LinkConfig Validated(LinkConfig config) {
+  if (config.rate.bps() <= 0) {
+    throw ConfigError("LinkConfig.rate", "link rate must be positive");
+  }
+  if (config.mtu.count() <= 0) {
+    throw ConfigError("LinkConfig.mtu", "MTU must be positive");
+  }
+  if (config.framing.count() < 0) {
+    throw ConfigError("LinkConfig.framing", "framing bytes cannot be negative");
+  }
+  if (config.propagation < Duration::Zero()) {
+    throw ConfigError("LinkConfig.propagation", "propagation delay cannot be negative");
+  }
+  if (!(config.load_bucket > Duration::Zero())) {
+    throw ConfigError("LinkConfig.load_bucket", "load bucket must be positive");
+  }
+  if (config.csma_cd && !(config.backoff_slot > Duration::Zero())) {
+    throw ConfigError("LinkConfig.backoff_slot",
+                      "CSMA/CD backoff slot must be positive");
+  }
+  return config;
 }
+
+Link::Link(Simulator& sim, LinkConfig config)
+    : sim_(sim),
+      config_(Validated(std::move(config))),
+      rng_(config_.seed),
+      load_(config_.load_bucket) {}
 
 Duration Link::ContentionDelay(TimePoint start) {
   if (!config_.csma_cd) {
@@ -37,8 +63,7 @@ Duration Link::ContentionDelay(TimePoint start) {
   return total;
 }
 
-void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
-  assert(wire_bytes.count() > 0);
+bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
   TimePoint now = sim_.Now();
   // Update the smoothed utilization estimate with the gap since the previous send: the
   // fraction of that gap during which the medium was transmitting.
@@ -54,19 +79,61 @@ void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
   }
 
   TimePoint start = std::max(now, busy_until_);
-  start += ContentionDelay(start);
-  Duration serialization = TransmissionDelay(wire_bytes, config_.rate);
+  Duration backoff = ContentionDelay(start);
+  backoff_total_ += backoff;
+  start += backoff;
+  Duration serialization = TransmissionDelay(frame_bytes, config_.rate);
   busy_until_ = start + serialization;
   queue_delay_.Add((start - now).ToMillisF());
   ++frames_sent_;
-  bytes_carried_ += wire_bytes;
-  load_.AddSpread(start, busy_until_, static_cast<double>(wire_bytes.count()));
-  if (tracer_ != nullptr) {
-    tracer_->Span(TraceCategory::kNet, "frame", trace_track_, start, busy_until_, "bytes",
-                  wire_bytes.count(), "queue_us", (start - now).ToMicros());
+  bytes_carried_ += frame_bytes;
+  load_.AddSpread(start, busy_until_, static_cast<double>(frame_bytes.count()));
+  // Fate: a faulted frame still occupies the wire (the sender transmitted it), but
+  // never arrives. The healthy path is a single null check.
+  bool ok = true;
+  if (fault_ != nullptr) {
+    ok = fault_->Classify(start, busy_until_) == LinkFaultInjector::Fate::kDelivered;
   }
+  if (ok) {
+    ++frames_delivered_;
+  } else {
+    ++frames_lost_;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceCategory::kNet, ok ? "frame" : "frame-lost", trace_track_, start,
+                  busy_until_, "bytes", frame_bytes.count(), "queue_us",
+                  (start - now).ToMicros());
+  }
+  *delivery = busy_until_ + config_.propagation;
+  return ok;
+}
+
+void Link::SendEx(Bytes wire_bytes, std::function<void(bool)> done) {
+  assert(wire_bytes.count() > 0);
+  const int64_t max_frame = config_.mtu.count() + config_.framing.count();
+  bool all_ok = true;
+  TimePoint delivery = TimePoint::Zero();
+  int64_t remaining = wire_bytes.count();
+  while (remaining > 0) {
+    Bytes chunk = Bytes::Of(std::min(remaining, max_frame));
+    remaining -= chunk.count();
+    bool ok = TransmitFrame(chunk, &delivery);
+    all_ok = all_ok && ok;
+  }
+  if (done) {
+    sim_.At(delivery, [cb = std::move(done), all_ok] { cb(all_ok); });
+  }
+}
+
+void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
   if (delivered) {
-    sim_.At(busy_until_ + config_.propagation, std::move(delivered));
+    SendEx(wire_bytes, [cb = std::move(delivered)](bool ok) {
+      if (ok) {
+        cb();
+      }
+    });
+  } else {
+    SendEx(wire_bytes, nullptr);
   }
 }
 

@@ -4,6 +4,12 @@
 // both directions contends for one FIFO transmission queue. A frame waits for all earlier
 // frames, is serialized at the link rate, then arrives after the propagation delay.
 // Figures 8 and 9 (RTT and jitter vs offered load) are pure consequences of this queue.
+//
+// Faults: an attached LinkFaultInjector classifies each frame (delivered, lost,
+// corrupted, or swallowed by an outage window). A lost frame still occupies the wire —
+// the sender cannot know — but its delivery callback reports failure, which is what
+// ReliableChannel's retransmission timers key off. With no injector the fault path is a
+// single null-pointer branch and behaviour is bit-identical to the fault-free model.
 
 #ifndef TCS_SRC_NET_LINK_H_
 #define TCS_SRC_NET_LINK_H_
@@ -11,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/fault/fault_injector.h"
 #include "src/obs/trace.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -24,6 +31,9 @@ struct LinkConfig {
   BitsPerSecond rate = BitsPerSecond::Mbps(10);
   Duration propagation = Duration::Micros(50);
   Bytes mtu = Bytes::Of(1500);  // max payload+transport+network bytes per frame
+  // Link-layer framing (Ethernet MAC + FCS) that rides on every frame but does not count
+  // against the MTU. A send larger than mtu+framing is fragmented into multiple frames.
+  Bytes framing = Bytes::Of(18);
   // Resolution of the carried-load time series.
   Duration load_bucket = Duration::Seconds(1);
   // Model half-duplex CSMA/CD contention: frames sent while the medium has been busy
@@ -35,7 +45,25 @@ struct LinkConfig {
   uint64_t seed = 0x5EED;
 };
 
-class Link {
+// Throws tcs::ConfigError on a zero rate, non-positive MTU, zero load bucket, negative
+// propagation, or (with csma_cd) a non-positive backoff slot. Returns the config.
+LinkConfig Validated(LinkConfig config);
+
+// Anything that can carry an MTU-bounded frame: the raw Link, or a ReliableChannel that
+// recovers the Link's losses. MessageSender segments protocol messages onto one of these.
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+
+  // Queues a frame of `wire_bytes`; `delivered` (optional) fires when the last bit
+  // arrives at the far end (for reliable transports: in order, after any recovery).
+  virtual void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr) = 0;
+
+  // The underlying link's configuration (MTU, rate) for segmentation arithmetic.
+  virtual const LinkConfig& config() const = 0;
+};
+
+class Link : public FrameTransport {
  public:
   Link(Simulator& sim, LinkConfig config = {});
 
@@ -43,15 +71,30 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   // Queues a frame of `wire_bytes` for transmission; `delivered` (optional) fires when the
-  // last bit arrives at the far end.
-  void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr);
+  // last bit arrives at the far end. Sends larger than mtu+framing are fragmented into
+  // multiple frames (each queued separately); `delivered` fires when the last fragment
+  // lands, and only if every fragment survived any attached fault injector.
+  void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr) override;
 
-  const LinkConfig& config() const { return config_; }
+  // Fate-reporting send: `done` (optional) always fires at the would-be delivery time,
+  // with ok=false when the frame (any fragment) was lost/corrupted/in an outage.
+  // Reliable transports use this as their loss-detection oracle.
+  void SendEx(Bytes wire_bytes, std::function<void(bool ok)> done);
+
+  const LinkConfig& config() const override { return config_; }
   int64_t frames_sent() const { return frames_sent_; }
+  // Every transmission attempt either arrives or does not: frames_sent() ==
+  // frames_delivered() + frames_lost(), always.
+  int64_t frames_delivered() const { return frames_delivered_; }
+  int64_t frames_lost() const { return frames_lost_; }
   Bytes bytes_carried() const { return bytes_carried_; }
 
-  // Queueing delay experienced by each frame (time from Send() to transmission start).
+  // Queueing delay experienced by each frame (time from Send() to transmission start,
+  // including any CSMA/CD backoff).
   const RunningStats& queue_delay() const { return queue_delay_; }
+
+  // Total CSMA/CD backoff delay injected so far (a component of queue_delay()).
+  Duration backoff_total() const { return backoff_total_; }
 
   // Carried bytes per load_bucket (for "network load vs time" plots).
   const TimeSeries& load_series() const { return load_; }
@@ -68,23 +111,34 @@ class Link {
   // converted back to bytes at the link rate. Used by queue-depth gauges.
   Bytes BacklogBytesAt(TimePoint now) const;
 
+  // Fault injection (non-owning; null = healthy link, the default).
+  void SetFaultInjector(LinkFaultInjector* injector) { fault_ = injector; }
+  LinkFaultInjector* fault_injector() const { return fault_; }
+
   // Observability: each frame becomes a net-category span over its serialization window.
   void SetTracer(Tracer* tracer);
 
  private:
   // Extra delay from CSMA/CD contention for a frame starting at `start`.
   Duration ContentionDelay(TimePoint start);
+  // Queues one MTU-bounded frame; returns whether it will arrive and sets `delivery` to
+  // its last-bit-plus-propagation time.
+  bool TransmitFrame(Bytes frame_bytes, TimePoint* delivery);
 
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
+  LinkFaultInjector* fault_ = nullptr;
   Tracer* tracer_ = nullptr;
   TraceTrack trace_track_;
   TimePoint busy_until_ = TimePoint::Zero();
   int64_t frames_sent_ = 0;
+  int64_t frames_delivered_ = 0;
+  int64_t frames_lost_ = 0;
   int64_t collisions_ = 0;
   Bytes bytes_carried_ = Bytes::Zero();
   RunningStats queue_delay_;
+  Duration backoff_total_ = Duration::Zero();
   TimeSeries load_;
   // Sliding recent-utilization estimate (exponentially smoothed busy fraction).
   double recent_utilization_ = 0.0;

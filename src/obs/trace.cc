@@ -22,6 +22,8 @@ const char* TraceCategoryName(TraceCategory cat) {
       return "proto";
     case TraceCategory::kSession:
       return "session";
+    case TraceCategory::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -37,9 +37,10 @@ enum class TraceCategory : uint32_t {
   kNet = 1u << 4,      // frame transmissions, queueing
   kProto = 1u << 5,    // protocol messages, cache hits/misses
   kSession = 1u << 6,  // keystroke batches, update emissions
+  kFault = 1u << 7,    // injected outages, disconnects, disk stalls
 };
 
-inline constexpr uint32_t kAllTraceCategories = 0x7f;
+inline constexpr uint32_t kAllTraceCategories = 0xff;
 
 const char* TraceCategoryName(TraceCategory cat);
 

@@ -74,6 +74,19 @@ void BitmapCache::Insert(uint64_t hash, Bytes size) {
   ghosts_.erase(hash);
 }
 
+void BitmapCache::InvalidateAll() {
+  for (const Entry& e : lru_) {
+    ghosts_.insert(e.hash);
+  }
+  lru_.clear();
+  index_.clear();
+  insertion_order_.clear();
+  insertion_index_.clear();
+  used_ = Bytes::Zero();
+  loop_mode_ = false;
+  recent_miss_window_ = 0;
+}
+
 double BitmapCache::CumulativeHitRatio() const {
   int64_t n = lookups();
   if (n == 0) {

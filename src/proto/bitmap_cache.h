@@ -44,6 +44,11 @@ class BitmapCache {
   // are not cached at all.
   void Insert(uint64_t hash, Bytes size);
 
+  // Drops every cached entry (a session reconnect: the client's cache is stale and the
+  // server must assume nothing survives). Ghosts and cumulative counters are kept —
+  // re-fetches after a reconnect are real re-fetches.
+  void InvalidateAll();
+
   Bytes capacity() const { return config_.capacity; }
   Bytes used() const { return used_; }
   size_t entries() const { return index_.size(); }

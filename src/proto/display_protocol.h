@@ -39,6 +39,10 @@ class DisplayProtocol {
   // Flushes any batching buffers (end of an interaction step).
   virtual void Flush() {}
 
+  // The session's client reconnected after a disconnect: any client-side state (bitmap
+  // cache, glyph sets) must be assumed gone. Default: stateless protocol, nothing to do.
+  virtual void OnSessionReconnect() {}
+
   virtual std::string name() const = 0;
 
   // Bytes exchanged during session negotiation/initialization (§6.1.1 compulsory load).

@@ -116,4 +116,12 @@ void RdpProtocol::Flush() {
   FlushInputBatch();
 }
 
+void RdpProtocol::OnSessionReconnect() {
+  // Anything buffered was addressed to the old connection.
+  pdu_pending_ = Bytes::Zero();
+  pending_input_events_ = 0;
+  cache_.InvalidateAll();
+  glyphs_seen_.clear();
+}
+
 }  // namespace tcs

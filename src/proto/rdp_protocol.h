@@ -51,6 +51,9 @@ class RdpProtocol final : public DisplayProtocol {
   void SubmitDraw(const DrawCommand& cmd) override;
   void SubmitInput(const InputEvent& event) override;
   void Flush() override;
+  // Reconnect invalidates all client-side caches: the bitmap cache and glyph sets must
+  // be rebuilt, so the first post-reconnect screenful re-ships rasters (TSE's resync).
+  void OnSessionReconnect() override;
   std::string name() const override { return "RDP"; }
   Bytes session_setup_bytes() const override { return config_.session_setup; }
 

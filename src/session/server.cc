@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/config_error.h"
 #include "src/proto/lbx_protocol.h"
 #include "src/proto/slim_protocol.h"
 #include "src/proto/vnc_protocol.h"
@@ -23,7 +24,10 @@ size_t PagesFor(Bytes b) {
 PagerConfig MakePagerConfig(const OsProfile& profile, const ServerConfig& cfg) {
   PagerConfig pc;
   Bytes user_ram = cfg.ram - profile.idle_system_memory;
-  assert(user_ram.count() > 0);
+  if (user_ram.count() <= 0) {
+    throw ConfigError("ServerConfig.ram",
+                      "RAM must exceed the profile's idle system memory");
+  }
   pc.total_frames = PagesFor(user_ram);
   pc.cluster_pages = profile.pager_cluster_pages;
   pc.policy = cfg.eviction;
@@ -52,20 +56,58 @@ std::unique_ptr<DisplayProtocol> MakeProtocol(ProtocolKind kind, Simulator& sim,
   return nullptr;
 }
 
+FrameTransport& PickTransport(std::unique_ptr<ReliableChannel>& reliable, Link& link) {
+  if (reliable != nullptr) {
+    return *reliable;
+  }
+  return link;
+}
+
 }  // namespace
+
+ServerConfig Validated(ServerConfig config) {
+  if (config.ram.count() <= 0) {
+    throw ConfigError("ServerConfig.ram", "RAM must be positive");
+  }
+  if (!(config.tap_bucket > Duration::Zero())) {
+    throw ConfigError("ServerConfig.tap_bucket", "tap bucket must be positive");
+  }
+  if (config.pager_throttle < Duration::Zero()) {
+    throw ConfigError("ServerConfig.pager_throttle", "pager throttle cannot be negative");
+  }
+  Validate(config.faults);
+  return config;
+}
 
 Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
     : sim_(sim),
       profile_(std::move(profile)),
-      config_(config),
-      rng_(config.seed),
-      cpu_(sim, profile_.MakeScheduler(), config.cpu),
-      disk_(sim, rng_.Fork(), config.disk),
-      pager_(sim, disk_, MakePagerConfig(profile_, config)),
-      link_(sim, config.link),
-      display_sender_(link_, HeaderModel::TcpIp()),
-      input_sender_(link_, HeaderModel::TcpIp()),
-      tap_(config.tap_bucket) {
+      config_(Validated(std::move(config))),
+      rng_(config_.seed),
+      cpu_(sim, profile_.MakeScheduler(), config_.cpu),
+      disk_(sim, rng_.Fork(), config_.disk),
+      pager_(sim, disk_, MakePagerConfig(profile_, config_)),
+      link_(sim, config_.link),
+      link_fault_(config_.faults.link.Any()
+                      ? std::make_unique<LinkFaultInjector>(config_.faults.link,
+                                                            config_.faults.seed)
+                      : nullptr),
+      disk_fault_(config_.faults.disk.Any()
+                      ? std::make_unique<DiskFaultInjector>(config_.faults.disk,
+                                                            config_.faults.seed ^ 0xD15Cull)
+                      : nullptr),
+      reliable_(link_fault_ != nullptr ? std::make_unique<ReliableChannel>(sim, link_)
+                                       : nullptr),
+      display_sender_(PickTransport(reliable_, link_), HeaderModel::TcpIp()),
+      input_sender_(PickTransport(reliable_, link_), HeaderModel::TcpIp()),
+      tap_(config_.tap_bucket),
+      fault_rng_(config_.faults.seed ^ 0xC0FFEEull) {
+  if (link_fault_ != nullptr) {
+    link_.SetFaultInjector(link_fault_.get());
+  }
+  if (disk_fault_ != nullptr) {
+    disk_.SetFaultInjector(disk_fault_.get());
+  }
   protocol_ = MakeProtocol(profile_.protocol_kind, sim_, display_sender_, input_sender_,
                            &tap_, rng_.Fork());
   protocol_->set_display_message_hook([this](Bytes payload) { update_payload_ += payload; });
@@ -75,6 +117,15 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
     disk_.SetTracer(config_.tracer);
     link_.SetTracer(config_.tracer);
     protocol_->SetTracer(config_.tracer);
+    if (link_fault_ != nullptr) {
+      link_fault_->SetTracer(config_.tracer);
+    }
+    if (reliable_ != nullptr) {
+      reliable_->SetTracer(config_.tracer);
+    }
+    if (config_.faults.session.Any()) {
+      fault_track_ = config_.tracer->RegisterTrack("fault", "server");
+    }
   }
   if (config_.metrics != nullptr) {
     config_.metrics->AddGauge("runq_depth", [this] {
@@ -90,6 +141,28 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
       config_.metrics->AddGauge("bitmap_cache_hit_rate",
                                 [rdp] { return rdp->bitmap_cache().CumulativeHitRatio(); });
     }
+    // Fault gauges only exist on faulted runs, so fault-free metric output is unchanged.
+    if (config_.faults.Any()) {
+      config_.metrics->AddGauge("link_frames_lost", [this] {
+        return static_cast<double>(link_.frames_lost());
+      });
+      config_.metrics->AddGauge("retransmissions", [this] {
+        return reliable_ != nullptr ? static_cast<double>(reliable_->retransmissions())
+                                    : 0.0;
+      });
+      config_.metrics->AddGauge("sessions_disconnected", [this] {
+        double n = 0.0;
+        for (const auto& s : sessions_) {
+          if (!s->connected_) {
+            n += 1.0;
+          }
+        }
+        return n;
+      });
+    }
+  }
+  if (config_.faults.session.Any()) {
+    ArmFaultSchedule();
   }
 }
 
@@ -142,8 +215,10 @@ Session& Server::Login(bool light_session) {
       light_session ? profile_.light_login_processes : profile_.login_processes;
   for (const ProcessSpec& proc : processes) {
     AddressSpace* as = pager_.CreateAddressSpace(proc.name, /*interactive=*/true);
-    pager_.Prefault(*as, 0, std::max<size_t>(1, PagesFor(proc.private_memory)));
+    size_t pages = std::max<size_t>(1, PagesFor(proc.private_memory));
+    pager_.Prefault(*as, 0, pages);
     s.process_spaces_.push_back(as);
+    s.process_pages_.push_back(pages);
     s.private_memory_ += proc.private_memory;
   }
   // The editor's keystroke-path working set (code + data across the involved processes).
@@ -175,10 +250,22 @@ Duration Server::InputTransitDelay() const {
 }
 
 void Server::Keystroke(Session& session) {
+  if (!session.connected_) {
+    // Typed into a dead connection: the client buffers nothing, the keystroke is gone.
+    ++session.dropped_keystrokes_;
+    ++dropped_keystrokes_;
+    return;
+  }
   TimePoint sent_at = sim_.Now();
   protocol_->SubmitInput(InputEvent::Key(true));
   protocol_->SubmitInput(InputEvent::Key(false));
-  sim_.Schedule(InputTransitDelay(),
+  Duration transit = InputTransitDelay();
+  if (link_fault_ != nullptr) {
+    // Lost input frames are recovered by retransmission (200 ms base RTO, the reliable
+    // channel's default) and outages pin the message behind the window.
+    transit += link_fault_->InputDelayPenalty(sent_at, Duration::Millis(200));
+  }
+  sim_.Schedule(transit,
                 [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at); });
 }
 
@@ -199,6 +286,7 @@ void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at) {
 }
 
 void Server::StartPipelinePass(Session& session) {
+  uint64_t gen = session.generation_;
   int batch = session.pending_keystrokes_;
   session.pending_keystrokes_ = 0;
   assert(batch > 0);
@@ -214,10 +302,15 @@ void Server::StartPipelinePass(Session& session) {
       frac * static_cast<double>(profile_.editor_working_set_pages));
   pages = std::max<size_t>(1, pages);
   pager_.AccessRange(*session.working_set_, 0, pages, /*write=*/false,
-                     [this, &session, batch] { RunHop(session, 0, batch); });
+                     [this, &session, batch, gen] {
+                       if (session.generation_ != gen) {
+                         return;  // the session restarted cold while we paged in
+                       }
+                       RunHop(session, 0, batch, gen);
+                     });
 }
 
-void Server::RunHop(Session& session, size_t hop, int batch) {
+void Server::RunHop(Session& session, size_t hop, int batch, uint64_t gen) {
   assert(hop < session.pipeline_.size());
   const PipelineHop& spec = profile_.keystroke_pipeline[hop];
   Duration work = spec.work;
@@ -228,9 +321,12 @@ void Server::RunHop(Session& session, size_t hop, int batch) {
   WakeReason reason = hop == 0 ? WakeReason::kInputEvent : WakeReason::kOther;
   cpu_.PostWork(
       *session.pipeline_[hop], work,
-      [this, &session, hop, batch] {
+      [this, &session, hop, batch, gen] {
+        if (session.generation_ != gen) {
+          return;  // abandoned by a cold restart
+        }
         if (hop + 1 < session.pipeline_.size()) {
-          RunHop(session, hop + 1, batch);
+          RunHop(session, hop + 1, batch, gen);
         } else {
           CompletePipeline(session, batch);
         }
@@ -239,6 +335,15 @@ void Server::RunHop(Session& session, size_t hop, int batch) {
 }
 
 void Server::CompletePipeline(Session& session, int batch) {
+  if (!session.connected_) {
+    // The update has nowhere to go; drain any pre-disconnect backlog, then idle.
+    if (session.pending_keystrokes_ > 0) {
+      StartPipelinePass(session);
+    } else {
+      session.pipeline_busy_ = false;
+    }
+    return;
+  }
   update_payload_ = Bytes::Zero();
   protocol_->SubmitDraw(DrawCommand::Text(batch));
   protocol_->Flush();
@@ -273,6 +378,163 @@ void Server::CompletePipeline(Session& session, int batch) {
   } else {
     session.pipeline_busy_ = false;
   }
+}
+
+void Server::Disconnect(Session& session) {
+  if (!session.connected_) {
+    return;
+  }
+  session.connected_ = false;
+  session.disconnected_at_ = sim_.Now();
+  ++disconnects_;
+  if (config_.tracer != nullptr) {
+    config_.tracer->Instant(TraceCategory::kFault, "disconnect", session.trace_track_,
+                            sim_.Now());
+  }
+}
+
+void Server::Reconnect(Session& session) {
+  if (session.connected_) {
+    return;
+  }
+  session.connected_ = true;
+  session_downtime_ += sim_.Now() - session.disconnected_at_;
+  if (config_.tracer != nullptr) {
+    config_.tracer->Span(TraceCategory::kFault, "disconnected", session.trace_track_,
+                         session.disconnected_at_, sim_.Now());
+  }
+  if (profile_.protocol_kind == ProtocolKind::kRdp) {
+    // TSE keeps the session alive server-side; the returning client arrives with cold
+    // caches. Invalidate them and pay a resync burst — a fraction of full session setup
+    // (capability re-negotiation plus a screen repaint's worth of orders).
+    protocol_->OnSessionReconnect();
+    display_sender_.SendMessage(
+        Bytes::Of(protocol_->session_setup_bytes().count() / 4));
+  } else {
+    // X-family sessions die with the transport: the login restarts cold. Everything the
+    // old processes had resident is gone, in-flight pipeline work is abandoned, and the
+    // full session negotiation replays.
+    ++session.generation_;
+    session.pending_keystrokes_ = 0;
+    session.pipeline_busy_ = false;
+    protocol_->OnSessionReconnect();
+    for (size_t i = 0; i < session.process_spaces_.size(); ++i) {
+      pager_.MarkSwappedOut(*session.process_spaces_[i], 0, session.process_pages_[i]);
+    }
+    pager_.MarkSwappedOut(*session.working_set_, 0, profile_.editor_working_set_pages);
+    display_sender_.SendMessage(protocol_->session_setup_bytes());
+  }
+}
+
+void Server::ArmFaultSchedule() {
+  const SessionFaultPlan& sp = config_.faults.session;
+  if (sp.disconnect_every > Duration::Zero()) {
+    ScheduleNextDisconnect();
+  }
+  if (sp.daemon_crash_every > Duration::Zero()) {
+    ScheduleNextDaemonCrash();
+  }
+}
+
+void Server::ScheduleNextDisconnect() {
+  // +/-50% jitter from the fault stream keeps disconnects from phase-locking with the
+  // typing cadence while staying reproducible for a given plan seed.
+  Duration delay = config_.faults.session.disconnect_every * (0.5 + fault_rng_.NextDouble());
+  sim_.Schedule(delay, [this] {
+    FireDisconnect();
+    ScheduleNextDisconnect();
+  });
+}
+
+void Server::FireDisconnect() {
+  if (sessions_.empty()) {
+    return;  // nobody logged in yet; the schedule keeps ticking
+  }
+  Session& s = *sessions_[disconnect_rr_++ % sessions_.size()];
+  if (!s.connected_) {
+    return;  // already down (reconnect pending)
+  }
+  Disconnect(s);
+  Session* sp = &s;
+  sim_.Schedule(config_.faults.session.reconnect_after, [this, sp] { Reconnect(*sp); });
+}
+
+void Server::ScheduleNextDaemonCrash() {
+  Duration delay =
+      config_.faults.session.daemon_crash_every * (0.5 + fault_rng_.NextDouble());
+  sim_.Schedule(delay, [this] {
+    FireDaemonCrash();
+    ScheduleNextDaemonCrash();
+  });
+}
+
+void Server::FireDaemonCrash() {
+  if (daemons_.empty()) {
+    return;  // daemons never started; nothing to kill
+  }
+  DaemonRuntime& rt = daemons_[daemon_rr_++ % daemons_.size()];
+  if (rt.task == nullptr || !rt.task->IsRunning()) {
+    return;  // already down (restart pending)
+  }
+  rt.task->Stop();
+  ++daemon_crashes_;
+  if (config_.tracer != nullptr) {
+    config_.tracer->Instant(TraceCategory::kFault,
+                            config_.tracer->Intern("crash:" + rt.spec.name), fault_track_,
+                            sim_.Now());
+  }
+  DaemonRuntime* rtp = &rt;
+  sim_.Schedule(config_.faults.session.daemon_restart_after, [this, rtp] {
+    if (rtp->task->IsRunning()) {
+      return;
+    }
+    rtp->task->Start(rtp->spec.phase);
+    // Restart storm: the reborn daemon immediately replays one episode of work.
+    PostDaemonEpisode(rtp->thread, rtp->spec);
+  });
+}
+
+FaultStats Server::CollectFaultStats(Duration run_duration) {
+  FaultStats st;
+  st.active = config_.faults.Any();
+  if (!st.active) {
+    return st;
+  }
+  st.frames_lost = static_cast<uint64_t>(link_.frames_lost());
+  if (link_fault_ != nullptr) {
+    st.frames_corrupted = static_cast<uint64_t>(link_fault_->frames_corrupted());
+    st.input_frames_lost = static_cast<uint64_t>(link_fault_->input_frames_lost());
+  }
+  if (reliable_ != nullptr) {
+    st.retransmissions = static_cast<uint64_t>(reliable_->retransmissions());
+  }
+  st.disconnects = static_cast<uint64_t>(disconnects_);
+  st.dropped_keystrokes = static_cast<uint64_t>(dropped_keystrokes_);
+  st.daemon_crashes = static_cast<uint64_t>(daemon_crashes_);
+  if (disk_fault_ != nullptr) {
+    st.disk_stalls = static_cast<uint64_t>(disk_fault_->stalls());
+    st.io_errors = static_cast<uint64_t>(disk_fault_->io_errors());
+    st.disk_stall_rate = disk_fault_->StallRate();
+  }
+  // Availability: link outage time plus mean per-session disconnected time (closed
+  // intervals plus any still open) over the run duration.
+  Duration down = session_downtime_;
+  for (const auto& s : sessions_) {
+    if (!s->connected_) {
+      down += sim_.Now() - s->disconnected_at_;
+    }
+  }
+  Duration outage = Duration::Zero();
+  if (link_fault_ != nullptr) {
+    outage = link_fault_->OutageTimeBefore(sim_.Now());
+  }
+  if (run_duration > Duration::Zero()) {
+    Duration per_session_down =
+        sessions_.empty() ? down : down / static_cast<int64_t>(sessions_.size());
+    double unavail = (outage + per_session_down) / run_duration;
+    st.availability = std::clamp(1.0 - unavail, 0.0, 1.0);
+  }
+  return st;
 }
 
 }  // namespace tcs

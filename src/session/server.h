@@ -11,8 +11,11 @@
 
 #include "src/client/thin_client.h"
 #include "src/cpu/cpu.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/mem/pager.h"
 #include "src/net/endpoint.h"
+#include "src/net/reliable.h"
 #include "src/obs/metrics.h"
 #include "src/proto/display_protocol.h"
 #include "src/session/os_profile.h"
@@ -37,6 +40,11 @@ struct ServerConfig {
   Duration pager_throttle = Duration::Millis(20);
   Duration tap_bucket = Duration::Seconds(1);
   uint64_t seed = 1;
+  // Fault plan for this run. An empty (default) plan constructs no injectors, no reliable
+  // channel, and consumes no random stream — behaviour is byte-identical to a build
+  // without the fault layer. A non-empty link plan routes all protocol traffic through a
+  // ReliableChannel, so losses surface as retransmission delay, not silent corruption.
+  FaultPlan faults;
   // Observability (both optional, non-owning). With a tracer, every layer of the server
   // emits trace events; with a registry, the standard gauges (run-queue depth, resident
   // pages, link backlog, bitmap-cache hit rate) are registered at construction.
@@ -64,6 +72,14 @@ class Session {
   Bytes private_memory() const { return private_memory_; }
   AddressSpace* working_set() const { return working_set_; }
 
+  // False while the client is forcibly disconnected (fault plan or explicit call).
+  bool connected() const { return connected_; }
+  // Keystrokes typed while disconnected (they never reach the server).
+  int64_t dropped_keystrokes() const { return dropped_keystrokes_; }
+  // Bumped on each cold restart (X-family reconnects); in-flight pipeline callbacks
+  // from an older generation abandon themselves.
+  uint64_t generation() const { return generation_; }
+
   // Invoked (with the emission time) whenever a display update for this session goes out.
   void set_on_display_update(std::function<void(TimePoint)> fn) {
     on_display_update_ = std::move(fn);
@@ -81,7 +97,12 @@ class Session {
   uint64_t id_ = 0;
   TraceTrack trace_track_;  // "session/userN"; meaningful only when the server traces
   Bytes private_memory_ = Bytes::Zero();
+  bool connected_ = true;
+  uint64_t generation_ = 0;
+  TimePoint disconnected_at_;
+  int64_t dropped_keystrokes_ = 0;
   std::vector<AddressSpace*> process_spaces_;
+  std::vector<size_t> process_pages_;  // prefaulted page count per process space
   AddressSpace* working_set_ = nullptr;
   std::vector<Thread*> pipeline_;
   int pending_keystrokes_ = 0;
@@ -126,12 +147,31 @@ class Server {
   // Starts `count` sink CPU hogs with the profile's sink priority.
   void StartSinks(int count);
 
+  // Forcibly drops the session's client connection: keystrokes typed until Reconnect()
+  // are lost, and (for X-family protocols) the login dies with the connection.
+  void Disconnect(Session& session);
+  // Brings the client back. RDP/TSE sessions survive server-side and pay a cache-resync
+  // burst; X-family sessions restart cold (working set swapped out, full session setup).
+  void Reconnect(Session& session);
+
+  // Fault/recovery accounting over a run of `run_duration`. `active` is false (and the
+  // rest zero/identity) when the config carried an empty FaultPlan.
+  FaultStats CollectFaultStats(Duration run_duration);
+
+  int64_t disconnects() const { return disconnects_; }
+  int64_t daemon_crashes() const { return daemon_crashes_; }
+  Duration session_downtime() const { return session_downtime_; }
+
   const OsProfile& profile() const { return profile_; }
   Simulator& sim() { return sim_; }
   Cpu& cpu() { return cpu_; }
   Disk& disk() { return disk_; }
   Pager& pager() { return pager_; }
   Link& link() { return link_; }
+  // Null when the fault plan has no link faults (traffic rides the raw link).
+  ReliableChannel* reliable() { return reliable_.get(); }
+  LinkFaultInjector* link_fault_injector() { return link_fault_.get(); }
+  DiskFaultInjector* disk_fault_injector() { return disk_fault_.get(); }
   DisplayProtocol& protocol() { return *protocol_; }
   ProtoTap& tap() { return tap_; }
   // Frames available to user pages given RAM minus the profile's idle system memory.
@@ -141,10 +181,16 @@ class Server {
   void PostDaemonEpisode(Thread* thread, const DaemonSpec& spec);
   void OnKeystrokeArrived(Session& session, TimePoint sent_at);
   void StartPipelinePass(Session& session);
-  void RunHop(Session& session, size_t hop, int batch);
+  void RunHop(Session& session, size_t hop, int batch, uint64_t gen);
   void CompletePipeline(Session& session, int batch);
   // Transit time of a small input message through the link right now (queue + wire).
   Duration InputTransitDelay() const;
+  // Arms the plan's scheduled session disconnects / daemon crashes (ctor, when enabled).
+  void ArmFaultSchedule();
+  void ScheduleNextDisconnect();
+  void ScheduleNextDaemonCrash();
+  void FireDisconnect();
+  void FireDaemonCrash();
 
   Simulator& sim_;
   OsProfile profile_;
@@ -154,9 +200,16 @@ class Server {
   Disk disk_;
   Pager pager_;
   Link link_;
+  // Fault wiring: all null/absent with an empty plan, so the fault-free path is identical
+  // to a build without the fault layer.
+  std::unique_ptr<LinkFaultInjector> link_fault_;
+  std::unique_ptr<DiskFaultInjector> disk_fault_;
+  std::unique_ptr<ReliableChannel> reliable_;
   MessageSender display_sender_;
   MessageSender input_sender_;
   ProtoTap tap_;
+  Rng fault_rng_;  // schedule jitter for disconnects/crashes; consumed only when armed
+  TraceTrack fault_track_;  // "fault/server": daemon crashes and other server-wide faults
   std::unique_ptr<DisplayProtocol> protocol_;
   std::unique_ptr<ThinClientDevice> client_;
   // Display payload bytes accumulated since the last pipeline completion (for the client
@@ -170,7 +223,19 @@ class Server {
   };
   std::vector<DaemonRuntime> daemons_;
   std::vector<std::unique_ptr<Session>> sessions_;
+
+  size_t disconnect_rr_ = 0;  // round-robin cursors for scheduled faults
+  size_t daemon_rr_ = 0;
+  int64_t disconnects_ = 0;
+  int64_t daemon_crashes_ = 0;
+  int64_t dropped_keystrokes_ = 0;
+  Duration session_downtime_ = Duration::Zero();  // closed disconnect intervals
 };
+
+// Throws tcs::ConfigError on non-positive RAM or tap bucket, a negative pager throttle,
+// or an invalid fault plan. Returns the config. (RAM vs the profile's idle system memory
+// is checked in the Server constructor, where the profile is known.)
+ServerConfig Validated(ServerConfig config);
 
 }  // namespace tcs
 

@@ -14,6 +14,15 @@
 //   e2e      --os=... [--sinks=N --background-mbps=X --client=pc|winterm|handheld]
 //   sweep    --experiment=typing|sizing|e2e [--os=tse,linux,... --sinks=L --users=L
 //            --seconds=N --jobs=N --seed=N]              parallel config-matrix sweep
+//   chaos    --os=... [--loss=0,0.01,0.05 --flap-ms=0,50 --flap-every-ms=2000
+//            --disk-stall=X --disconnect-ms=N --sinks=N --seconds=N --jobs=N --seed=N
+//            --threshold-ms=150 --report-out=chaos.json]
+//            fault-injection sweep: crosses frame-loss rates with link-outage ("flap")
+//            lengths, runs the end-to-end typing workload under each deterministic fault
+//            plan, and reports the keystroke latency distribution (p50/p99), the fraction
+//            above the perception threshold, availability, and the retransmission ledger.
+//            The first grid point whose p99 crosses --threshold-ms is called out. Output
+//            is byte-identical for any --jobs value.
 //   trace    <experiment> [experiment flags] [--out=trace.json --metrics-out=metrics.csv
 //            --report-out=report.json --categories=cpu,sched,...]
 //            run one experiment observed: writes a Perfetto-loadable Chrome trace, the
@@ -57,7 +66,7 @@ namespace {
 int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
-      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep trace "
+      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep chaos trace "
       "replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
@@ -379,6 +388,121 @@ int CmdSweep(FlagSet& flags) {
   return 0;
 }
 
+bool ParseDoubleList(const std::string& value, const char* flag,
+                     std::vector<double>* out) {
+  for (const std::string& token : SplitList(value)) {
+    try {
+      out->push_back(std::stod(token));
+    } catch (...) {
+      std::fprintf(stderr, "bad --%s entry '%s'\n", flag, token.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents);
+
+int CmdChaos(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  std::vector<double> losses;
+  if (!ParseDoubleList(flags.GetString("loss", "0,0.01,0.05"), "loss", &losses)) {
+    return 2;
+  }
+  std::vector<int> flap_ms;
+  if (!ParseIntList(flags.GetString("flap-ms", "0,50"), "flap-ms", &flap_ms)) {
+    return 2;
+  }
+  if (losses.empty() || flap_ms.empty()) {
+    std::fprintf(stderr, "chaos needs at least one --loss and one --flap-ms value\n");
+    return 2;
+  }
+  for (double loss : losses) {
+    if (loss < 0.0 || loss >= 1.0) {
+      std::fprintf(stderr, "--loss entries must be in [0,1)\n");
+      return 2;
+    }
+  }
+
+  Duration flap_every = Duration::Millis(flags.GetInt("flap-every-ms", 2000));
+  double disk_stall = flags.GetDouble("disk-stall", 0.0);
+  Duration disconnect_every = Duration::Millis(flags.GetInt("disconnect-ms", 0));
+  Duration threshold = Duration::Millis(flags.GetInt("threshold-ms", 150));
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  int sinks = static_cast<int>(flags.GetInt("sinks", 0));
+  uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  int flap_count = static_cast<int>(flap_ms.size());
+  int configs = static_cast<int>(losses.size()) * flap_count;
+
+  // Loss-major, flap-minor, each config with a position-derived seed: the grid is
+  // byte-identical for any --jobs value.
+  ParallelSweep sweep(jobs);
+  auto points = sweep.Map(configs, [&](int i) {
+    ChaosOptions opt;
+    opt.loss_rate = losses[static_cast<size_t>(i / flap_count)];
+    int flap = flap_ms[static_cast<size_t>(i % flap_count)];
+    if (flap > 0) {
+      opt.flap_every = flap_every;
+      opt.flap_duration = Duration::Millis(flap);
+    }
+    opt.disk_stall_rate = disk_stall;
+    opt.disconnect_every = disconnect_every;
+    opt.sinks = sinks;
+    opt.duration = seconds;
+    opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
+    opt.threshold = threshold;
+    return RunChaosPoint(profile, opt);
+  });
+
+  TextTable table({"loss", "flap (ms)", "p50 (ms)", "p99 (ms)", "mean (ms)",
+                   "> threshold", "availability", "retransmits", "updates"});
+  const ChaosPoint* first_crossing = nullptr;
+  for (const ChaosPoint& p : points) {
+    table.AddRow({TextTable::Percent(p.loss_rate, 1), TextTable::Fixed(p.flap_ms, 0),
+                  TextTable::Fixed(p.p50_ms, 2), TextTable::Fixed(p.p99_ms, 2),
+                  TextTable::Fixed(p.mean_ms, 2),
+                  TextTable::Percent(p.perceptible_fraction, 1),
+                  TextTable::Percent(p.faults.availability, 2),
+                  TextTable::Num(p.retransmissions), TextTable::Num(p.updates)});
+    if (first_crossing == nullptr && p.crosses_threshold) {
+      first_crossing = &p;
+    }
+  }
+  Emit(table, flags.GetBool("csv"));
+  if (first_crossing != nullptr) {
+    std::printf("p99 first crosses %lld ms at loss %.1f%% / flap %.0f ms "
+                "(p99 %.1f ms, %.1f%% of keystrokes perceptible)\n",
+                static_cast<long long>(threshold.ToMicros() / 1000),
+                first_crossing->loss_rate * 100.0, first_crossing->flap_ms,
+                first_crossing->p99_ms, first_crossing->perceptible_fraction * 100.0);
+  } else {
+    std::printf("p99 stays under %lld ms across the grid\n",
+                static_cast<long long>(threshold.ToMicros() / 1000));
+  }
+
+  std::string report_path = flags.GetString("report-out", "");
+  if (!report_path.empty()) {
+    std::string report = "{\"experiment\":\"chaos_sweep\",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) {
+        report += ',';
+      }
+      report += ToJson(points[i]);
+    }
+    report += "]}\n";
+    if (!WriteFile(report_path, report)) {
+      return 1;
+    }
+  }
+  // stderr, so stdout stays byte-identical for any --jobs value.
+  std::fprintf(stderr, "%d chaos points over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
 bool ParseCategories(const std::string& list, uint32_t* mask) {
   uint32_t out = 0;
   for (const std::string& word : SplitList(list)) {
@@ -398,10 +522,12 @@ bool ParseCategories(const std::string& list, uint32_t* mask) {
       out |= static_cast<uint32_t>(TraceCategory::kProto);
     } else if (word == "session") {
       out |= static_cast<uint32_t>(TraceCategory::kSession);
+    } else if (word == "fault") {
+      out |= static_cast<uint32_t>(TraceCategory::kFault);
     } else {
       std::fprintf(stderr,
                    "unknown --categories entry '%s' "
-                   "(sim|cpu|sched|mem|net|proto|session|all)\n",
+                   "(sim|cpu|sched|mem|net|proto|session|fault|all)\n",
                    word.c_str());
       return false;
     }
@@ -615,7 +741,9 @@ int Run(int argc, char** argv) {
                 {"os", "seconds", "sinks", "cpus", "full-demand", "runs", "protect",
                  "protocol", "steps", "no-banner", "no-marquee", "frames", "loop-aware",
                  "mbps", "users", "background-mbps", "client", "csv", "experiment",
-                 "jobs", "seed", "out", "metrics-out", "report-out", "categories"});
+                 "jobs", "seed", "out", "metrics-out", "report-out", "categories",
+                 "loss", "flap-ms", "flap-every-ms", "disk-stall", "disconnect-ms",
+                 "threshold-ms"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -649,6 +777,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "sweep") {
     return CmdSweep(flags);
+  }
+  if (command == "chaos") {
+    return CmdChaos(flags);
   }
   if (command == "trace") {
     return CmdTrace(flags);
