@@ -8,6 +8,7 @@
 
 #include "src/cpu/cpu.h"
 #include "src/cpu/nt_scheduler.h"
+#include "src/obs/attribution.h"
 #include "src/obs/trace.h"
 #include "src/proto/bitmap_cache.h"
 #include "src/session/server.h"
@@ -179,6 +180,32 @@ void BM_SimulateTracedServerSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateTracedServerSecond)->Arg(0)->Arg(1)->Arg(2);
+
+// Latency-attribution overhead on the loaded-server second. Arg meaning:
+//   0 — no engine attached (the shipping default: one null-pointer branch per keystroke)
+//   1 — engine attached, no tracer (mint + record + aggregate, zero per-event allocs)
+// The 0-vs-1 gap prices the tentpole's "<5% enabled, free disabled" contract.
+void BM_AttributionOverhead(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    Simulator sim;
+    LatencyAttribution attribution;
+    ServerConfig cfg;
+    if (enabled) {
+      cfg.attribution = &attribution;
+    }
+    Server server(sim, OsProfile::Tse(), cfg);
+    server.StartDaemons();
+    Session& session = server.Login();
+    server.StartSinks(10);
+    Typist typist(sim, [&] { server.Keystroke(session); });
+    typist.Start();
+    sim.RunUntil(TimePoint::Zero() + Duration::Seconds(1));
+    benchmark::DoNotOptimize(server.tap().total_messages());
+    benchmark::DoNotOptimize(attribution.committed());
+  }
+}
+BENCHMARK(BM_AttributionOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace tcs

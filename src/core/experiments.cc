@@ -174,6 +174,14 @@ void ApplyObs(ServerConfig& cfg, const ObsConfig* obs) {
   if (obs != nullptr) {
     cfg.tracer = obs->tracer;
     cfg.metrics = obs->metrics;
+    cfg.attribution = obs->attribution;
+  }
+}
+
+// Fills `blame` from the run's attribution engine, if one was attached.
+void CollectBlame(AttributionResult& blame, const ObsConfig* obs) {
+  if (obs != nullptr && obs->attribution != nullptr) {
+    blame = obs->attribution->Collect();
   }
 }
 
@@ -272,6 +280,7 @@ TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
   result.max_stall_ms = stalls.MaxStall().ToMillisF();
   result.jitter_ms = stalls.Jitter().ToMillisF();
   result.updates = stalls.updates();
+  CollectBlame(result.blame, obs);
   FinishRun(result.run, sim, t0);
   return result;
 }
@@ -390,6 +399,7 @@ PagingLatencyResult RunPagingLatency(const OsProfile& profile, bool full_demand,
   result.min_ms = latency_ms.min();
   result.avg_ms = latency_ms.mean();
   result.max_ms = latency_ms.max();
+  CollectBlame(result.blame, obs);
   return result;
 }
 
@@ -630,6 +640,7 @@ SizingPoint RunServerSizing(const OsProfile& profile, int users, SizingBehavior 
   }
   point.avg_stall_ms = users > 0 ? total / static_cast<double>(users) : 0.0;
   point.worst_stall_ms = worst;
+  CollectBlame(point.blame, obs);
   FinishRun(point.run, sim, t0);
   return point;
 }
@@ -691,6 +702,7 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   result.updates = total_ms.count();
   result.faults =
       server.CollectFaultStats(Duration::Seconds(2) + options.duration + Duration::Seconds(1));
+  CollectBlame(result.blame, obs);
   FinishRun(result.run, sim, t0);
   return result;
 }
@@ -710,6 +722,13 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
   cfg.faults.disk.stall_rate = options.disk_stall_rate;
   cfg.faults.session.disconnect_every = options.disconnect_every;
   ApplyObs(cfg, obs);
+  // Chaos points always attribute (a local engine unless the caller supplied one): the
+  // blame block is how a loss sweep shows retransmit time moving into the network stage.
+  LatencyAttribution local_attribution(
+      AttributionConfig{obs != nullptr ? obs->tracer : nullptr, false});
+  LatencyAttribution* attribution =
+      cfg.attribution != nullptr ? cfg.attribution : &local_attribution;
+  cfg.attribution = attribution;
   AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
   SamplerScope sampler(sim, obs);
@@ -718,11 +737,11 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
   Session& session = server.Login();
   server.StartSinks(options.sinks);
 
-  SampleSet total_ms;
+  LatencyRecorder latency;
   int64_t perceptible = 0;
   Duration threshold = options.threshold;
   session.set_on_frame_painted([&](const KeystrokeLatency& lat) {
-    total_ms.Add(lat.total().ToMillisF());
+    latency.Record(lat.total());
     if (lat.total() > threshold) {
       ++perceptible;
     }
@@ -739,13 +758,14 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
   point.os_name = profile.name;
   point.loss_rate = options.loss_rate;
   point.flap_ms = options.flap_duration.ToMillisF();
-  point.updates = static_cast<int64_t>(total_ms.size());
-  if (!total_ms.empty()) {
-    point.p50_ms = total_ms.Percentile(0.50);
-    point.p99_ms = total_ms.Percentile(0.99);
-    point.mean_ms = total_ms.Mean();
+  point.updates = latency.count();
+  if (latency.count() > 0) {
+    // Exact-microsecond percentiles, rendered as ms only here at serialization.
+    point.p50_ms = latency.PercentileMs(0.50);
+    point.p99_ms = latency.PercentileMs(0.99);
+    point.mean_ms = static_cast<double>(latency.Mean().ToMicros()) / 1000.0;
     point.perceptible_fraction =
-        static_cast<double>(perceptible) / static_cast<double>(total_ms.size());
+        static_cast<double>(perceptible) / static_cast<double>(latency.count());
   }
   point.crosses_threshold = point.p99_ms > threshold.ToMillisF();
   point.faults = server.CollectFaultStats(total_run);
@@ -755,6 +775,7 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
   point.retransmissions = server.reliable() != nullptr
                               ? static_cast<int64_t>(server.reliable()->retransmissions())
                               : 0;
+  point.blame = attribution->Collect();
   FinishRun(point.run, sim, t0);
   return point;
 }

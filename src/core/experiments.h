@@ -58,6 +58,9 @@ struct TypingUnderLoadResult {
   double max_stall_ms = 0.0;
   double jitter_ms = 0.0;
   int64_t updates = 0;
+  // Per-stage latency attribution; `blame.active` only when the run's ObsConfig carried
+  // a LatencyAttribution engine.
+  AttributionResult blame;
   RunStats run;
 };
 
@@ -98,6 +101,8 @@ struct PagingLatencyResult {
   double min_ms = 0.0;
   double avg_ms = 0.0;
   double max_ms = 0.0;
+  // Attribution over the observed (first) trial's interactions, when requested.
+  AttributionResult blame;
   RunStats run;  // summed over the runs
 };
 
@@ -220,6 +225,8 @@ struct SizingPoint {
   // The paper's criterion: mean and worst per-user average stall.
   double avg_stall_ms = 0.0;
   double worst_stall_ms = 0.0;
+  // Aggregated over every user's interactions, when the ObsConfig requests attribution.
+  AttributionResult blame;
   RunStats run;
 };
 
@@ -258,6 +265,8 @@ struct EndToEndResult {
   int64_t updates = 0;
   // Fault/recovery accounting; `faults.active` is false for an empty plan.
   FaultStats faults;
+  // Per-stage latency attribution; active when the ObsConfig carried an engine.
+  AttributionResult blame;
   RunStats run;
 };
 
@@ -304,6 +313,9 @@ struct ChaosPoint {
   int64_t link_frames_delivered = 0;
   int64_t link_frames_lost = 0;
   int64_t retransmissions = 0;
+  // Chaos points always attribute: the blame block shows retransmit/outage time moving
+  // into the network stages as loss grows.
+  AttributionResult blame;
   RunStats run;
 };
 

@@ -96,6 +96,37 @@ std::string FaultsJson(const FaultStats& f) {
 
 }  // namespace
 
+std::string ToJson(const AttributionResult& r) {
+  JsonObject o;
+  o.Int("interactions", r.interactions);
+  o.Int("keystrokes", r.keystrokes);
+  o.UInt("minted", r.minted);
+  o.Int("accounting_mismatches", r.accounting_mismatches);
+  o.Int("total_us", r.total_us);
+  o.Int("p50_total_us", r.p50_total_us);
+  o.Int("p99_total_us", r.p99_total_us);
+  o.Int("max_total_us", r.max_total_us);
+  o.Str("top_stage", r.top_stage);
+  std::string stages = "[";
+  for (size_t i = 0; i < r.stages.size(); ++i) {
+    const StageSummary& s = r.stages[i];
+    JsonObject so;
+    so.Str("stage", s.stage);
+    so.Int("total_us", s.total_us);
+    so.Double("share", s.share);
+    so.Int("p50_us", s.p50_us);
+    so.Int("p99_us", s.p99_us);
+    so.Int("max_us", s.max_us);
+    if (i > 0) {
+      stages += ',';
+    }
+    stages += so.Finish();
+  }
+  stages += ']';
+  o.Raw("stages", stages);
+  return o.Finish();
+}
+
 std::string ToJson(const TypingUnderLoadResult& r) {
   JsonObject o;
   o.Str("experiment", "typing_under_load");
@@ -105,6 +136,9 @@ std::string ToJson(const TypingUnderLoadResult& r) {
   o.Double("max_stall_ms", r.max_stall_ms);
   o.Double("jitter_ms", r.jitter_ms);
   o.Int("updates", r.updates);
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -118,6 +152,9 @@ std::string ToJson(const PagingLatencyResult& r) {
   o.Double("min_ms", r.min_ms);
   o.Double("avg_ms", r.avg_ms);
   o.Double("max_ms", r.max_ms);
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -138,6 +175,9 @@ std::string ToJson(const EndToEndResult& r) {
   if (r.faults.active) {
     o.Raw("faults", FaultsJson(r.faults));
   }
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -150,6 +190,9 @@ std::string ToJson(const SizingPoint& r) {
   o.Double("cpu_utilization", r.cpu_utilization);
   o.Double("avg_stall_ms", r.avg_stall_ms);
   o.Double("worst_stall_ms", r.worst_stall_ms);
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -188,6 +231,9 @@ std::string ToJson(const ChaosPoint& r) {
   o.Int("link_frames_lost", r.link_frames_lost);
   o.Int("retransmissions", r.retransmissions);
   o.Raw("faults", FaultsJson(r.faults));
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }

@@ -14,6 +14,11 @@
 
 namespace tcs {
 
+// The per-stage latency-attribution ("blame") block: exact-microsecond totals plus
+// nearest-rank p50/p99 per stage. Deterministic byte-for-byte (no wall clock), so blame
+// output can be compared across reruns and sweep worker counts with cmp(1).
+std::string ToJson(const AttributionResult& r);
+
 std::string ToJson(const TypingUnderLoadResult& r);
 std::string ToJson(const PagingLatencyResult& r);
 std::string ToJson(const EndToEndResult& r);

@@ -82,6 +82,11 @@ class Cpu {
   // Total CPU busy time (work + context switches) summed over all processors.
   Duration busy_time() const { return busy_time_; }
 
+  // The execution time `cost` of demand actually occupies at this CPU's speed — the same
+  // scaling PostWork applies, exposed so latency attribution can split a hop's elapsed
+  // time into exact service vs. run-queue wait.
+  Duration ScaledCost(Duration cost) const { return ScaleCost(cost); }
+
  private:
   struct Processor {
     int index = 0;

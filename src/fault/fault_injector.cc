@@ -90,12 +90,15 @@ LinkFaultInjector::Fate LinkFaultInjector::Classify(TimePoint start, TimePoint e
   return Fate::kDelivered;
 }
 
-Duration LinkFaultInjector::InputDelayPenalty(TimePoint now, Duration retry_interval) {
-  Duration penalty = Duration::Zero();
+Duration LinkFaultInjector::InputDelayPenalty(TimePoint now, Duration retry_interval,
+                                              Duration* retransmit_out,
+                                              Duration* outage_out) {
+  Duration outage = Duration::Zero();
   if (InOutage(now)) {
     // The keystroke (and every retry) is pinned behind the outage window.
-    penalty += OutageEndAfter(now) - now;
+    outage = OutageEndAfter(now) - now;
   }
+  Duration retransmit = Duration::Zero();
   double p = std::min(0.95, plan_.loss_rate + plan_.corruption_rate);
   if (p > 0.0) {
     Duration interval = std::max(Duration::Micros(1), retry_interval);
@@ -103,12 +106,18 @@ Duration LinkFaultInjector::InputDelayPenalty(TimePoint now, Duration retry_inte
     int tries = 0;
     while (tries < 16 && input_rng_.NextBool(p)) {
       ++input_frames_lost_;
-      penalty += interval;
+      retransmit += interval;
       interval = std::min(interval * 2, cap);
       ++tries;
     }
   }
-  return penalty;
+  if (retransmit_out != nullptr) {
+    *retransmit_out = retransmit;
+  }
+  if (outage_out != nullptr) {
+    *outage_out = outage;
+  }
+  return outage + retransmit;
 }
 
 Duration LinkFaultInjector::OutageTimeBefore(TimePoint end) {

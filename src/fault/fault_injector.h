@@ -36,8 +36,13 @@ class LinkFaultInjector {
 
   // Extra transit delay for one keystroke-sized input message sent at `now`: lost copies
   // are retried every `retry_interval` (doubling, capped at 8x), and an outage holds the
-  // message until the window closes. Zero when the input channel is healthy.
-  Duration InputDelayPenalty(TimePoint now, Duration retry_interval);
+  // message until the window closes. Zero when the input channel is healthy. When
+  // `retransmit_out`/`outage_out` are non-null they receive the penalty's two components
+  // (retry time vs. outage hold; their sum is the return value) so latency attribution
+  // can bill them separately — the split consumes no extra random draws.
+  Duration InputDelayPenalty(TimePoint now, Duration retry_interval,
+                             Duration* retransmit_out = nullptr,
+                             Duration* outage_out = nullptr);
 
   // Total outage time in [0, end) — the link-downtime leg of availability.
   Duration OutageTimeBefore(TimePoint end);

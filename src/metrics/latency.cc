@@ -1,5 +1,6 @@
 #include "src/metrics/latency.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tcs {
@@ -14,12 +15,30 @@ void LatencyRecorder::Record(Duration latency) {
   }
   total_us_ += us;
   sum_sq_us_ += static_cast<__int128>(us) * us;
-  double ms = latency.ToMillisF();
-  stats_.Add(ms);
-  samples_.Add(ms);
+  stats_.Add(latency.ToMillisF());
+  samples_us_.push_back(us);
+  sorted_ = false;
   if (latency >= kPerceptionThreshold) {
     ++perceptible_;
   }
+}
+
+Duration LatencyRecorder::Percentile(double q) const {
+  if (samples_us_.empty()) {
+    return Duration::Zero();
+  }
+  if (!sorted_) {
+    std::sort(samples_us_.begin(), samples_us_.end());
+    sorted_ = true;
+  }
+  auto n = static_cast<int64_t>(samples_us_.size());
+  auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
+  rank = std::clamp<int64_t>(rank, 1, n);
+  return Duration::Micros(samples_us_[static_cast<size_t>(rank - 1)]);
+}
+
+double LatencyRecorder::PercentileMs(double q) const {
+  return static_cast<double>(Percentile(q).ToMicros()) / 1000.0;
 }
 
 Duration LatencyRecorder::Mean() const {

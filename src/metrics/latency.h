@@ -12,6 +12,8 @@
 #ifndef TCS_SRC_METRICS_LATENCY_H_
 #define TCS_SRC_METRICS_LATENCY_H_
 
+#include <vector>
+
 #include "src/sim/time.h"
 #include "src/util/stats.h"
 
@@ -40,12 +42,21 @@ class LatencyRecorder {
   // human perception").
   double MeanVsPerception() const;
 
+  // Exact nearest-rank percentile over the recorded microsecond samples: the result is
+  // always an actually observed latency, to the microsecond. (Samples used to be stored
+  // as millisecond doubles, which quantized p50/p99 — ToMillisF is lossy for most
+  // microsecond values — so percentiles now stay integral until serialization.)
+  Duration Percentile(double q) const;
+  double PercentileMs(double q) const;  // derived from Percentile at serialization time
+
   const RunningStats& raw() const { return stats_; }
-  const SampleSet& samples() const { return samples_; }
+  const std::vector<int64_t>& samples_us() const { return samples_us_; }
 
  private:
-  RunningStats stats_;  // milliseconds, for raw()/percentile consumers
-  SampleSet samples_;   // milliseconds, for percentiles
+  RunningStats stats_;  // milliseconds, for raw() consumers (means/extremes only)
+  // Exact microsecond samples for percentiles; sorted lazily by Percentile().
+  mutable std::vector<int64_t> samples_us_;
+  mutable bool sorted_ = true;
   int64_t perceptible_ = 0;
   // Exact accumulators (microseconds). The sum of squares uses 128-bit storage so even
   // long runs of 100+ second latencies cannot overflow.

@@ -1,0 +1,163 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcs {
+
+namespace {
+
+constexpr int Idx(AttrStage stage) { return static_cast<int>(stage); }
+
+// Nearest-rank percentile over sorted exact-microsecond samples: the reported value is
+// always an observed sample, so it is an integer and invariant under worker count.
+int64_t NearestRank(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  auto n = static_cast<int64_t>(sorted.size());
+  auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
+  rank = std::clamp<int64_t>(rank, 1, n);
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+}  // namespace
+
+const char* AttrStageName(AttrStage stage) {
+  switch (stage) {
+    case AttrStage::kInputNet:
+      return "input-net";
+    case AttrStage::kRetransmit:
+      return "retransmit";
+    case AttrStage::kSchedWait:
+      return "sched-wait";
+    case AttrStage::kCpuService:
+      return "cpu-service";
+    case AttrStage::kMemStall:
+      return "mem-stall";
+    case AttrStage::kProtoEncode:
+      return "proto-encode";
+    case AttrStage::kDisplayNet:
+      return "display-net";
+    case AttrStage::kClientDecode:
+      return "client-decode";
+  }
+  return "?";
+}
+
+int64_t InteractionRecord::StageSum() const {
+  int64_t sum = 0;
+  for (int s = 0; s < kAttrStageCount; ++s) {
+    sum += stage_us[s];
+  }
+  return sum;
+}
+
+LatencyAttribution::LatencyAttribution(AttributionConfig config) : config_(config) {
+  if (config_.tracer != nullptr) {
+    net_track_ = config_.tracer->RegisterTrack("blame", "net");
+    cpu_track_ = config_.tracer->RegisterTrack("blame", "cpu");
+    mem_track_ = config_.tracer->RegisterTrack("blame", "mem");
+    proto_track_ = config_.tracer->RegisterTrack("blame", "proto");
+    client_track_ = config_.tracer->RegisterTrack("blame", "client");
+  }
+}
+
+void LatencyAttribution::Commit(const InteractionRecord& rec) {
+  // The exact-accounting invariant: stages are telescoping timestamp differences, so
+  // they must reproduce the end-to-end latency to the microsecond.
+  assert(rec.StageSum() == rec.total_us());
+  if (rec.StageSum() != rec.total_us()) {
+    ++mismatches_;
+  }
+  ++committed_;
+  keystrokes_ += rec.batch;
+  total_samples_.push_back(rec.total_us());
+  for (int s = 0; s < kAttrStageCount; ++s) {
+    stage_total_us_[s] += rec.stage_us[s];
+    stage_samples_[s].push_back(rec.stage_us[s]);
+  }
+  if (config_.keep_records) {
+    records_.push_back(rec);
+  }
+  if (config_.tracer != nullptr) {
+    EmitTrace(rec);
+  }
+}
+
+void LatencyAttribution::EmitTrace(const InteractionRecord& rec) {
+  Tracer* tr = config_.tracer;
+  auto at = [](int64_t us) { return TimePoint::FromMicros(us); };
+  auto id = static_cast<int64_t>(rec.id);
+  constexpr TraceCategory kCat = TraceCategory::kBlame;
+
+  // One span per stage boundary on the owning resource's track; the flow chain stitches
+  // them together so Perfetto draws arrows following this interaction across tracks.
+  tr->Span(kCat, "input-net", net_track_, at(rec.sent_us), at(rec.arrived_us),
+           "interaction", id, "retransmit_us", rec.stage_us[Idx(AttrStage::kRetransmit)]);
+  tr->FlowBegin(kCat, "interaction", net_track_, at(rec.sent_us), rec.id);
+  if (rec.mem_done_us > rec.pass_start_us) {
+    tr->Span(kCat, "mem-stall", mem_track_, at(rec.pass_start_us), at(rec.mem_done_us),
+             "interaction", id);
+    tr->FlowStep(kCat, "interaction", mem_track_, at(rec.pass_start_us), rec.id);
+  }
+  for (int h = 0; h < rec.hop_count; ++h) {
+    TraceTrack track = rec.hop_encode[h] ? proto_track_ : cpu_track_;
+    const char* name = rec.hop_name[h] != nullptr
+                           ? rec.hop_name[h]
+                           : (rec.hop_encode[h] ? "proto-encode" : "cpu-hop");
+    tr->Span(kCat, name, track, at(rec.hop_start_us[h]), at(rec.hop_end_us[h]),
+             "interaction", id, "service_us", rec.hop_service_us[h]);
+    tr->FlowStep(kCat, "interaction", track, at(rec.hop_start_us[h]), rec.id);
+  }
+  tr->Span(kCat, "display-net", net_track_, at(rec.emitted_us), at(rec.delivered_us),
+           "interaction", id);
+  tr->FlowStep(kCat, "interaction", net_track_, at(rec.emitted_us), rec.id);
+  tr->Span(kCat, "client-decode", client_track_, at(rec.delivered_us), at(rec.painted_us),
+           "interaction", id);
+  tr->FlowEnd(kCat, "interaction", client_track_, at(rec.painted_us), rec.id);
+}
+
+AttributionResult LatencyAttribution::Collect() const {
+  AttributionResult result;
+  result.active = true;
+  result.interactions = committed_;
+  result.keystrokes = keystrokes_;
+  result.minted = minted_;
+  result.accounting_mismatches = mismatches_;
+  int64_t stage_grand_total = 0;
+  for (int s = 0; s < kAttrStageCount; ++s) {
+    stage_grand_total += stage_total_us_[s];
+  }
+  std::vector<int64_t> sorted = total_samples_;
+  std::sort(sorted.begin(), sorted.end());
+  result.p50_total_us = NearestRank(sorted, 0.50);
+  result.p99_total_us = NearestRank(sorted, 0.99);
+  result.max_total_us = sorted.empty() ? 0 : sorted.back();
+  for (int64_t t : sorted) {
+    result.total_us += t;
+  }
+  int64_t top_p99 = -1;
+  for (int s = 0; s < kAttrStageCount; ++s) {
+    StageSummary sum;
+    sum.stage = AttrStageName(static_cast<AttrStage>(s));
+    sum.count = committed_;
+    sum.total_us = stage_total_us_[s];
+    std::vector<int64_t> stage_sorted = stage_samples_[s];
+    std::sort(stage_sorted.begin(), stage_sorted.end());
+    sum.p50_us = NearestRank(stage_sorted, 0.50);
+    sum.p99_us = NearestRank(stage_sorted, 0.99);
+    sum.max_us = stage_sorted.empty() ? 0 : stage_sorted.back();
+    sum.share = stage_grand_total > 0 ? static_cast<double>(sum.total_us) /
+                                            static_cast<double>(stage_grand_total)
+                                      : 0.0;
+    if (committed_ > 0 && sum.p99_us > top_p99) {
+      top_p99 = sum.p99_us;
+      result.top_stage = sum.stage;
+    }
+    result.stages.push_back(std::move(sum));
+  }
+  return result;
+}
+
+}  // namespace tcs

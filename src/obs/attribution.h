@@ -1,0 +1,172 @@
+// Per-interaction latency attribution: where did the milliseconds go?
+//
+// The paper's method is attributing user-perceived latency to a resource — processor,
+// memory, or network. A LatencyAttribution engine makes that decomposition a first-class
+// experiment output: every injected interaction (keystroke) is minted an id at
+// workload-injection time, and the server threads that id through the full pipeline,
+// splitting the end-to-end latency into exact integer-microsecond stages:
+//
+//   input-net     input-channel queueing + serialization + propagation + outage hold
+//   retransmit    input-frame retry penalty under a lossy FaultPlan
+//   sched-wait    pipeline-busy wait + run-queue wait + preemption + switch overhead
+//   cpu-service   application CPU on the keystroke pipeline's non-encode hops
+//   mem-stall     page-fault/disk time making the editor's working set resident
+//   proto-encode  display/protocol hops (kernel display path, RDP encoder, bitmap cache)
+//   display-net   display-channel queueing + serialization + propagation
+//   client-decode decode + blit on the user's machine
+//
+// Accounting invariant: every stage is a difference of pipeline timestamps that
+// telescope, so sum(stage micros) == end-to-end micros *exactly* for every committed
+// interaction. Debug builds assert it per commit; `accounting_mismatches()` exposes it to
+// tests in every build type.
+//
+// Null-sink contract (same as the Tracer): layers hold a `LatencyAttribution*` defaulting
+// to nullptr, and a disabled engine costs one branch per would-be record and zero
+// allocations. Determinism contract: ids are minted in injection order, payloads carry
+// only virtual-time stamps, and Collect() output is byte-identical across reruns and
+// ParallelSweep worker counts.
+
+#ifndef TCS_SRC_OBS_ATTRIBUTION_H_
+#define TCS_SRC_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/sim/time.h"
+
+namespace tcs {
+
+enum class AttrStage : int {
+  kInputNet = 0,
+  kRetransmit,
+  kSchedWait,
+  kCpuService,
+  kMemStall,
+  kProtoEncode,
+  kDisplayNet,
+  kClientDecode,
+};
+
+inline constexpr int kAttrStageCount = 8;
+
+const char* AttrStageName(AttrStage stage);
+
+// Everything known about one committed interaction (one pipeline pass; `batch` > 1 when
+// repeats coalesced into it). Timestamps are virtual micros; the id and stamps are the
+// only identity — no pointers, no wall clock — so records serialize deterministically.
+struct InteractionRecord {
+  static constexpr int kMaxHops = 8;
+
+  uint64_t id = 0;        // minted at injection time, in injection order
+  int batch = 1;          // keystrokes coalesced into this pass
+  int hop_count = 0;      // pipeline hops recorded below
+  int64_t sent_us = 0;       // user's machine sent the keystroke
+  int64_t arrived_us = 0;    // input message reached the server
+  int64_t pass_start_us = 0; // pipeline pass began (batch frozen)
+  int64_t mem_done_us = 0;   // working set resident
+  int64_t emitted_us = 0;    // display update queued on the link
+  int64_t delivered_us = 0;  // last bit of the update delivered
+  int64_t painted_us = 0;    // client decode + blit finished
+  int64_t stage_us[kAttrStageCount] = {};
+
+  // Per-hop detail for the trace spans: [start, end] wall extent, the exact CPU service
+  // charged, whether the hop is a protocol-encode stage, and its interned name (null when
+  // tracing is off).
+  int64_t hop_start_us[kMaxHops] = {};
+  int64_t hop_end_us[kMaxHops] = {};
+  int64_t hop_service_us[kMaxHops] = {};
+  bool hop_encode[kMaxHops] = {};
+  const char* hop_name[kMaxHops] = {};
+
+  int64_t total_us() const { return painted_us - sent_us; }
+  int64_t StageSum() const;
+};
+
+// Aggregate view of one stage over a run: exact-microsecond totals and nearest-rank
+// percentiles (nearest-rank keeps every reported value an actually observed sample, so
+// percentiles stay integers and byte-identical across worker counts).
+struct StageSummary {
+  std::string stage;
+  int64_t count = 0;     // interactions with a nonzero entry possible; always == commits
+  int64_t total_us = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+  double share = 0.0;    // total_us over the sum of all stages' totals
+};
+
+struct AttributionResult {
+  bool active = false;
+  int64_t interactions = 0;  // committed pipeline passes
+  int64_t keystrokes = 0;    // sum of batch sizes over commits
+  uint64_t minted = 0;       // ids handed out at injection (>= keystrokes committed)
+  int64_t accounting_mismatches = 0;  // commits whose stages did not sum to the total
+  int64_t total_us = 0;      // sum of end-to-end micros over interactions
+  int64_t p50_total_us = 0;
+  int64_t p99_total_us = 0;
+  int64_t max_total_us = 0;
+  std::vector<StageSummary> stages;  // kAttrStageCount entries, fixed stage order
+  std::string top_stage;  // largest p99 contribution; empty with no interactions
+};
+
+struct AttributionConfig {
+  // With a tracer, every commit emits per-stage spans on the "blame" process's
+  // net/cpu/mem/proto/client tracks plus Perfetto flow events (ph "s"/"t"/"f") linking
+  // one interaction's spans across those tracks.
+  Tracer* tracer = nullptr;
+  // Retain every InteractionRecord for tests/tools (off by default: aggregation only).
+  bool keep_records = false;
+};
+
+class LatencyAttribution {
+ public:
+  explicit LatencyAttribution(AttributionConfig config = {});
+
+  LatencyAttribution(const LatencyAttribution&) = delete;
+  LatencyAttribution& operator=(const LatencyAttribution&) = delete;
+
+  // Called at workload-injection time; ids are sequential from 1 in injection order.
+  uint64_t MintInteraction() { return ++minted_; }
+
+  // Ingests one finished interaction: checks the accounting invariant (asserted in debug
+  // builds), aggregates per-stage samples, and emits trace spans + flow events when a
+  // tracer is attached.
+  void Commit(const InteractionRecord& rec);
+
+  uint64_t minted() const { return minted_; }
+  Tracer* tracer() const { return config_.tracer; }
+  int64_t committed() const { return committed_; }
+  int64_t accounting_mismatches() const { return mismatches_; }
+
+  // Deterministic aggregate: same commits in, same bytes out (no wall clock, no
+  // addresses), regardless of reruns or sweep worker counts.
+  AttributionResult Collect() const;
+
+  // Empty unless config.keep_records.
+  const std::vector<InteractionRecord>& records() const { return records_; }
+
+ private:
+  void EmitTrace(const InteractionRecord& rec);
+
+  AttributionConfig config_;
+  uint64_t minted_ = 0;
+  int64_t committed_ = 0;
+  int64_t keystrokes_ = 0;
+  int64_t mismatches_ = 0;
+  int64_t stage_total_us_[kAttrStageCount] = {};
+  std::vector<int64_t> stage_samples_[kAttrStageCount];
+  std::vector<int64_t> total_samples_;
+  std::vector<InteractionRecord> records_;
+  // Blame tracks, registered at construction (registration order == construction order).
+  TraceTrack net_track_;
+  TraceTrack cpu_track_;
+  TraceTrack mem_track_;
+  TraceTrack proto_track_;
+  TraceTrack client_track_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_OBS_ATTRIBUTION_H_

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/attribution.h"
 #include "src/obs/trace.h"
 #include "src/sim/periodic.h"
 #include "src/sim/simulator.h"
@@ -109,6 +110,9 @@ class PeriodicSampler {
 struct ObsConfig {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // When set, server experiments thread interaction ids through the keystroke pipeline
+  // and fill their result's `blame` block (per-stage latency attribution).
+  LatencyAttribution* attribution = nullptr;
   Duration sample_period = Duration::Millis(100);
   // When non-null, the experiment renders its PeriodicSampler's gauge series (CSV) here
   // before the sampler goes out of scope, so callers can persist it.

@@ -24,6 +24,8 @@ const char* TraceCategoryName(TraceCategory cat) {
       return "session";
     case TraceCategory::kFault:
       return "fault";
+    case TraceCategory::kBlame:
+      return "blame";
   }
   return "?";
 }
@@ -98,7 +100,22 @@ void Tracer::Instant(TraceCategory cat, const char* name, TraceTrack track, Time
 
 void Tracer::Counter(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
                      double value) {
-  Push(Event{'C', cat, name, track, t.ToMicros(), 0, nullptr, 0, nullptr, 0, value});
+  Push(Event{'C', cat, name, track, t.ToMicros(), 0, nullptr, 0, nullptr, 0, value, 0});
+}
+
+void Tracer::FlowBegin(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+                       uint64_t id) {
+  Push(Event{'s', cat, name, track, t.ToMicros(), 0, nullptr, 0, nullptr, 0, 0.0, id});
+}
+
+void Tracer::FlowStep(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+                      uint64_t id) {
+  Push(Event{'t', cat, name, track, t.ToMicros(), 0, nullptr, 0, nullptr, 0, 0.0, id});
+}
+
+void Tracer::FlowEnd(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+                     uint64_t id) {
+  Push(Event{'f', cat, name, track, t.ToMicros(), 0, nullptr, 0, nullptr, 0, 0.0, id});
 }
 
 namespace {
@@ -187,6 +204,14 @@ void Tracer::WriteJson(std::ostream& out) const {
     }
     if (e.ph == 'i') {
       line += ",\"s\":\"t\"";
+    }
+    if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+      line += ",\"id\":";
+      line += std::to_string(e.flow_id);
+      if (e.ph == 'f') {
+        // Bind the arrow head to the enclosing slice rather than the next slice start.
+        line += ",\"bp\":\"e\"";
+      }
     }
     if (e.ph == 'C') {
       line += ",\"args\":{\"value\":";

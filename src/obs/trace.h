@@ -38,9 +38,10 @@ enum class TraceCategory : uint32_t {
   kProto = 1u << 5,    // protocol messages, cache hits/misses
   kSession = 1u << 6,  // keystroke batches, update emissions
   kFault = 1u << 7,    // injected outages, disconnects, disk stalls
+  kBlame = 1u << 8,    // per-interaction latency attribution spans + flows
 };
 
-inline constexpr uint32_t kAllTraceCategories = 0xff;
+inline constexpr uint32_t kAllTraceCategories = 0x1ff;
 
 const char* TraceCategoryName(TraceCategory cat);
 
@@ -96,6 +97,19 @@ class Tracer {
   void Counter(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
                double value);
 
+  // Flow events (ph "s"/"t"/"f") link spans across tracks: begin a flow inside one slice,
+  // step it through intermediate slices, and end it (binding to the enclosing slice,
+  // `bp:"e"`). All three points of one flow must share `id` and `name`. Determinism
+  // contract: ids are caller-supplied sequence numbers minted in registration/injection
+  // order (use MintFlowId() when no natural id exists) — never addresses.
+  uint64_t MintFlowId() { return ++next_flow_id_; }
+  void FlowBegin(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+                 uint64_t id);
+  void FlowStep(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+                uint64_t id);
+  void FlowEnd(TraceCategory cat, const char* name, TraceTrack track, TimePoint t,
+               uint64_t id);
+
   size_t event_count() const { return events_.size(); }
   size_t track_count() const { return tracks_.size(); }
 
@@ -106,7 +120,7 @@ class Tracer {
 
  private:
   struct Event {
-    char ph;  // 'X' span, 'i' instant, 'C' counter
+    char ph;  // 'X' span, 'i' instant, 'C' counter, 's'/'t'/'f' flow
     TraceCategory cat;
     const char* name;
     TraceTrack track;
@@ -117,6 +131,7 @@ class Tracer {
     const char* key2 = nullptr;
     int64_t val2 = 0;
     double counter_value = 0.0;  // counters only
+    uint64_t flow_id = 0;        // flow events only
   };
   struct Track {
     int32_t pid;
@@ -137,6 +152,7 @@ class Tracer {
   std::vector<Track> tracks_;
   std::unordered_map<std::string, const char*> intern_index_;
   std::deque<std::string> interned_;
+  uint64_t next_flow_id_ = 0;
 };
 
 }  // namespace tcs

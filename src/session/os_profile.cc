@@ -122,8 +122,12 @@ OsProfile OsProfile::Tse() {
   // enjoy no GUI boost — the §4.2.2 stall mechanism.
   p.keystroke_pipeline = {
       {"editor", ThreadClass::kGui, kNtForegroundPriority, Duration::Micros(1500)},
-      {"win32k-display", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(900)},
-      {"rdp-encoder", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(800)},
+      // The display requests pass through the kernel and the Terminal Service (§2):
+      // these two hops are the protocol-encode side of the pipeline, not application CPU.
+      {"win32k-display", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(900),
+       /*encode=*/true},
+      {"rdp-encoder", ThreadClass::kBatch, kNtBackgroundPriority, Duration::Micros(800),
+       /*encode=*/true},
   };
   p.sink_priority = kNtBackgroundPriority;
   // Notepad + csrss + win32k path: ~4 MB must come back from disk (§5.2's TSE row).

@@ -59,6 +59,9 @@ struct PipelineHop {
   ThreadClass cls = ThreadClass::kBatch;
   int priority = 0;
   Duration work = Duration::Millis(1);
+  // True for display/protocol-encode hops (kernel display path, RDP encoder): latency
+  // attribution bills their CPU to the proto-encode stage instead of cpu-service.
+  bool encode = false;
 };
 
 struct OsProfile {

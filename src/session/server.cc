@@ -63,6 +63,8 @@ FrameTransport& PickTransport(std::unique_ptr<ReliableChannel>& reliable, Link& 
   return link;
 }
 
+constexpr int Idx(AttrStage stage) { return static_cast<int>(stage); }
+
 }  // namespace
 
 ServerConfig Validated(ServerConfig config) {
@@ -159,6 +161,18 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
         }
         return n;
       });
+    }
+  }
+  if (config_.attribution != nullptr) {
+    if (profile_.keystroke_pipeline.size() >
+        static_cast<size_t>(InteractionRecord::kMaxHops)) {
+      throw ConfigError("OsProfile.keystroke_pipeline",
+                        "latency attribution supports at most 8 pipeline hops");
+    }
+    if (Tracer* tr = config_.attribution->tracer()) {
+      for (const PipelineHop& hop : profile_.keystroke_pipeline) {
+        hop_trace_names_.push_back(tr->Intern(hop.name));
+      }
     }
   }
   if (config_.faults.session.Any()) {
@@ -260,16 +274,30 @@ void Server::Keystroke(Session& session) {
   protocol_->SubmitInput(InputEvent::Key(true));
   protocol_->SubmitInput(InputEvent::Key(false));
   Duration transit = InputTransitDelay();
+  Duration retransmit = Duration::Zero();
   if (link_fault_ != nullptr) {
     // Lost input frames are recovered by retransmission (200 ms base RTO, the reliable
     // channel's default) and outages pin the message behind the window.
-    transit += link_fault_->InputDelayPenalty(sent_at, Duration::Millis(200));
+    transit +=
+        link_fault_->InputDelayPenalty(sent_at, Duration::Millis(200), &retransmit);
   }
-  sim_.Schedule(transit,
-                [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at); });
+  if (config_.attribution != nullptr) {
+    // Mint the interaction id at injection time; it and the retry split ride the arrival
+    // event. The fatter capture still fits the callback's inline buffer, so the enabled
+    // path allocates nothing here either.
+    uint64_t id = config_.attribution->MintInteraction();
+    int64_t retransmit_us = retransmit.ToMicros();
+    sim_.Schedule(transit, [this, &session, sent_at, id, retransmit_us] {
+      OnKeystrokeArrived(session, sent_at, id, retransmit_us);
+    });
+  } else {
+    sim_.Schedule(transit,
+                  [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at, 0, 0); });
+  }
 }
 
-void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at) {
+void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at,
+                                uint64_t interaction_id, int64_t retransmit_us) {
   if (config_.tracer != nullptr) {
     config_.tracer->Span(TraceCategory::kSession, "input-net", session.trace_track_,
                          sent_at, sim_.Now());
@@ -277,6 +305,20 @@ void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at) {
   if (session.pending_keystrokes_ == 0) {
     session.oldest_pending_sent_ = sent_at;
     session.oldest_pending_arrived_ = sim_.Now();
+    if (config_.attribution != nullptr) {
+      // A batch is attributed to its oldest keystroke; later coalesced repeats keep
+      // their minted ids but fold into this record's batch count.
+      InteractionRecord& rec = session.pending_attr_;
+      rec = InteractionRecord{};
+      rec.id = interaction_id;
+      rec.sent_us = sent_at.ToMicros();
+      rec.arrived_us = sim_.Now().ToMicros();
+      rec.stage_us[Idx(AttrStage::kRetransmit)] = retransmit_us;
+      // Queueing + serialization + propagation + any outage hold: everything of the
+      // input leg that is not retry time.
+      rec.stage_us[Idx(AttrStage::kInputNet)] =
+          (rec.arrived_us - rec.sent_us) - retransmit_us;
+    }
   }
   ++session.pending_keystrokes_;
   if (!session.pipeline_busy_) {
@@ -293,6 +335,14 @@ void Server::StartPipelinePass(Session& session) {
   // Freeze this batch's latency attribution before new keystrokes overwrite it.
   session.current_batch_sent_ = session.oldest_pending_sent_;
   session.current_batch_arrived_ = session.oldest_pending_arrived_;
+  if (config_.attribution != nullptr) {
+    session.current_attr_ = session.pending_attr_;
+    InteractionRecord& rec = session.current_attr_;
+    rec.batch = batch;
+    rec.pass_start_us = sim_.Now().ToMicros();
+    // Time the batch's oldest keystroke sat behind the previous pipeline pass.
+    rec.stage_us[Idx(AttrStage::kSchedWait)] += rec.pass_start_us - rec.arrived_us;
+  }
   // The editor cannot echo until the keystroke path's working set is resident (§5.2):
   // page in anything a streaming job evicted, then run the hops. The fraction of the
   // working set a particular keystroke touches varies (profile-calibrated).
@@ -305,6 +355,12 @@ void Server::StartPipelinePass(Session& session) {
                      [this, &session, batch, gen] {
                        if (session.generation_ != gen) {
                          return;  // the session restarted cold while we paged in
+                       }
+                       if (config_.attribution != nullptr) {
+                         InteractionRecord& rec = session.current_attr_;
+                         rec.mem_done_us = sim_.Now().ToMicros();
+                         rec.stage_us[Idx(AttrStage::kMemStall)] =
+                             rec.mem_done_us - rec.pass_start_us;
                        }
                        RunHop(session, 0, batch, gen);
                      });
@@ -319,11 +375,31 @@ void Server::RunHop(Session& session, size_t hop, int batch, uint64_t gen) {
     work += Duration::Micros(50) * (batch - 1);
   }
   WakeReason reason = hop == 0 ? WakeReason::kInputEvent : WakeReason::kOther;
+  if (config_.attribution != nullptr) {
+    InteractionRecord& rec = session.current_attr_;
+    rec.hop_start_us[hop] = sim_.Now().ToMicros();
+    // The hop's exact CPU bill at this machine's speed; the completion callback splits
+    // the hop's elapsed time into this service and run-queue wait.
+    rec.hop_service_us[hop] = cpu_.ScaledCost(work).ToMicros();
+    rec.hop_encode[hop] = spec.encode;
+    rec.hop_name[hop] = hop < hop_trace_names_.size() ? hop_trace_names_[hop] : nullptr;
+    rec.hop_count = static_cast<int>(hop) + 1;
+  }
   cpu_.PostWork(
       *session.pipeline_[hop], work,
       [this, &session, hop, batch, gen] {
         if (session.generation_ != gen) {
           return;  // abandoned by a cold restart
+        }
+        if (config_.attribution != nullptr) {
+          InteractionRecord& rec = session.current_attr_;
+          rec.hop_end_us[hop] = sim_.Now().ToMicros();
+          int64_t elapsed = rec.hop_end_us[hop] - rec.hop_start_us[hop];
+          int64_t service = std::min(rec.hop_service_us[hop], elapsed);
+          rec.hop_service_us[hop] = service;
+          rec.stage_us[rec.hop_encode[hop] ? Idx(AttrStage::kProtoEncode)
+                                           : Idx(AttrStage::kCpuService)] += service;
+          rec.stage_us[Idx(AttrStage::kSchedWait)] += elapsed - service;
         }
         if (hop + 1 < session.pipeline_.size()) {
           RunHop(session, hop + 1, batch, gen);
@@ -348,6 +424,26 @@ void Server::CompletePipeline(Session& session, int batch) {
   protocol_->SubmitDraw(DrawCommand::Text(batch));
   protocol_->Flush();
   TimePoint emitted = sim_.Now();
+  // The update's frames were just queued: the link's horizon is their last bit.
+  TimePoint delivered = emitted;
+  Duration decode = Duration::Zero();
+  if (client_ != nullptr) {
+    delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation;
+    decode = client_->DecodeDelay(profile_.protocol_kind, update_payload_);
+  }
+  TimePoint painted = delivered + decode;
+  if (config_.attribution != nullptr) {
+    // Commit at emission: the display leg is already determined (the frames are on the
+    // link, the decode bill is a pure function of the payload), so the record is final
+    // here and the invariant can be checked synchronously.
+    InteractionRecord& rec = session.current_attr_;
+    rec.emitted_us = emitted.ToMicros();
+    rec.delivered_us = delivered.ToMicros();
+    rec.painted_us = painted.ToMicros();
+    rec.stage_us[Idx(AttrStage::kDisplayNet)] = rec.delivered_us - rec.emitted_us;
+    rec.stage_us[Idx(AttrStage::kClientDecode)] = rec.painted_us - rec.delivered_us;
+    config_.attribution->Commit(rec);
+  }
   if (config_.tracer != nullptr) {
     config_.tracer->Span(TraceCategory::kSession, "keystroke-batch", session.trace_track_,
                          session.current_batch_arrived_, emitted, "batch",
@@ -362,11 +458,8 @@ void Server::CompletePipeline(Session& session, int batch) {
     lat.input_net = session.current_batch_arrived_ - session.current_batch_sent_;
     lat.server = emitted - session.current_batch_arrived_;
     if (client_ != nullptr) {
-      // The update's frames were just queued: the link's horizon is their last bit.
-      TimePoint delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation;
       lat.display_net = delivered - emitted;
-      lat.client = client_->DecodeDelay(profile_.protocol_kind, update_payload_);
-      TimePoint painted = delivered + lat.client;
+      lat.client = decode;
       auto cb = session.on_frame_painted_;
       sim_.At(painted, [cb, lat] { cb(lat); });
     } else {

@@ -16,6 +16,7 @@
 #include "src/mem/pager.h"
 #include "src/net/endpoint.h"
 #include "src/net/reliable.h"
+#include "src/obs/attribution.h"
 #include "src/obs/metrics.h"
 #include "src/proto/display_protocol.h"
 #include "src/session/os_profile.h"
@@ -50,6 +51,11 @@ struct ServerConfig {
   // pages, link backlog, bitmap-cache hit rate) are registered at construction.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // Per-interaction latency attribution (optional, non-owning). When set, every
+  // keystroke is minted an interaction id at injection time and the pipeline commits an
+  // exact per-stage breakdown (sum of stage micros == end-to-end micros) on completion.
+  // Null costs one branch per stage boundary and zero allocations.
+  LatencyAttribution* attribution = nullptr;
 };
 
 // Where one keystroke's end-to-end latency went (requires an attached client device for
@@ -112,6 +118,11 @@ class Session {
   TimePoint oldest_pending_arrived_;
   TimePoint current_batch_sent_;
   TimePoint current_batch_arrived_;
+  // Latency-attribution records (meaningful only when the server has an attribution
+  // engine): the pending record tracks the oldest un-batched keystroke, the current one
+  // the in-flight pipeline pass. Plain structs — no allocation either way.
+  InteractionRecord pending_attr_;
+  InteractionRecord current_attr_;
   std::function<void(TimePoint)> on_display_update_;
   std::function<void(const KeystrokeLatency&)> on_frame_painted_;
 };
@@ -179,7 +190,10 @@ class Server {
 
  private:
   void PostDaemonEpisode(Thread* thread, const DaemonSpec& spec);
-  void OnKeystrokeArrived(Session& session, TimePoint sent_at);
+  // `interaction_id`/`retransmit_us` are the attribution identity of this keystroke
+  // (zero when attribution is disabled).
+  void OnKeystrokeArrived(Session& session, TimePoint sent_at, uint64_t interaction_id,
+                          int64_t retransmit_us);
   void StartPipelinePass(Session& session);
   void RunHop(Session& session, size_t hop, int batch, uint64_t gen);
   void CompletePipeline(Session& session, int batch);
@@ -223,6 +237,9 @@ class Server {
   };
   std::vector<DaemonRuntime> daemons_;
   std::vector<std::unique_ptr<Session>> sessions_;
+  // Interned pipeline-hop names for attribution trace spans (empty unless the
+  // attribution engine carries a tracer).
+  std::vector<const char*> hop_trace_names_;
 
   size_t disconnect_rr_ = 0;  // round-robin cursors for scheduled faults
   size_t daemon_rr_ = 0;

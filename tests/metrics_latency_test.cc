@@ -116,5 +116,47 @@ TEST(StallDetectorTest, CustomExpectedPeriod) {
   EXPECT_EQ(det.stall_count(), 0);
 }
 
+TEST(LatencyRecorderTest, PercentileIsExactToTheMicrosecond) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Micros(333));
+  EXPECT_EQ(rec.Percentile(0.50), Duration::Micros(333));
+  EXPECT_EQ(rec.Percentile(0.99), Duration::Micros(333));
+  EXPECT_EQ(rec.PercentileMs(0.50), 0.333);
+}
+
+TEST(LatencyRecorderTest, NearestRankPercentileReturnsObservedSamples) {
+  LatencyRecorder rec;
+  // Out of order on purpose: Percentile sorts lazily.
+  for (int64_t us : {900, 100, 500, 300, 700}) {
+    rec.Record(Duration::Micros(us));
+  }
+  // Nearest rank over n=5: rank = ceil(q*n).
+  EXPECT_EQ(rec.Percentile(0.20), Duration::Micros(100));
+  EXPECT_EQ(rec.Percentile(0.50), Duration::Micros(500));
+  EXPECT_EQ(rec.Percentile(0.60), Duration::Micros(500));
+  EXPECT_EQ(rec.Percentile(0.61), Duration::Micros(700));
+  EXPECT_EQ(rec.Percentile(0.99), Duration::Micros(900));
+  EXPECT_EQ(rec.Percentile(1.00), Duration::Micros(900));
+  // Recording after a percentile query re-sorts on the next query.
+  rec.Record(Duration::Micros(1));
+  EXPECT_EQ(rec.Percentile(0.01), Duration::Micros(1));
+}
+
+TEST(LatencyRecorderTest, PercentileOfEmptyRecorderIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(0.99), Duration::Zero());
+  EXPECT_EQ(rec.PercentileMs(0.99), 0.0);
+}
+
+TEST(LatencyRecorderTest, SamplesKeepExactMicroseconds) {
+  LatencyRecorder rec;
+  rec.Record(Duration::Micros(1001));
+  rec.Record(Duration::Micros(999));
+  ASSERT_EQ(rec.samples_us().size(), 2u);
+  EXPECT_EQ(rec.samples_us()[0], 1001);
+  EXPECT_EQ(rec.samples_us()[1], 999);
+  EXPECT_EQ(rec.Mean(), Duration::Micros(1000));
+}
+
 }  // namespace
 }  // namespace tcs

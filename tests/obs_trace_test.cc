@@ -140,6 +140,38 @@ TEST(ObservedRunTest, CategoryMaskRestrictsObservedRun) {
   EXPECT_EQ(json.find("\"cat\":\"sim\""), std::string::npos);
 }
 
+TEST(TracerTest, FlowIdsMintSequentiallyFromOne) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.MintFlowId(), 1u);
+  EXPECT_EQ(tracer.MintFlowId(), 2u);
+  EXPECT_EQ(tracer.MintFlowId(), 3u);
+}
+
+TEST(TracerTest, FlowEventsSerializeWithIdAndEnclosingBinding) {
+  Tracer tracer;
+  TraceTrack a = tracer.RegisterTrack("blame", "net");
+  TraceTrack b = tracer.RegisterTrack("blame", "cpu");
+  uint64_t id = tracer.MintFlowId();
+  tracer.FlowBegin(TraceCategory::kBlame, "interaction", a, TimePoint::FromMicros(10), id);
+  tracer.FlowStep(TraceCategory::kBlame, "interaction", b, TimePoint::FromMicros(20), id);
+  tracer.FlowEnd(TraceCategory::kBlame, "interaction", a, TimePoint::FromMicros(30), id);
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"ph\":\"s\",\"name\":\"interaction\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\",\"name\":\"interaction\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"name\":\"interaction\""), std::string::npos);
+  // All three points carry the flow id; the end binds to the enclosing slice.
+  EXPECT_NE(json.find("\"id\":1,\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"blame\""), std::string::npos);
+}
+
+TEST(TracerTest, FlowEventsRespectCategoryFilter) {
+  Tracer tracer(TracerConfig{static_cast<uint32_t>(TraceCategory::kCpu)});
+  TraceTrack t = tracer.RegisterTrack("blame", "net");
+  tracer.FlowBegin(TraceCategory::kBlame, "interaction", t, TimePoint::FromMicros(1), 1);
+  tracer.FlowEnd(TraceCategory::kBlame, "interaction", t, TimePoint::FromMicros(2), 1);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
 TEST(ObservedRunTest, SweepTracesInvariantUnderWorkerCount) {
   auto traced_config = [](int i) {
     return ObservedTypingTrace(SweepSeed(/*base_seed=*/11, i), /*sinks=*/i,

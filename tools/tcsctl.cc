@@ -23,6 +23,17 @@
 //            above the perception threshold, availability, and the retransmission ledger.
 //            The first grid point whose p99 crosses --threshold-ms is called out. Output
 //            is byte-identical for any --jobs value.
+//   blame    [--os=tse,linux,linux:lbx --sinks=0,5 --seconds=N --background-mbps=X
+//            --loss=X --flap-ms=N --threshold-ms=100 --jobs=N --seed=N
+//            --report-out=blame.json]
+//            per-interaction latency attribution: runs the end-to-end keystroke workload
+//            for every OS(:protocol) x sinks configuration and prints the per-stage blame
+//            table — exactly where each interaction's microseconds went (input-net,
+//            retransmit, sched-wait, cpu-service, mem-stall, proto-encode, display-net,
+//            client-decode; stages sum exactly to end-to-end). Names the configuration
+//            whose p99 first crosses --threshold-ms and the stage that dominates it.
+//            An `--os` entry may carry a protocol suffix (e.g. linux:lbx runs the X
+//            pipeline over LBX). Output is byte-identical for any --jobs value.
 //   trace    <experiment> [experiment flags] [--out=trace.json --metrics-out=metrics.csv
 //            --report-out=report.json --categories=cpu,sched,...]
 //            run one experiment observed: writes a Perfetto-loadable Chrome trace, the
@@ -66,8 +77,8 @@ namespace {
 int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
-      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep chaos trace "
-      "replay help\n"
+      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep chaos blame "
+      "trace replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -473,6 +484,21 @@ int CmdChaos(FlagSet& flags) {
     }
   }
   Emit(table, flags.GetBool("csv"));
+  // Blame view of the same grid: the share of end-to-end time each stage owns at each
+  // point. As loss and flapping grow, time visibly migrates out of the service stages
+  // into retransmit and the network legs.
+  TextTable blame_table({"loss", "flap (ms)", "input-net", "retransmit", "sched-wait",
+                         "cpu", "mem", "proto", "display-net", "decode"});
+  for (const ChaosPoint& p : points) {
+    std::vector<std::string> row = {TextTable::Percent(p.loss_rate, 1),
+                                    TextTable::Fixed(p.flap_ms, 0)};
+    for (const StageSummary& s : p.blame.stages) {
+      row.push_back(TextTable::Percent(s.share, 1));
+    }
+    blame_table.AddRow(std::move(row));
+  }
+  std::printf("per-stage share of end-to-end latency:\n");
+  Emit(blame_table, flags.GetBool("csv"));
   if (first_crossing != nullptr) {
     std::printf("p99 first crosses %lld ms at loss %.1f%% / flap %.0f ms "
                 "(p99 %.1f ms, %.1f%% of keystrokes perceptible)\n",
@@ -503,6 +529,180 @@ int CmdChaos(FlagSet& flags) {
   return 0;
 }
 
+const char* ProtocolWord(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kRdp:
+      return "rdp";
+    case ProtocolKind::kX:
+      return "x";
+    case ProtocolKind::kLbx:
+      return "lbx";
+    case ProtocolKind::kSlim:
+      return "slim";
+    case ProtocolKind::kVnc:
+      return "vnc";
+  }
+  return "?";
+}
+
+// Largest total-time stage; ties go to the earlier pipeline stage.
+const StageSummary* DominantStage(const AttributionResult& blame) {
+  const StageSummary* best = nullptr;
+  for (const StageSummary& s : blame.stages) {
+    if (best == nullptr || s.total_us > best->total_us) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+int CmdBlame(FlagSet& flags) {
+  // An --os entry is `name` or `name:protocol`; the suffix overrides the profile's
+  // display protocol, so the same OS pipeline can be compared across encodings
+  // (e.g. linux vs linux:lbx).
+  struct BlameConfig {
+    OsProfile profile;
+    std::string os_word;
+    std::string proto_word;
+  };
+  std::vector<BlameConfig> base;
+  for (const std::string& token :
+       SplitList(flags.GetString("os", "tse,linux,linux:lbx"))) {
+    BlameConfig cfg;
+    size_t colon = token.find(':');
+    cfg.os_word = token.substr(0, colon);
+    if (!ParseOs(cfg.os_word, &cfg.profile)) {
+      return 2;
+    }
+    if (colon != std::string::npos) {
+      ProtocolKind kind;
+      if (!ParseProtocol(token.substr(colon + 1), &kind)) {
+        return 2;
+      }
+      cfg.profile.protocol_kind = kind;
+    }
+    cfg.proto_word = ProtocolWord(cfg.profile.protocol_kind);
+    base.push_back(std::move(cfg));
+  }
+  std::vector<int> sink_list;
+  if (!ParseIntList(flags.GetString("sinks", "0,5"), "sinks", &sink_list)) {
+    return 2;
+  }
+  if (base.empty() || sink_list.empty()) {
+    std::fprintf(stderr, "blame needs at least one --os and one --sinks value\n");
+    return 2;
+  }
+
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  Duration threshold = Duration::Millis(flags.GetInt("threshold-ms", 100));
+  double background_mbps = flags.GetDouble("background-mbps", 0.0);
+  double loss = flags.GetDouble("loss", 0.0);
+  int flap = static_cast<int>(flags.GetInt("flap-ms", 0));
+  uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  int sink_count = static_cast<int>(sink_list.size());
+  int configs = static_cast<int>(base.size()) * sink_count;
+
+  // OS-major, sinks-minor, each config with a position-derived seed and its own
+  // attribution engine: output is byte-identical for any --jobs value.
+  ParallelSweep sweep(jobs);
+  auto results = sweep.Map(configs, [&](int i) {
+    const BlameConfig& cfg = base[static_cast<size_t>(i / sink_count)];
+    EndToEndOptions opt;
+    opt.sinks = sink_list[static_cast<size_t>(i % sink_count)];
+    opt.background_mbps = background_mbps;
+    opt.duration = seconds;
+    opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
+    if (loss > 0.0) {
+      opt.faults.link.loss_rate = loss;
+    }
+    if (flap > 0) {
+      opt.faults.link.flap_every = Duration::Millis(2000);
+      opt.faults.link.flap_duration = Duration::Millis(flap);
+    }
+    LatencyAttribution attribution;
+    ObsConfig obs;
+    obs.attribution = &attribution;
+    return RunEndToEndLatency(cfg.profile, opt, &obs);
+  });
+
+  TextTable table({"os", "protocol", "sinks", "stage", "share", "p50 (ms)", "p99 (ms)",
+                   "max (ms)"});
+  for (int i = 0; i < configs; ++i) {
+    const BlameConfig& cfg = base[static_cast<size_t>(i / sink_count)];
+    int sinks = sink_list[static_cast<size_t>(i % sink_count)];
+    for (const StageSummary& s : results[static_cast<size_t>(i)].blame.stages) {
+      if (s.total_us == 0) {
+        continue;  // this stage never saw time in this configuration
+      }
+      table.AddRow({cfg.os_word, cfg.proto_word, TextTable::Num(sinks), s.stage,
+                    TextTable::Percent(s.share, 1),
+                    TextTable::Fixed(static_cast<double>(s.p50_us) / 1000.0, 2),
+                    TextTable::Fixed(static_cast<double>(s.p99_us) / 1000.0, 2),
+                    TextTable::Fixed(static_cast<double>(s.max_us) / 1000.0, 2)});
+    }
+  }
+  Emit(table, flags.GetBool("csv"));
+
+  // The question the command exists to answer: which configuration goes perceptible
+  // first, and which resource is to blame when it does.
+  int64_t threshold_us = threshold.ToMicros();
+  int first = -1;
+  for (int i = 0; i < configs; ++i) {
+    const BlameConfig& cfg = base[static_cast<size_t>(i / sink_count)];
+    const AttributionResult& blame = results[static_cast<size_t>(i)].blame;
+    const StageSummary* top = DominantStage(blame);
+    bool over = blame.p99_total_us > threshold_us;
+    std::printf("%s/%s, %d sinks: p99 %.2f ms (%s %lld ms); dominant stage %s (%.0f%%)\n",
+                cfg.os_word.c_str(), cfg.proto_word.c_str(),
+                sink_list[static_cast<size_t>(i % sink_count)],
+                static_cast<double>(blame.p99_total_us) / 1000.0,
+                over ? "crosses" : "under", static_cast<long long>(threshold_us / 1000),
+                top != nullptr ? top->stage.c_str() : "?",
+                top != nullptr ? top->share * 100.0 : 0.0);
+    if (over && first < 0) {
+      first = i;
+    }
+  }
+  if (first >= 0) {
+    const BlameConfig& cfg = base[static_cast<size_t>(first / sink_count)];
+    const AttributionResult& blame = results[static_cast<size_t>(first)].blame;
+    const StageSummary* top = DominantStage(blame);
+    std::printf("p99 first crosses %lld ms at %s/%s with %d sinks — blame %s\n",
+                static_cast<long long>(threshold_us / 1000), cfg.os_word.c_str(),
+                cfg.proto_word.c_str(),
+                sink_list[static_cast<size_t>(first % sink_count)],
+                top != nullptr ? top->stage.c_str() : "?");
+  } else {
+    std::printf("p99 stays under %lld ms across the grid\n",
+                static_cast<long long>(threshold_us / 1000));
+  }
+
+  std::string report_path = flags.GetString("report-out", "");
+  if (!report_path.empty()) {
+    // No run/wall_ms block anywhere in the file: byte-identical across reruns and
+    // --jobs values, so CI can cmp(1) two sweeps.
+    std::string report = "{\"experiment\":\"blame\",\"points\":[";
+    for (int i = 0; i < configs; ++i) {
+      if (i > 0) {
+        report += ',';
+      }
+      const BlameConfig& cfg = base[static_cast<size_t>(i / sink_count)];
+      report += "{\"os\":\"" + cfg.os_word + "\",\"protocol\":\"" + cfg.proto_word +
+                "\",\"sinks\":" +
+                std::to_string(sink_list[static_cast<size_t>(i % sink_count)]) +
+                ",\"blame\":" + ToJson(results[static_cast<size_t>(i)].blame) + "}";
+    }
+    report += "]}\n";
+    if (!WriteFile(report_path, report)) {
+      return 1;
+    }
+  }
+  // stderr, so stdout stays byte-identical for any --jobs value.
+  std::fprintf(stderr, "%d blame configs over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
 bool ParseCategories(const std::string& list, uint32_t* mask) {
   uint32_t out = 0;
   for (const std::string& word : SplitList(list)) {
@@ -524,10 +724,12 @@ bool ParseCategories(const std::string& list, uint32_t* mask) {
       out |= static_cast<uint32_t>(TraceCategory::kSession);
     } else if (word == "fault") {
       out |= static_cast<uint32_t>(TraceCategory::kFault);
+    } else if (word == "blame") {
+      out |= static_cast<uint32_t>(TraceCategory::kBlame);
     } else {
       std::fprintf(stderr,
                    "unknown --categories entry '%s' "
-                   "(sim|cpu|sched|mem|net|proto|session|fault|all)\n",
+                   "(sim|cpu|sched|mem|net|proto|session|fault|blame|all)\n",
                    word.c_str());
       return false;
     }
@@ -579,6 +781,17 @@ int CmdTrace(FlagSet& flags) {
   obs.tracer = &tracer;
   obs.metrics = &metrics;
   obs.sampler_csv = &sampler_csv;
+  // Server experiments also attribute: their reports carry the blame block and the trace
+  // carries per-interaction flow spans across the blame tracks. Protocol-only
+  // experiments (traffic, gif) have no keystroke pipeline, so no engine (and no empty
+  // blame tracks) for them.
+  std::unique_ptr<LatencyAttribution> attribution;
+  bool server_experiment = experiment == "typing" || experiment == "paging" ||
+                           experiment == "e2e" || experiment == "sizing";
+  if (server_experiment) {
+    attribution = std::make_unique<LatencyAttribution>(AttributionConfig{&tracer, false});
+    obs.attribution = attribution.get();
+  }
 
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
@@ -780,6 +993,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "chaos") {
     return CmdChaos(flags);
+  }
+  if (command == "blame") {
+    return CmdBlame(flags);
   }
   if (command == "trace") {
     return CmdTrace(flags);
