@@ -1,0 +1,270 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/run_support.h"
+#include "src/metrics/latency.h"
+#include "src/session/server.h"
+#include "src/sim/periodic.h"
+#include "src/util/config_error.h"
+#include "src/workload/typist.h"
+
+namespace tcs {
+
+namespace {
+
+using namespace run_support;
+
+// Per-user stall instrumentation: the StallDetector keeps Figure-3 aggregates, the
+// LatencyRecorder keeps the exact-microsecond per-gap samples that make consolidation
+// results byte-comparable. Lives behind a unique_ptr so callbacks hold stable pointers.
+struct StallTap {
+  explicit StallTap(Duration period) : stalls(period), period_us(period.ToMicros()) {}
+
+  void OnUpdate(TimePoint t) {
+    stalls.OnUpdate(t);
+    if (have_last) {
+      int64_t gap_us = (t - last).ToMicros() - period_us;
+      samples.Record(Duration::Micros(std::max<int64_t>(0, gap_us)));
+    }
+    have_last = true;
+    last = t;
+  }
+
+  StallDetector stalls;
+  LatencyRecorder samples;
+  int64_t period_us;
+  bool have_last = false;
+  TimePoint last;
+};
+
+}  // namespace
+
+ConsolidationOptions Validated(ConsolidationOptions o) {
+  if (o.users < 1) {
+    throw ConfigError("ConsolidationOptions.users", "must admit at least one user");
+  }
+  if (!(o.duration > Duration::Zero())) {
+    throw ConfigError("ConsolidationOptions.duration", "must be positive");
+  }
+  if (o.processors < 1) {
+    throw ConfigError("ConsolidationOptions.processors", "need at least one processor");
+  }
+  if (o.ram.count() <= 0) {
+    throw ConfigError("ConsolidationOptions.ram", "must be positive");
+  }
+  if (!(o.keystroke_period > Duration::Zero())) {
+    throw ConfigError("ConsolidationOptions.keystroke_period", "must be positive");
+  }
+  if (o.start_delay < Duration::Zero()) {
+    throw ConfigError("ConsolidationOptions.start_delay", "must not be negative");
+  }
+  if (o.stagger < Duration::Zero()) {
+    throw ConfigError("ConsolidationOptions.stagger", "must not be negative");
+  }
+  if (o.burst_cpu < Duration::Zero()) {
+    throw ConfigError("ConsolidationOptions.burst_cpu", "must not be negative");
+  }
+  if (o.burst_cpu > Duration::Zero() && !(o.burst_period > Duration::Zero())) {
+    throw ConfigError("ConsolidationOptions.burst_period",
+                      "must be positive when bursts are enabled");
+  }
+  if (o.sinks < 0) {
+    throw ConfigError("ConsolidationOptions.sinks", "must not be negative");
+  }
+  return o;
+}
+
+CapacityOptions Validated(CapacityOptions o) {
+  if (o.max_users < 1) {
+    throw ConfigError("CapacityOptions.max_users", "must allow at least one user");
+  }
+  if (!(o.admission.max_utilization > 0.0) || o.admission.max_utilization > 1.0) {
+    throw ConfigError("AdmissionConfig.max_utilization", "must be in (0, 1]");
+  }
+  if (!(o.admission.max_p99_stall > Duration::Zero())) {
+    throw ConfigError("AdmissionConfig.max_p99_stall", "must be positive");
+  }
+  o.behavior.users = 1;  // overwritten per candidate; validate the rest of the shape
+  o.behavior = Validated(std::move(o.behavior));
+  return o;
+}
+
+ConsolidationResult RunConsolidation(const OsProfile& profile,
+                                     const ConsolidationOptions& options_in,
+                                     const ObsConfig* obs) {
+  ConsolidationOptions options = Validated(options_in);
+  WallClock::time_point t0 = WallClock::now();
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = options.seed;
+  cfg.cpu.processors = options.processors;
+  cfg.ram = options.ram;
+  cfg.eviction = options.eviction;
+  ApplyObs(cfg, obs);
+  AttachSimHook(sim, obs);
+  Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
+  server.StartDaemons();
+
+  struct UserRuntime {
+    Session* session = nullptr;
+    std::unique_ptr<StallTap> tap;
+    std::unique_ptr<Typist> typist;
+    std::unique_ptr<PeriodicTask> burst_task;
+  };
+  std::vector<UserRuntime> runtimes;
+  runtimes.reserve(static_cast<size_t>(options.users));
+  // Login + instrument first: session setup traffic and text-segment sharing happen in
+  // login order, exactly as they would on a morning shift start.
+  for (int u = 0; u < options.users; ++u) {
+    UserRuntime rt;
+    rt.session = &server.Login();
+    rt.tap = std::make_unique<StallTap>(options.keystroke_period);
+    StallTap* tap = rt.tap.get();
+    rt.session->set_on_display_update([tap](TimePoint t) { tap->OnUpdate(t); });
+    Session* s = rt.session;
+    rt.typist = std::make_unique<Typist>(sim, [&server, s] { server.Keystroke(*s); },
+                                         options.keystroke_period);
+    rt.typist->Start(options.start_delay +
+                     Duration::Micros(options.stagger.ToMicros() * u));
+    if (options.burst_cpu > Duration::Zero()) {
+      Thread* bt = server.cpu().CreateThread("app-burst", ThreadClass::kBatch,
+                                             profile.sink_priority);
+      Duration burst = options.burst_cpu;
+      rt.burst_task = std::make_unique<PeriodicTask>(
+          sim, options.burst_period,
+          [&server, bt, burst] { server.cpu().PostWork(*bt, burst); });
+      rt.burst_task->Start(Duration::Millis((199 * u) % 5000));  // staggered phases
+    }
+    runtimes.push_back(std::move(rt));
+  }
+  server.StartSinks(options.sinks);
+
+  Duration total = options.start_delay + options.duration;
+  sim.RunUntil(TimePoint::Zero() + total);
+
+  ConsolidationResult result;
+  result.os_name = profile.name;
+  result.protocol = ProtocolName(profile.protocol_kind);
+  result.users = options.users;
+  result.cpu_utilization = server.cpu().busy_time() / total;
+  result.link_utilization = server.link().UtilizationOver(total);
+  result.resident_pages = server.pager().frames_used();
+  result.total_frames = server.pager().total_frames();
+  result.shared_segments = server.pager().shared_segments();
+  result.shared_attaches = server.pager().shared_attaches();
+  result.page_faults = server.pager().faults();
+  result.coalesced_waits = server.pager().coalesced_waits();
+
+  Bytes link_total = server.link().bytes_carried();
+  double stall_sum = 0.0;
+  for (UserRuntime& rt : runtimes) {
+    rt.typist->Stop();
+    if (rt.burst_task != nullptr) {
+      rt.burst_task->Stop();
+    }
+    UserStallStats us;
+    const StallTap& tap = *rt.tap;
+    us.updates = tap.stalls.updates();
+    us.avg_stall_ms = tap.stalls.AverageStallAllGaps().ToMillisF();
+    us.max_stall_ms = tap.stalls.MaxStall().ToMillisF();
+    us.jitter_ms = tap.stalls.Jitter().ToMillisF();
+    if (us.updates < 2) {
+      // Never saw two updates: total starvation. Score the whole run, so no admission
+      // policy can mistake a silent screen for perfect latency.
+      us.p50_stall_ms = us.p99_stall_ms = options.duration.ToMillisF();
+    } else {
+      us.p50_stall_ms = tap.samples.PercentileMs(0.50);
+      us.p99_stall_ms = tap.samples.PercentileMs(0.99);
+    }
+    us.wire_bytes = rt.session->flow().wire_bytes();
+    us.link_share = rt.session->flow().ShareOf(link_total);
+    us.stall_samples_us = tap.samples.samples_us();
+    stall_sum += us.avg_stall_ms;
+    result.worst_stall_ms = std::max(result.worst_stall_ms, us.max_stall_ms);
+    result.worst_p99_stall_ms = std::max(result.worst_p99_stall_ms, us.p99_stall_ms);
+    result.per_user.push_back(std::move(us));
+  }
+  result.avg_stall_ms = stall_sum / static_cast<double>(options.users);
+  CollectBlame(result.blame, obs);
+  FinishRun(result.run, sim, t0);
+  return result;
+}
+
+bool Admits(AdmissionPolicy policy, const AdmissionConfig& admission,
+            const ConsolidationResult& r) {
+  switch (policy) {
+    case AdmissionPolicy::kUtilization:
+      return r.cpu_utilization < admission.max_utilization;
+    case AdmissionPolicy::kLatency:
+      return r.worst_p99_stall_ms < admission.max_p99_stall.ToMillisF();
+  }
+  return false;
+}
+
+CapacityResult RunServerCapacity(const OsProfile& profile,
+                                 const CapacityOptions& options_in,
+                                 const ObsConfig* obs) {
+  CapacityOptions options = Validated(options_in);
+
+  // One evaluation per candidate N, shared between both policies' searches. Every
+  // candidate runs with the same seed (not a per-N derived seed): candidate N is
+  // exactly "the same morning with N users", and the N=1 candidate is byte-identical
+  // to the single-session typing experiment under the same knobs.
+  std::map<int, ConsolidationResult> memo;
+  auto evaluate = [&](int users) -> const ConsolidationResult& {
+    auto it = memo.find(users);
+    if (it == memo.end()) {
+      ConsolidationOptions copt = options.behavior;
+      copt.users = users;
+      // Each probe gets its own attribution engine (blame must not mix across
+      // candidate runs) and shares the caller's tracer. The caller's metrics registry
+      // is deliberately not threaded through: one registry cannot serve gauge sets
+      // from many servers.
+      LatencyAttribution probe_blame(
+          AttributionConfig{obs != nullptr ? obs->tracer : nullptr, false});
+      ObsConfig probe_obs;
+      probe_obs.tracer = obs != nullptr ? obs->tracer : nullptr;
+      probe_obs.attribution = &probe_blame;
+      it = memo.emplace(users, RunConsolidation(profile, copt, &probe_obs)).first;
+    }
+    return it->second;
+  };
+  // Largest admitted N in [1, max_users]; degradation is monotone in N for a fixed
+  // behavior, which is what makes bisection valid here.
+  auto max_admitted = [&](AdmissionPolicy policy) {
+    int lo = 0;  // invariant: lo == 0 or lo admitted; everything above hi rejected
+    int hi = options.max_users;
+    while (lo < hi) {
+      int mid = lo + (hi - lo + 1) / 2;
+      if (Admits(policy, options.admission, evaluate(mid))) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+
+  CapacityResult result;
+  result.os_name = profile.name;
+  result.protocol = ProtocolName(profile.protocol_kind);
+  result.latency_sized_users = max_admitted(AdmissionPolicy::kLatency);
+  result.utilization_sized_users = max_admitted(AdmissionPolicy::kUtilization);
+  result.utilization_over_admits =
+      result.utilization_sized_users > result.latency_sized_users;
+  for (auto& [users, probe] : memo) {
+    result.run.events_executed += probe.run.events_executed;
+    result.run.pending_events += probe.run.pending_events;
+    result.run.wall_ms += probe.run.wall_ms;
+    result.probes.push_back(std::move(probe));
+  }
+  return result;
+}
+
+}  // namespace tcs

@@ -5,6 +5,9 @@
 #include <memory>
 #include <sstream>
 
+#include "src/core/admission.h"
+#include "src/core/run_support.h"
+
 #include "src/cpu/nt_scheduler.h"
 #include "src/metrics/latency.h"
 #include "src/net/ping.h"
@@ -25,6 +28,8 @@
 namespace tcs {
 
 namespace {
+
+using namespace run_support;  // WallClock, FinishRun, ApplyObs, SamplerScope, ...
 
 // A protocol-only harness: link, channel senders, tap, and one protocol instance.
 // Experiments that exercise only the network resource use this instead of a full Server.
@@ -98,93 +103,6 @@ struct ProtocolHarness {
   std::unique_ptr<DisplayProtocol> protocol;
 };
 
-std::string ProtocolName(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kRdp:
-      return "RDP";
-    case ProtocolKind::kX:
-      return "X";
-    case ProtocolKind::kLbx:
-      return "LBX";
-    case ProtocolKind::kSlim:
-      return "SLIM";
-    case ProtocolKind::kVnc:
-      return "VNC";
-  }
-  return "?";
-}
-
-using WallClock = std::chrono::steady_clock;
-
-// Adds one simulator run's kernel counters and wall-clock time into `rs`.
-void FinishRun(RunStats& rs, const Simulator& sim, WallClock::time_point t0) {
-  rs.events_executed += sim.events_executed();
-  rs.pending_events += sim.pending_events();
-  rs.wall_ms +=
-      std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
-}
-
-// Mirrors the kernel's pending-event depth as a sim-category counter track.
-void AttachSimHook(Simulator& sim, const ObsConfig* obs) {
-  if (obs == nullptr || obs->tracer == nullptr ||
-      !obs->tracer->Enabled(TraceCategory::kSim)) {
-    return;
-  }
-  Tracer* tracer = obs->tracer;
-  TraceTrack track = tracer->RegisterTrack("sim", "kernel");
-  sim.set_dispatch_hook([tracer, track](TimePoint when, size_t pending) {
-    tracer->Counter(TraceCategory::kSim, "pending_events", track, when,
-                    static_cast<double>(pending));
-  });
-}
-
-// Starts gauge sampling if the ObsConfig carries a registry; null otherwise.
-std::unique_ptr<PeriodicSampler> StartSampler(Simulator& sim, const ObsConfig* obs) {
-  if (obs == nullptr || obs->metrics == nullptr) {
-    return nullptr;
-  }
-  auto sampler = std::make_unique<PeriodicSampler>(sim, *obs->metrics,
-                                                   obs->sample_period, obs->tracer);
-  sampler->Start();
-  return sampler;
-}
-
-// Owns the run's PeriodicSampler; on destruction renders the sampled gauge series into
-// obs->sampler_csv (when requested) so the data survives the experiment's scope.
-class SamplerScope {
- public:
-  SamplerScope(Simulator& sim, const ObsConfig* obs)
-      : obs_(obs), sampler_(StartSampler(sim, obs)) {}
-  ~SamplerScope() {
-    if (sampler_ != nullptr && obs_->sampler_csv != nullptr) {
-      std::ostringstream out;
-      sampler_->WriteCsv(out);
-      *obs_->sampler_csv = out.str();
-    }
-  }
-  SamplerScope(const SamplerScope&) = delete;
-  SamplerScope& operator=(const SamplerScope&) = delete;
-
- private:
-  const ObsConfig* obs_;
-  std::unique_ptr<PeriodicSampler> sampler_;
-};
-
-void ApplyObs(ServerConfig& cfg, const ObsConfig* obs) {
-  if (obs != nullptr) {
-    cfg.tracer = obs->tracer;
-    cfg.metrics = obs->metrics;
-    cfg.attribution = obs->attribution;
-  }
-}
-
-// Fills `blame` from the run's attribution engine, if one was attached.
-void CollectBlame(AttributionResult& blame, const ObsConfig* obs) {
-  if (obs != nullptr && obs->attribution != nullptr) {
-    blame = obs->attribution->Collect();
-  }
-}
-
 AnimationLoadResult CollectLoad(const ProtocolHarness& harness, Duration duration,
                                 Duration bucket, size_t warm_buckets,
                                 const std::string& name) {
@@ -253,35 +171,27 @@ IdleProfileResult RunIdleProfile(const OsProfile& profile, Duration duration,
 TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
                                          Duration duration, uint64_t seed,
                                          int processors, const ObsConfig* obs) {
-  WallClock::time_point t0 = WallClock::now();
-  Simulator sim;
-  ServerConfig cfg;
-  cfg.seed = seed;
-  cfg.cpu.processors = processors;
-  ApplyObs(cfg, obs);
-  AttachSimHook(sim, obs);
-  Server server(sim, profile, cfg);
-  SamplerScope sampler(sim, obs);
-  server.StartDaemons();
-  Session& session = server.Login();
-  server.StartSinks(sinks);
-
-  StallDetector stalls;
-  session.set_on_display_update([&stalls](TimePoint t) { stalls.OnUpdate(t); });
-  Typist typist(sim, [&server, &session] { server.Keystroke(session); });
-  typist.Start(Duration::Seconds(1));  // let the sinks reach steady rotation first
-  sim.RunUntil(TimePoint::Zero() + Duration::Seconds(1) + duration);
-  typist.Stop();
+  // The single-session typing experiment is the users == 1, burst-free corner of the
+  // consolidation engine; RunServerCapacity's N=1 probe reproduces it byte for byte.
+  ConsolidationOptions copt;
+  copt.users = 1;
+  copt.duration = duration;
+  copt.seed = seed;
+  copt.processors = processors;
+  copt.sinks = sinks;
+  ConsolidationResult consolidated = RunConsolidation(profile, copt, obs);
 
   TypingUnderLoadResult result;
-  result.os_name = profile.name;
+  result.os_name = consolidated.os_name;
   result.sinks = sinks;
-  result.avg_stall_ms = stalls.AverageStallAllGaps().ToMillisF();
-  result.max_stall_ms = stalls.MaxStall().ToMillisF();
-  result.jitter_ms = stalls.Jitter().ToMillisF();
-  result.updates = stalls.updates();
-  CollectBlame(result.blame, obs);
-  FinishRun(result.run, sim, t0);
+  const UserStallStats& user = consolidated.per_user.front();
+  result.avg_stall_ms = user.avg_stall_ms;
+  result.max_stall_ms = user.max_stall_ms;
+  result.jitter_ms = user.jitter_ms;
+  result.updates = user.updates;
+  result.stall_samples_us = user.stall_samples_us;
+  result.blame = std::move(consolidated.blame);
+  result.run = consolidated.run;
   return result;
 }
 
@@ -325,11 +235,20 @@ SessionMemoryResult MeasureSessionMemory(const OsProfile& profile, bool light) {
     result.processes.push_back(SessionMemoryRow{proc.name, proc.private_memory});
   }
   result.total = session.private_memory();
+  result.total_shared = session.shared_memory();
   result.idle_system = profile.idle_system_memory;
-  // Exclude the editor working set: the table reports login processes only.
+  // Exclude the editor working set and the shared text segments (resident once
+  // server-wide): the table reports the login processes' private bill only.
   size_t ws = profile.editor_working_set_pages;
+  size_t shared_pages = 0;
+  for (const ProcessSpec& proc : processes) {
+    if (proc.shared_text.count() > 0) {
+      shared_pages += std::max<size_t>(1, static_cast<size_t>(
+          (proc.shared_text.count() + 4095) / 4096));
+    }
+  }
   result.measured_resident = Bytes::Of(
-      static_cast<int64_t>(frames_after - frames_before - ws) * 4096);
+      static_cast<int64_t>(frames_after - frames_before - ws - shared_pages) * 4096);
   FinishRun(result.run, sim, t0);
   return result;
 }

@@ -58,6 +58,9 @@ struct TypingUnderLoadResult {
   double max_stall_ms = 0.0;
   double jitter_ms = 0.0;
   int64_t updates = 0;
+  // Exact-microsecond stall samples (inter-update gap minus the cadence, floored at
+  // zero), in arrival order. The differential anchor for RunServerCapacity's N=1 case.
+  std::vector<int64_t> stall_samples_us;
   // Per-stage latency attribution; `blame.active` only when the run's ObsConfig carried
   // a LatencyAttribution engine.
   AttributionResult blame;
@@ -85,9 +88,11 @@ struct SessionMemoryResult {
   std::string os_name;
   bool light = false;
   std::vector<SessionMemoryRow> processes;
-  Bytes total = Bytes::Zero();       // per-login compulsory memory
+  Bytes total = Bytes::Zero();       // per-login compulsory *private* memory
+  Bytes total_shared = Bytes::Zero();  // text mapped but shared across sessions
   Bytes idle_system = Bytes::Zero();  // kernel + services with no sessions
-  // Measured from the pager after login (must equal `total` rounded to pages).
+  // Measured private residency from the pager after login (shared text and the editor
+  // working set excluded; must equal `total` rounded to pages).
   Bytes measured_resident = Bytes::Zero();
   RunStats run;
 };

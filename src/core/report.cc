@@ -197,6 +197,70 @@ std::string ToJson(const SizingPoint& r) {
   return o.Finish();
 }
 
+std::string ToJson(const ConsolidationResult& r) {
+  JsonObject o;
+  o.Str("experiment", "consolidation");
+  o.Str("os", r.os_name);
+  o.Str("protocol", r.protocol);
+  o.Int("users", r.users);
+  o.Double("cpu_utilization", r.cpu_utilization);
+  o.Double("link_utilization", r.link_utilization);
+  o.UInt("resident_pages", r.resident_pages);
+  o.UInt("total_frames", r.total_frames);
+  o.UInt("shared_segments", r.shared_segments);
+  o.Int("shared_attaches", r.shared_attaches);
+  o.Int("page_faults", r.page_faults);
+  o.Int("coalesced_waits", r.coalesced_waits);
+  o.Double("avg_stall_ms", r.avg_stall_ms);
+  o.Double("worst_stall_ms", r.worst_stall_ms);
+  o.Double("worst_p99_stall_ms", r.worst_p99_stall_ms);
+  std::string users = "[";
+  for (size_t i = 0; i < r.per_user.size(); ++i) {
+    const UserStallStats& u = r.per_user[i];
+    JsonObject uo;
+    uo.Int("updates", u.updates);
+    uo.Double("avg_stall_ms", u.avg_stall_ms);
+    uo.Double("max_stall_ms", u.max_stall_ms);
+    uo.Double("jitter_ms", u.jitter_ms);
+    uo.Double("p50_stall_ms", u.p50_stall_ms);
+    uo.Double("p99_stall_ms", u.p99_stall_ms);
+    uo.Int("wire_bytes", u.wire_bytes.count());
+    uo.Double("link_share", u.link_share);
+    if (i > 0) {
+      users += ',';
+    }
+    users += uo.Finish();
+  }
+  users += ']';
+  o.Raw("per_user", users);
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const CapacityResult& r) {
+  JsonObject o;
+  o.Str("experiment", "server_capacity");
+  o.Str("os", r.os_name);
+  o.Str("protocol", r.protocol);
+  o.Int("utilization_sized_users", r.utilization_sized_users);
+  o.Int("latency_sized_users", r.latency_sized_users);
+  o.Bool("utilization_over_admits", r.utilization_over_admits);
+  std::string probes = "[";
+  for (size_t i = 0; i < r.probes.size(); ++i) {
+    if (i > 0) {
+      probes += ',';
+    }
+    probes += ToJson(r.probes[i]);
+  }
+  probes += ']';
+  o.Raw("probes", probes);
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
 std::string ToJson(const ProtocolTrafficResult& r) {
   JsonObject o;
   o.Str("experiment", "app_workload_traffic");

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "src/core/admission.h"
 #include "src/core/experiments.h"
 
 namespace tcs {
@@ -24,6 +25,8 @@ std::string ToJson(const PagingLatencyResult& r);
 std::string ToJson(const EndToEndResult& r);
 std::string ToJson(const ChaosPoint& r);
 std::string ToJson(const SizingPoint& r);
+std::string ToJson(const ConsolidationResult& r);
+std::string ToJson(const CapacityResult& r);
 std::string ToJson(const ProtocolTrafficResult& r);
 std::string ToJson(const AnimationLoadResult& r);
 

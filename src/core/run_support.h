@@ -1,0 +1,80 @@
+// Shared plumbing for experiment runners.
+//
+// Every runner in src/core follows the same frame: stamp a wall clock, wire the
+// optional ObsConfig (tracer, metrics sampler, attribution engine) through the stack,
+// run the simulation, then collect kernel counters and blame. These helpers are that
+// frame, factored out so experiments.cc and admission.cc share one copy. Internal to
+// src/core — not part of the library surface.
+
+#ifndef TCS_SRC_CORE_RUN_SUPPORT_H_
+#define TCS_SRC_CORE_RUN_SUPPORT_H_
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/core/experiments.h"
+#include "src/session/server.h"
+
+namespace tcs {
+namespace run_support {
+
+std::string ProtocolName(ProtocolKind kind);
+
+using WallClock = std::chrono::steady_clock;
+
+// Adds one simulator run's kernel counters and wall-clock time into `rs`.
+inline void FinishRun(RunStats& rs, const Simulator& sim, WallClock::time_point t0) {
+  rs.events_executed += sim.events_executed();
+  rs.pending_events += sim.pending_events();
+  rs.wall_ms +=
+      std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
+}
+
+// Mirrors the kernel's pending-event depth as a sim-category counter track.
+void AttachSimHook(Simulator& sim, const ObsConfig* obs);
+
+// Starts gauge sampling if the ObsConfig carries a registry; null otherwise.
+std::unique_ptr<PeriodicSampler> StartSampler(Simulator& sim, const ObsConfig* obs);
+
+// Owns the run's PeriodicSampler; on destruction renders the sampled gauge series into
+// obs->sampler_csv (when requested) so the data survives the experiment's scope.
+class SamplerScope {
+ public:
+  SamplerScope(Simulator& sim, const ObsConfig* obs)
+      : obs_(obs), sampler_(StartSampler(sim, obs)) {}
+  ~SamplerScope() {
+    if (sampler_ != nullptr && obs_->sampler_csv != nullptr) {
+      std::ostringstream out;
+      sampler_->WriteCsv(out);
+      *obs_->sampler_csv = out.str();
+    }
+  }
+  SamplerScope(const SamplerScope&) = delete;
+  SamplerScope& operator=(const SamplerScope&) = delete;
+
+ private:
+  const ObsConfig* obs_;
+  std::unique_ptr<PeriodicSampler> sampler_;
+};
+
+inline void ApplyObs(ServerConfig& cfg, const ObsConfig* obs) {
+  if (obs != nullptr) {
+    cfg.tracer = obs->tracer;
+    cfg.metrics = obs->metrics;
+    cfg.attribution = obs->attribution;
+  }
+}
+
+// Fills `blame` from the run's attribution engine, if one was attached.
+inline void CollectBlame(AttributionResult& blame, const ObsConfig* obs) {
+  if (obs != nullptr && obs->attribution != nullptr) {
+    blame = obs->attribution->Collect();
+  }
+}
+
+}  // namespace run_support
+}  // namespace tcs
+
+#endif  // TCS_SRC_CORE_RUN_SUPPORT_H_

@@ -1,5 +1,6 @@
 #include "src/mem/pager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -22,6 +23,90 @@ AddressSpace* Pager::CreateAddressSpace(std::string name, bool interactive) {
   spaces_.push_back(
       std::make_unique<AddressSpace>(next_as_id_++, std::move(name), interactive));
   return spaces_.back().get();
+}
+
+SharedSegment Pager::AcquireShared(const std::string& key, bool interactive) {
+  auto it = shared_.find(key);
+  if (it != shared_.end()) {
+    ++it->second.refs;
+    ++shared_attaches_;
+    return SharedSegment{it->second.space, /*created=*/false};
+  }
+  AddressSpace* space = CreateAddressSpace(key, interactive);
+  shared_.emplace(key, SharedEntry{space, 1});
+  return SharedSegment{space, /*created=*/true};
+}
+
+void Pager::ReleaseShared(const std::string& key) {
+  auto it = shared_.find(key);
+  assert(it != shared_.end() && "ReleaseShared without matching acquire");
+  if (--it->second.refs == 0) {
+    AddressSpace* space = it->second.space;
+    shared_.erase(it);
+    ReleaseAddressSpace(space);
+  }
+}
+
+void Pager::DropFramesOf(AddressSpace& as) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->as == &as) {
+      frame_index_.erase(FramesKey::Of(as, it->vpn));
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Page-ins of a dying space still on the disk: their map entries go away and any
+  // waiters resume now (the disk completion itself is harmless — its erase is guarded).
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if ((it->first >> 44) == as.id()) {
+      auto barrier = it->second;
+      it = in_flight_.erase(it);
+      for (auto& waiter : barrier->waiters) {
+        sim_.Schedule(Duration::Zero(), std::move(waiter));
+      }
+      barrier->waiters.clear();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Pager::ReleaseAddressSpace(AddressSpace* as) {
+  assert(as != nullptr);
+  DropFramesOf(*as);
+  for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
+    if (it->get() == as) {
+      spaces_.erase(it);
+      return;
+    }
+  }
+  assert(false && "address space not owned by this pager");
+}
+
+std::function<void()> Pager::ArmInFlight(std::shared_ptr<std::vector<uint64_t>> keys,
+                                         std::function<void()> done) {
+  auto barrier = std::make_shared<InFlightRead>();
+  for (uint64_t key : *keys) {
+    in_flight_[key] = barrier;
+  }
+  return [this, keys = std::move(keys), barrier, done = std::move(done)]() mutable {
+    for (uint64_t key : *keys) {
+      auto it = in_flight_.find(key);
+      if (it != in_flight_.end() && it->second == barrier) {
+        in_flight_.erase(it);
+      }
+    }
+    // Waiters are other accesses' completions; they resume at this same instant, after
+    // the issuing access's own bookkeeping.
+    for (auto& waiter : barrier->waiters) {
+      waiter();
+    }
+    barrier->waiters.clear();
+    if (done) {
+      done();
+    }
+  };
 }
 
 void Pager::TouchLru(AddressSpace& as, uint64_t vpn) {
@@ -100,6 +185,18 @@ void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<voi
   Duration throttle = ThrottleFor(as);
   bool needs_disk = as.WasEvicted(vpn);
   bool faulted = MakeResident(as, vpn, write);
+  if (!faulted) {
+    // Hit — but if the page's read is still on the disk (another session faulted it
+    // first), the data hasn't arrived: join that read's waiters instead of proceeding.
+    auto fit = in_flight_.find(FramesKey::Of(as, vpn));
+    if (fit != in_flight_.end()) {
+      ++coalesced_waits_;
+      if (done) {
+        fit->second->waiters.push_back(std::move(done));
+      }
+      return;
+    }
+  }
   if (!faulted || !needs_disk) {
     // Hit, or zero-fill of a never-touched page: no I/O (the throttle still applies to
     // zero-fill faults — it slows any allocation by a non-interactive process).
@@ -109,6 +206,8 @@ void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<voi
     }
     return;
   }
+  auto keys = std::make_shared<std::vector<uint64_t>>(1, FramesKey::Of(as, vpn));
+  done = ArmInFlight(std::move(keys), std::move(done));
   if (throttle.IsZero()) {
     disk_.Read(1, std::move(done));
   } else {
@@ -125,17 +224,28 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   TimePoint access_start = sim_.Now();
   Duration throttle = ThrottleFor(as);
   // Bookkeeping first: compute contiguous runs of missing pages, make everything resident,
-  // then simulate the I/O chain for the runs.
+  // then simulate the I/O chain for the runs. Resident pages whose page-in is still on
+  // the disk (another session's fault) contribute a join on that read's barrier.
   auto runs = std::make_shared<std::vector<int>>();
+  auto io_keys = std::make_shared<std::vector<uint64_t>>();
+  std::vector<std::shared_ptr<InFlightRead>> joins;
   size_t current_run = 0;
   uint64_t prev_missing = 0;
   bool have_prev = false;
   for (uint64_t vpn = first; vpn < first + count; ++vpn) {
     bool needs_disk = as.WasEvicted(vpn);
-    MakeResident(as, vpn, write);
+    bool faulted = MakeResident(as, vpn, write);
     if (!needs_disk) {
-      continue;  // hit or zero-fill: no I/O
+      if (!faulted) {
+        auto fit = in_flight_.find(FramesKey::Of(as, vpn));
+        if (fit != in_flight_.end() &&
+            std::find(joins.begin(), joins.end(), fit->second) == joins.end()) {
+          joins.push_back(fit->second);
+        }
+      }
+      continue;  // hit or zero-fill: no I/O of our own
     }
+    io_keys->push_back(FramesKey::Of(as, vpn));
     bool adjacent = have_prev && vpn == prev_missing + 1;
     if (adjacent && current_run < config_.cluster_pages) {
       ++current_run;
@@ -151,7 +261,7 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   if (current_run > 0) {
     runs->push_back(static_cast<int>(current_run));
   }
-  if (runs->empty()) {
+  if (runs->empty() && joins.empty()) {
     if (tracer_ != nullptr) {
       tracer_->Span(TraceCategory::kMem, "access", trace_track_, access_start, access_start,
                     "pages", static_cast<int64_t>(count), "io_pages", int64_t{0});
@@ -175,11 +285,27 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
       }
     };
   }
+  // The access completes when its own read chain AND every joined in-flight read land.
+  size_t pending = joins.size() + (runs->empty() ? 0 : 1);
+  auto remaining = std::make_shared<size_t>(pending);
+  auto fire = [remaining, done = std::move(done)]() mutable {
+    if (--*remaining == 0 && done) {
+      done();
+    }
+  };
+  coalesced_waits_ += static_cast<int64_t>(joins.size());
+  for (auto& barrier : joins) {
+    barrier->waiters.push_back(fire);
+  }
+  if (runs->empty()) {
+    return;
+  }
+  auto chain_done = ArmInFlight(io_keys, std::move(fire));
   if (throttle.IsZero()) {
-    IssueRuns(runs, 0, std::move(done));
+    IssueRuns(runs, 0, std::move(chain_done));
   } else {
-    sim_.Schedule(throttle, [this, runs, done = std::move(done)]() mutable {
-      IssueRuns(runs, 0, std::move(done));
+    sim_.Schedule(throttle, [this, runs, chain_done = std::move(chain_done)]() mutable {
+      IssueRuns(runs, 0, std::move(chain_done));
     });
   }
 }

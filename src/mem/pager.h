@@ -42,6 +42,13 @@ struct PagerConfig {
   Duration throttle_delay = Duration::Millis(20);
 };
 
+// Handle returned by Pager::AcquireShared. `created` is true on the first acquire of a
+// key — the caller owns sizing/prefaulting the segment exactly once.
+struct SharedSegment {
+  AddressSpace* space = nullptr;
+  bool created = false;
+};
+
 class Pager {
  public:
   Pager(Simulator& sim, Disk& disk, PagerConfig config = {});
@@ -51,6 +58,18 @@ class Pager {
 
   // Creates an address space owned by this pager.
   AddressSpace* CreateAddressSpace(std::string name, bool interactive);
+
+  // Refcounted shared segments (§5.1.1: text/code pages resident once however many
+  // sessions map them). The first acquire of `key` creates the address space; later
+  // acquires return the same space. Every acquire must be paired with a ReleaseShared;
+  // the last release destroys the space and frees its frames.
+  SharedSegment AcquireShared(const std::string& key, bool interactive);
+  void ReleaseShared(const std::string& key);
+
+  // Destroys an address space created by CreateAddressSpace: its resident pages are
+  // dropped from the frame pool (teardown, not simulated eviction — no writeback I/O)
+  // and the space itself is freed. Pending page-in waiters complete immediately.
+  void ReleaseAddressSpace(AddressSpace* as);
 
   // Touches one page.
   //  * resident: recency update, `done` fires immediately (as a fresh simulation event);
@@ -83,6 +102,11 @@ class Pager {
   int64_t evictions() const { return evictions_; }
   int64_t dirty_writebacks() const { return dirty_writebacks_; }
   int64_t protected_skips() const { return protected_skips_; }
+  // Shared-segment gauges: live segments, total attaches (first acquires excluded), and
+  // accesses that joined an in-flight page-in instead of issuing their own disk read.
+  size_t shared_segments() const { return shared_.size(); }
+  int64_t shared_attaches() const { return shared_attaches_; }
+  int64_t coalesced_waits() const { return coalesced_waits_; }
 
   const PagerConfig& config() const { return config_; }
 
@@ -100,6 +124,14 @@ class Pager {
     AddressSpace* as;
     uint64_t vpn;
   };
+  // One page-in currently on the disk. Pages covered by an in-flight read are already
+  // marked resident (MakeResident is synchronous bookkeeping), so without this a second
+  // session touching a shared page mid-read would proceed as if the data had arrived.
+  // Instead it joins the waiters and stalls until the same disk completion — one I/O,
+  // every mapping session delayed exactly once.
+  struct InFlightRead {
+    std::vector<std::function<void()>> waiters;
+  };
 
   // Marks the page resident, evicting as necessary. Returns true if the page had to be
   // faulted (was not resident).
@@ -110,6 +142,12 @@ class Pager {
   void IssueRuns(std::shared_ptr<std::vector<int>> runs, size_t index,
                  std::function<void()> done);
   Duration ThrottleFor(const AddressSpace& as) const;
+  // Marks `keys` as covered by one in-flight barrier and wraps `done` to release the
+  // barrier (fire waiters, drop the map entries) when the I/O chain completes.
+  std::function<void()> ArmInFlight(std::shared_ptr<std::vector<uint64_t>> keys,
+                                    std::function<void()> done);
+  // Drops every frame and in-flight entry belonging to `as` (teardown path).
+  void DropFramesOf(AddressSpace& as);
 
   Simulator& sim_;
   Disk& disk_;
@@ -119,12 +157,21 @@ class Pager {
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::list<Resident> lru_;  // front = least recently used
   std::unordered_map<uint64_t, std::list<Resident>::iterator> frame_index_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlightRead>> in_flight_;
+
+  struct SharedEntry {
+    AddressSpace* space;
+    int refs;
+  };
+  std::unordered_map<std::string, SharedEntry> shared_;
 
   int64_t faults_ = 0;
   int64_t hits_ = 0;
   int64_t evictions_ = 0;
   int64_t dirty_writebacks_ = 0;
   int64_t protected_skips_ = 0;
+  int64_t shared_attaches_ = 0;
+  int64_t coalesced_waits_ = 0;
   uint64_t next_as_id_ = 1;
 };
 

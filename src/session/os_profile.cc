@@ -60,9 +60,11 @@ OsProfile OsProfile::NtWorkstation() {
   p.idle_daemons = NtBaseDaemons();
   p.idle_system_memory = Bytes::KiB(16 * 1024);
   p.login_processes = {
-      {"explorer.exe", Bytes::KiB(1368)}, {"csrss.exe", Bytes::KiB(452)},
-      {"loadwc.exe", Bytes::KiB(424)},    {"nddeagnt.exe", Bytes::KiB(300)},
-      {"winlogin.exe", Bytes::KiB(700)},
+      {"explorer.exe", Bytes::KiB(1368), Bytes::KiB(1804)},
+      {"csrss.exe", Bytes::KiB(452), Bytes::KiB(312)},
+      {"loadwc.exe", Bytes::KiB(424), Bytes::KiB(96)},
+      {"nddeagnt.exe", Bytes::KiB(300), Bytes::KiB(76)},
+      {"winlogin.exe", Bytes::KiB(700), Bytes::KiB(388)},
   };
   p.light_login_processes = p.login_processes;
   // Local console: the editor thread renders via the local video subsystem.
@@ -107,15 +109,21 @@ OsProfile OsProfile::Tse() {
   p.idle_daemons.push_back(session_poll);
 
   p.idle_system_memory = Bytes::KiB(19 * 1024);  // 19 MB with no sessions (§5.1.1)
+  // private_memory is §5.1.1's per-session bill; shared_text is each image's code
+  // segment, resident once however many sessions run it (era image sizes).
   p.login_processes = {
-      {"explorer.exe", Bytes::KiB(1368)}, {"csrss.exe", Bytes::KiB(452)},
-      {"loadwc.exe", Bytes::KiB(424)},    {"nddeagnt.exe", Bytes::KiB(300)},
-      {"winlogin.exe", Bytes::KiB(700)},
+      {"explorer.exe", Bytes::KiB(1368), Bytes::KiB(1804)},
+      {"csrss.exe", Bytes::KiB(452), Bytes::KiB(312)},
+      {"loadwc.exe", Bytes::KiB(424), Bytes::KiB(96)},
+      {"nddeagnt.exe", Bytes::KiB(300), Bytes::KiB(76)},
+      {"winlogin.exe", Bytes::KiB(700), Bytes::KiB(388)},
   };
   p.light_login_processes = {
-      {"command.com", Bytes::KiB(224)}, {"csrss.exe", Bytes::KiB(452)},
-      {"loadwc.exe", Bytes::KiB(424)},  {"nddeagnt.exe", Bytes::KiB(300)},
-      {"winlogin.exe", Bytes::KiB(700)},
+      {"command.com", Bytes::KiB(224), Bytes::KiB(52)},
+      {"csrss.exe", Bytes::KiB(452), Bytes::KiB(312)},
+      {"loadwc.exe", Bytes::KiB(424), Bytes::KiB(96)},
+      {"nddeagnt.exe", Bytes::KiB(300), Bytes::KiB(76)},
+      {"winlogin.exe", Bytes::KiB(700), Bytes::KiB(388)},
   };
   // TSE display requests pass through the kernel (§2): the boosted editor thread hands
   // off to win32k display handling and the RDP encoder, which run at normal priority and
@@ -160,9 +168,9 @@ OsProfile OsProfile::LinuxX() {
 
   p.idle_system_memory = Bytes::KiB(17 * 1024);  // 17 MB (§5.1.1)
   p.login_processes = {
-      {"in.rshd", Bytes::KiB(204)},
-      {"xterm", Bytes::KiB(372)},
-      {"bash", Bytes::KiB(176)},
+      {"in.rshd", Bytes::KiB(204), Bytes::KiB(48)},
+      {"xterm", Bytes::KiB(372), Bytes::KiB(288)},
+      {"bash", Bytes::KiB(176), Bytes::KiB(412)},
   };
   p.light_login_processes = p.login_processes;
   // Remote X: the rendering X server runs on the *client* machine; the server side of a

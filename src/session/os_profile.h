@@ -45,10 +45,14 @@ struct DaemonSpec {
   Duration phase = Duration::Zero();
 };
 
-// One process of a minimal login (§5.1.1), with its private, unshared memory.
+// One process of a minimal login (§5.1.1), with its private, unshared memory and the
+// text/code image it maps. Text is shared across sessions: the first login to run the
+// process pays its residency, every later session maps the same pages for free — the
+// mechanism behind §5.1.1's sublinear per-user memory bill.
 struct ProcessSpec {
   std::string name;
   Bytes private_memory = Bytes::Zero();
+  Bytes shared_text = Bytes::Zero();
 };
 
 // One stage of keystroke handling on the server. The first hop is the application's GUI

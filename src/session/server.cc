@@ -100,8 +100,6 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
                       : nullptr),
       reliable_(link_fault_ != nullptr ? std::make_unique<ReliableChannel>(sim, link_)
                                        : nullptr),
-      display_sender_(PickTransport(reliable_, link_), HeaderModel::TcpIp()),
-      input_sender_(PickTransport(reliable_, link_), HeaderModel::TcpIp()),
       tap_(config_.tap_bucket),
       fault_rng_(config_.faults.seed ^ 0xC0FFEEull) {
   if (link_fault_ != nullptr) {
@@ -110,15 +108,11 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
   if (disk_fault_ != nullptr) {
     disk_.SetFaultInjector(disk_fault_.get());
   }
-  protocol_ = MakeProtocol(profile_.protocol_kind, sim_, display_sender_, input_sender_,
-                           &tap_, rng_.Fork());
-  protocol_->set_display_message_hook([this](Bytes payload) { update_payload_ += payload; });
   if (config_.tracer != nullptr) {
     cpu_.SetTracer(config_.tracer);
     pager_.SetTracer(config_.tracer);
     disk_.SetTracer(config_.tracer);
     link_.SetTracer(config_.tracer);
-    protocol_->SetTracer(config_.tracer);
     if (link_fault_ != nullptr) {
       link_fault_->SetTracer(config_.tracer);
     }
@@ -139,10 +133,8 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
     config_.metrics->AddGauge("link_backlog_bytes", [this] {
       return static_cast<double>(link_.BacklogBytesAt(sim_.Now()).count());
     });
-    if (auto* rdp = dynamic_cast<RdpProtocol*>(protocol_.get())) {
-      config_.metrics->AddGauge("bitmap_cache_hit_rate",
-                                [rdp] { return rdp->bitmap_cache().CumulativeHitRatio(); });
-    }
+    // The bitmap-cache gauge is per-protocol and protocols now live per session: the
+    // first RDP Login registers it (see Login).
     // Fault gauges only exist on faulted runs, so fault-free metric output is unchanged.
     if (config_.faults.Any()) {
       config_.metrics->AddGauge("link_frames_lost", [this] {
@@ -234,6 +226,18 @@ Session& Server::Login(bool light_session) {
     s.process_spaces_.push_back(as);
     s.process_pages_.push_back(pages);
     s.private_memory_ += proc.private_memory;
+    // The image's text segment: one resident copy server-wide. The first login to run
+    // the process prefaults it; later sessions just take a reference (§5.1.1's
+    // sublinear per-user growth).
+    if (proc.shared_text.count() > 0) {
+      std::string key = "text:" + proc.name;
+      SharedSegment seg = pager_.AcquireShared(key, /*interactive=*/true);
+      if (seg.created) {
+        pager_.Prefault(*seg.space, 0, std::max<size_t>(1, PagesFor(proc.shared_text)));
+      }
+      s.shared_keys_.push_back(std::move(key));
+      s.shared_memory_ += proc.shared_text;
+    }
   }
   // The editor's keystroke-path working set (code + data across the involved processes).
   s.working_set_ = pager_.CreateAddressSpace("editor-ws", /*interactive=*/true);
@@ -243,9 +247,59 @@ Session& Server::Login(bool light_session) {
     s.pipeline_.push_back(cpu_.CreateThread(hop.name, hop.cls, hop.priority));
   }
 
+  // The session's own protocol pipeline: a flow-accounting tap on the one shared
+  // transport, its message senders, and a fresh encoder + caches.
+  s.flow_ = std::make_unique<SessionFlow>(PickTransport(reliable_, link_));
+  s.display_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
+  s.input_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
+  s.protocol_ = MakeProtocol(profile_.protocol_kind, sim_, *s.display_sender_,
+                             *s.input_sender_, &tap_, rng_.Fork());
+  Session* sp = &s;
+  s.protocol_->set_display_message_hook(
+      [sp](Bytes payload) { sp->update_payload_ += payload; });
+  if (config_.tracer != nullptr) {
+    s.protocol_->SetTracer(config_.tracer);
+  }
+  if (config_.metrics != nullptr && !bitmap_gauge_registered_) {
+    if (auto* rdp = dynamic_cast<RdpProtocol*>(s.protocol_.get())) {
+      config_.metrics->AddGauge("bitmap_cache_hit_rate",
+                                [rdp] { return rdp->bitmap_cache().CumulativeHitRatio(); });
+      bitmap_gauge_registered_ = true;
+    }
+  }
+
   // Session negotiation and initialization traffic (§6.1.1).
-  display_sender_.SendMessage(protocol_->session_setup_bytes());
+  s.display_sender_->SendMessage(s.protocol_->session_setup_bytes());
   return s;
+}
+
+void Server::Logout(Session& session) {
+  if (session.logged_out_) {
+    return;
+  }
+  session.logged_out_ = true;
+  session.connected_ = false;
+  ++session.generation_;  // abandon in-flight pipeline callbacks
+  session.pending_keystrokes_ = 0;
+  session.pipeline_busy_ = false;
+  for (AddressSpace* as : session.process_spaces_) {
+    pager_.ReleaseAddressSpace(as);
+  }
+  session.process_spaces_.clear();
+  session.process_pages_.clear();
+  if (session.working_set_ != nullptr) {
+    pager_.ReleaseAddressSpace(session.working_set_);
+    session.working_set_ = nullptr;
+  }
+  // Last one out frees the shared text.
+  for (const std::string& key : session.shared_keys_) {
+    pager_.ReleaseShared(key);
+  }
+  session.shared_keys_.clear();
+  if (config_.tracer != nullptr) {
+    config_.tracer->Instant(TraceCategory::kSession, "logout", session.trace_track_,
+                            sim_.Now());
+  }
 }
 
 void Server::StartSinks(int count) {
@@ -271,8 +325,8 @@ void Server::Keystroke(Session& session) {
     return;
   }
   TimePoint sent_at = sim_.Now();
-  protocol_->SubmitInput(InputEvent::Key(true));
-  protocol_->SubmitInput(InputEvent::Key(false));
+  session.protocol_->SubmitInput(InputEvent::Key(true));
+  session.protocol_->SubmitInput(InputEvent::Key(false));
   Duration transit = InputTransitDelay();
   Duration retransmit = Duration::Zero();
   if (link_fault_ != nullptr) {
@@ -420,16 +474,16 @@ void Server::CompletePipeline(Session& session, int batch) {
     }
     return;
   }
-  update_payload_ = Bytes::Zero();
-  protocol_->SubmitDraw(DrawCommand::Text(batch));
-  protocol_->Flush();
+  session.update_payload_ = Bytes::Zero();
+  session.protocol_->SubmitDraw(DrawCommand::Text(batch));
+  session.protocol_->Flush();
   TimePoint emitted = sim_.Now();
   // The update's frames were just queued: the link's horizon is their last bit.
   TimePoint delivered = emitted;
   Duration decode = Duration::Zero();
   if (client_ != nullptr) {
     delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation;
-    decode = client_->DecodeDelay(profile_.protocol_kind, update_payload_);
+    decode = client_->DecodeDelay(profile_.protocol_kind, session.update_payload_);
   }
   TimePoint painted = delivered + decode;
   if (config_.attribution != nullptr) {
@@ -500,9 +554,9 @@ void Server::Reconnect(Session& session) {
     // TSE keeps the session alive server-side; the returning client arrives with cold
     // caches. Invalidate them and pay a resync burst — a fraction of full session setup
     // (capability re-negotiation plus a screen repaint's worth of orders).
-    protocol_->OnSessionReconnect();
-    display_sender_.SendMessage(
-        Bytes::Of(protocol_->session_setup_bytes().count() / 4));
+    session.protocol_->OnSessionReconnect();
+    session.display_sender_->SendMessage(
+        Bytes::Of(session.protocol_->session_setup_bytes().count() / 4));
   } else {
     // X-family sessions die with the transport: the login restarts cold. Everything the
     // old processes had resident is gone, in-flight pipeline work is abandoned, and the
@@ -510,12 +564,12 @@ void Server::Reconnect(Session& session) {
     ++session.generation_;
     session.pending_keystrokes_ = 0;
     session.pipeline_busy_ = false;
-    protocol_->OnSessionReconnect();
+    session.protocol_->OnSessionReconnect();
     for (size_t i = 0; i < session.process_spaces_.size(); ++i) {
       pager_.MarkSwappedOut(*session.process_spaces_[i], 0, session.process_pages_[i]);
     }
     pager_.MarkSwappedOut(*session.working_set_, 0, profile_.editor_working_set_pages);
-    display_sender_.SendMessage(protocol_->session_setup_bytes());
+    session.display_sender_->SendMessage(session.protocol_->session_setup_bytes());
   }
 }
 

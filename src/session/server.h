@@ -5,6 +5,7 @@
 #ifndef TCS_SRC_SESSION_SERVER_H_
 #define TCS_SRC_SESSION_SERVER_H_
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/mem/pager.h"
 #include "src/net/endpoint.h"
+#include "src/net/flow.h"
 #include "src/net/reliable.h"
 #include "src/obs/attribution.h"
 #include "src/obs/metrics.h"
@@ -76,7 +78,18 @@ class Session {
   uint64_t id() const { return id_; }
   // Sum of the login processes' private memory (the §5.1.1 per-user bill).
   Bytes private_memory() const { return private_memory_; }
+  // Text/code the login maps but shares with every other session running the same
+  // images: resident once server-wide, so only the *first* login pays it.
+  Bytes shared_memory() const { return shared_memory_; }
   AddressSpace* working_set() const { return working_set_; }
+
+  // This session's protocol pipeline and its flow-accounting tap on the shared link
+  // (valid from Login until the server dies; the protocol survives Logout).
+  DisplayProtocol& protocol() const { return *protocol_; }
+  const SessionFlow& flow() const { return *flow_; }
+
+  // True once the user logged out: processes torn down, memory released.
+  bool logged_out() const { return logged_out_; }
 
   // False while the client is forcibly disconnected (fault plan or explicit call).
   bool connected() const { return connected_; }
@@ -103,13 +116,26 @@ class Session {
   uint64_t id_ = 0;
   TraceTrack trace_track_;  // "session/userN"; meaningful only when the server traces
   Bytes private_memory_ = Bytes::Zero();
+  Bytes shared_memory_ = Bytes::Zero();
   bool connected_ = true;
+  bool logged_out_ = false;
   uint64_t generation_ = 0;
   TimePoint disconnected_at_;
   int64_t dropped_keystrokes_ = 0;
   std::vector<AddressSpace*> process_spaces_;
   std::vector<size_t> process_pages_;  // prefaulted page count per process space
+  std::vector<std::string> shared_keys_;  // pager segments to release on logout
   AddressSpace* working_set_ = nullptr;
+  // The session's own protocol pipeline, multiplexed over the server's one link: a
+  // flow-accounting tap on the shared transport, two message senders riding it, and the
+  // encoder + caches. Each session encodes independently; they contend on the wire.
+  std::unique_ptr<SessionFlow> flow_;
+  std::unique_ptr<MessageSender> display_sender_;
+  std::unique_ptr<MessageSender> input_sender_;
+  std::unique_ptr<DisplayProtocol> protocol_;
+  // Display payload accumulated since the last pipeline completion (this session's
+  // client decode bill for the current update).
+  Bytes update_payload_ = Bytes::Zero();
   std::vector<Thread*> pipeline_;
   int pending_keystrokes_ = 0;
   bool pipeline_busy_ = false;
@@ -137,9 +163,16 @@ class Server {
   // Arms the profile's idle-state daemons (clock tick, session manager, ...).
   void StartDaemons();
 
-  // Logs a user in: creates the login's processes (memory prefaulted), the keystroke
-  // pipeline threads, and exchanges the protocol's session-setup bytes.
+  // Logs a user in: creates the login's processes (private memory prefaulted, text
+  // segments attached to the server-wide shared copies), the session's own protocol
+  // pipeline on the shared link, the keystroke pipeline threads, and exchanges the
+  // protocol's session-setup bytes.
   Session& Login(bool light_session = false);
+
+  // Logs the user out: abandons in-flight pipeline work, tears down the login's
+  // processes and working set, and drops its references on the shared text segments
+  // (the last session out frees them). The Session object stays valid but inert.
+  void Logout(Session& session);
 
   // One keystroke from the session's user. Input-channel traffic is generated and
   // transits the link; at the server the editor's working set is made resident (paying
@@ -183,8 +216,14 @@ class Server {
   ReliableChannel* reliable() { return reliable_.get(); }
   LinkFaultInjector* link_fault_injector() { return link_fault_.get(); }
   DiskFaultInjector* disk_fault_injector() { return disk_fault_.get(); }
-  DisplayProtocol& protocol() { return *protocol_; }
+  // The first session's protocol (requires a login). Each session owns its own pipeline;
+  // use Session::protocol() for the others.
+  DisplayProtocol& protocol() {
+    assert(!sessions_.empty());
+    return *sessions_.front()->protocol_;
+  }
   ProtoTap& tap() { return tap_; }
+  const std::vector<std::unique_ptr<Session>>& sessions() const { return sessions_; }
   // Frames available to user pages given RAM minus the profile's idle system memory.
   size_t available_frames() const { return pager_.total_frames(); }
 
@@ -219,16 +258,13 @@ class Server {
   std::unique_ptr<LinkFaultInjector> link_fault_;
   std::unique_ptr<DiskFaultInjector> disk_fault_;
   std::unique_ptr<ReliableChannel> reliable_;
-  MessageSender display_sender_;
-  MessageSender input_sender_;
   ProtoTap tap_;
   Rng fault_rng_;  // schedule jitter for disconnects/crashes; consumed only when armed
   TraceTrack fault_track_;  // "fault/server": daemon crashes and other server-wide faults
-  std::unique_ptr<DisplayProtocol> protocol_;
   std::unique_ptr<ThinClientDevice> client_;
-  // Display payload bytes accumulated since the last pipeline completion (for the client
-  // decode bill of the current update).
-  Bytes update_payload_ = Bytes::Zero();
+  // The bitmap-cache gauge attaches to the first RDP session's cache at its Login (per
+  // session there is a cache; the gauge follows the first as the representative).
+  bool bitmap_gauge_registered_ = false;
 
   struct DaemonRuntime {
     DaemonSpec spec;

@@ -1,0 +1,214 @@
+// The consolidation engine and admission-control capacity search.
+//
+// Covers the tentpole claims directly: the N=1 consolidation run is byte-identical to
+// the single-session typing experiment (differential test), capacity answers are
+// deterministic across reruns, utilization-based sizing demonstrably over-admits
+// against the latency criterion on TSE, and the shared pager makes resident growth
+// sublinear in the number of admitted users.
+
+#include "src/core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "src/core/experiments.h"
+#include "src/core/report.h"
+#include "src/session/os_profile.h"
+#include "src/util/config_error.h"
+
+namespace tcs {
+namespace {
+
+// Report text with the one nondeterministic field (wall_ms) neutralized.
+std::string StripWall(const std::string& json) {
+  static const std::regex kWall("\"wall_ms\":[-+0-9.eE]+");
+  return std::regex_replace(json, kWall, "\"wall_ms\":0");
+}
+
+ConsolidationOptions TypingShape(int sinks, Duration duration, uint64_t seed) {
+  ConsolidationOptions opt;
+  opt.users = 1;
+  opt.sinks = sinks;
+  opt.duration = duration;
+  opt.seed = seed;
+  return opt;  // defaults: 50 ms cadence, 1 s start delay, no bursts
+}
+
+// --- Differential: one admitted user through the full consolidation stack (session
+// flow, per-session pipeline, shared text) reproduces the single-session typing
+// experiment sample for sample.
+TEST(AdmissionDifferentialTest, SingleUserConsolidationMatchesTypingByteForByte) {
+  OsProfile profile = OsProfile::Tse();
+  TypingUnderLoadResult typing =
+      RunTypingUnderLoad(profile, 3, Duration::Seconds(10), 7);
+  ConsolidationResult consolidated =
+      RunConsolidation(profile, TypingShape(3, Duration::Seconds(10), 7));
+  ASSERT_EQ(consolidated.per_user.size(), 1u);
+  const UserStallStats& user = consolidated.per_user.front();
+  EXPECT_EQ(user.updates, typing.updates);
+  EXPECT_EQ(user.avg_stall_ms, typing.avg_stall_ms);
+  EXPECT_EQ(user.max_stall_ms, typing.max_stall_ms);
+  EXPECT_EQ(user.jitter_ms, typing.jitter_ms);
+  ASSERT_FALSE(typing.stall_samples_us.empty());
+  EXPECT_EQ(user.stall_samples_us, typing.stall_samples_us);
+  EXPECT_EQ(consolidated.run.events_executed, typing.run.events_executed);
+}
+
+TEST(AdmissionDifferentialTest, CapacityProbeAtOneUserMatchesTypingByteForByte) {
+  OsProfile profile = OsProfile::LinuxX();
+  CapacityOptions options;
+  options.max_users = 1;
+  options.behavior = TypingShape(2, Duration::Seconds(10), 9);
+  CapacityResult capacity = RunServerCapacity(profile, options);
+  TypingUnderLoadResult typing =
+      RunTypingUnderLoad(profile, 2, Duration::Seconds(10), 9);
+  ASSERT_EQ(capacity.probes.size(), 1u);
+  ASSERT_EQ(capacity.probes[0].users, 1);
+  ASSERT_FALSE(typing.stall_samples_us.empty());
+  EXPECT_EQ(capacity.probes[0].per_user[0].stall_samples_us, typing.stall_samples_us);
+  EXPECT_EQ(capacity.probes[0].per_user[0].updates, typing.updates);
+}
+
+// --- Determinism: two independent capacity searches produce identical reports except
+// for wall-clock time (the report's only nondeterministic field).
+TEST(CapacityTest, RerunsAreByteIdenticalModuloWallClock) {
+  CapacityOptions options;
+  options.max_users = 6;
+  options.behavior.duration = Duration::Seconds(8);
+  CapacityResult a = RunServerCapacity(OsProfile::Tse(), options);
+  CapacityResult b = RunServerCapacity(OsProfile::Tse(), options);
+  EXPECT_EQ(StripWall(ToJson(a)), StripWall(ToJson(b)));
+}
+
+// --- The headline §3 result: on TSE, the vendor's utilization criterion admits more
+// users than the perception-threshold criterion tolerates, and the stall the
+// over-admitted configuration inflicts is grossly perceptible.
+TEST(CapacityTest, UtilizationSizingOverAdmitsOnTse) {
+  CapacityOptions options;
+  options.max_users = 8;
+  options.behavior.duration = Duration::Seconds(15);
+  CapacityResult r = RunServerCapacity(OsProfile::Tse(), options);
+  EXPECT_TRUE(r.utilization_over_admits);
+  EXPECT_GT(r.utilization_sized_users, r.latency_sized_users);
+  EXPECT_GE(r.latency_sized_users, 1);
+  const ConsolidationResult* at_util = nullptr;
+  for (const ConsolidationResult& probe : r.probes) {
+    if (probe.users == r.utilization_sized_users) {
+      at_util = &probe;
+    }
+  }
+  ASSERT_NE(at_util, nullptr);
+  EXPECT_LT(at_util->cpu_utilization, options.admission.max_utilization);
+  EXPECT_GT(at_util->worst_p99_stall_ms,
+            options.admission.max_p99_stall.ToMillisF());
+}
+
+// --- The latency answer actually honors the perception threshold, and the policy
+// predicates agree with the probe data.
+TEST(CapacityTest, LatencyAnswerKeepsEveryUserUnderThreshold) {
+  CapacityOptions options;
+  options.max_users = 8;
+  options.behavior.duration = Duration::Seconds(15);
+  CapacityResult r = RunServerCapacity(OsProfile::Tse(), options);
+  for (const ConsolidationResult& probe : r.probes) {
+    bool admitted = Admits(AdmissionPolicy::kLatency, options.admission, probe);
+    EXPECT_EQ(admitted,
+              probe.worst_p99_stall_ms < options.admission.max_p99_stall.ToMillisF());
+    if (probe.users == r.latency_sized_users) {
+      EXPECT_TRUE(admitted);
+    }
+    if (probe.users == r.latency_sized_users + 1) {
+      EXPECT_FALSE(admitted);
+    }
+  }
+}
+
+// --- Consolidation memory story: four users do not cost four times one user's
+// resident set, because login text is shared; and the pool never overflows.
+TEST(ConsolidationTest, ResidentGrowthIsSublinearInUsers) {
+  ConsolidationOptions opt;
+  opt.duration = Duration::Seconds(5);
+  opt.users = 1;
+  ConsolidationResult one = RunConsolidation(OsProfile::Tse(), opt);
+  opt.users = 4;
+  ConsolidationResult four = RunConsolidation(OsProfile::Tse(), opt);
+  EXPECT_LT(four.resident_pages, 4 * one.resident_pages);
+  EXPECT_LE(four.resident_pages, four.total_frames);
+  EXPECT_GT(four.shared_segments, 0u);
+  EXPECT_EQ(four.shared_segments, one.shared_segments);  // per server, not per user
+  EXPECT_EQ(four.shared_attaches, 3 * static_cast<int64_t>(four.shared_segments));
+}
+
+// --- Per-session flow accounting on the shared link: every session moved bytes, the
+// per-session ledgers never exceed the link total, and shares sum to at most 1 (the
+// remainder is non-session traffic such as retransmits or background load).
+TEST(ConsolidationTest, SessionFlowsAccountForLinkBytes) {
+  ConsolidationOptions opt;
+  opt.users = 3;
+  opt.duration = Duration::Seconds(5);
+  ConsolidationResult r = RunConsolidation(OsProfile::Tse(), opt);
+  ASSERT_EQ(r.per_user.size(), 3u);
+  int64_t session_bytes = 0;
+  double share_sum = 0.0;
+  for (const UserStallStats& u : r.per_user) {
+    EXPECT_GT(u.wire_bytes.count(), 0);
+    EXPECT_GT(u.link_share, 0.0);
+    session_bytes += u.wire_bytes.count();
+    share_sum += u.link_share;
+  }
+  EXPECT_GT(r.link_utilization, 0.0);
+  EXPECT_LE(share_sum, 1.0 + 1e-9);
+  EXPECT_GT(session_bytes, 0);
+}
+
+// --- More users cannot make the worst user better: the monotonicity that justifies
+// the capacity bisection.
+TEST(ConsolidationTest, WorstStallIsMonotoneInUsers) {
+  ConsolidationOptions opt;
+  opt.duration = Duration::Seconds(8);
+  opt.burst_cpu = Duration::Millis(300);
+  opt.users = 1;
+  ConsolidationResult one = RunConsolidation(OsProfile::Tse(), opt);
+  opt.users = 6;
+  ConsolidationResult six = RunConsolidation(OsProfile::Tse(), opt);
+  EXPECT_GE(six.worst_p99_stall_ms, one.worst_p99_stall_ms);
+  EXPECT_GT(six.cpu_utilization, one.cpu_utilization);
+}
+
+// --- A user the scheduler starves completely is scored as stalled for the whole run,
+// not silently dropped (spot-checked here; the invariant lives in RunConsolidation).
+TEST(ConsolidationTest, ReportsCarryPerUserBlocks) {
+  ConsolidationOptions opt;
+  opt.users = 2;
+  opt.duration = Duration::Seconds(5);
+  ConsolidationResult r = RunConsolidation(OsProfile::LinuxX(), opt);
+  std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"experiment\":\"consolidation\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_user\":["), std::string::npos);
+  EXPECT_NE(json.find("\"wire_bytes\":"), std::string::npos);
+  for (const UserStallStats& u : r.per_user) {
+    EXPECT_GE(u.p99_stall_ms, u.p50_stall_ms);
+    EXPECT_GE(u.updates, 2);
+  }
+}
+
+// --- Spot validation checks (the randomized sweep lives in config_fuzz_test).
+TEST(ConsolidationTest, ValidationRejectsNonsense) {
+  ConsolidationOptions opt;
+  opt.users = 0;
+  EXPECT_THROW(Validated(opt), ConfigError);
+  opt = ConsolidationOptions{};
+  opt.keystroke_period = Duration::Zero();
+  EXPECT_THROW(Validated(opt), ConfigError);
+  CapacityOptions cap;
+  cap.admission.max_utilization = 1.5;
+  EXPECT_THROW(Validated(cap), ConfigError);
+  cap = CapacityOptions{};
+  cap.max_users = -3;
+  EXPECT_THROW(Validated(cap), ConfigError);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,103 @@
+// Golden-report regression corpus.
+//
+// A small OS x protocol x load matrix of consolidation runs (plus one capacity search)
+// is rendered to report JSON and compared field-exactly against the canonical files in
+// tests/golden/. Only run.wall_ms — the one nondeterministic field in any report — is
+// neutralized before comparison. Any change to simulation behavior, report field order,
+// or number formatting shows up as a diff here.
+//
+// To re-bless after an intentional change: tools/regen_golden.sh (or run this binary
+// with TCS_REGEN_GOLDEN=1).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/core/report.h"
+#include "src/session/os_profile.h"
+
+namespace tcs {
+namespace {
+
+std::string StripWall(const std::string& json) {
+  static const std::regex kWall("\"wall_ms\":[-+0-9.eE]+");
+  return std::regex_replace(json, kWall, "\"wall_ms\":0");
+}
+
+struct GoldenCase {
+  const char* name;  // also the file stem under tests/golden/
+  std::string (*render)();
+};
+
+std::string Consolidation(OsProfile profile, int users) {
+  ConsolidationOptions opt;
+  opt.users = users;
+  opt.duration = Duration::Seconds(5);
+  opt.seed = 1;
+  opt.burst_cpu = Duration::Millis(200);
+  return ToJson(RunConsolidation(profile, opt));
+}
+
+OsProfile LinuxLbx() {
+  OsProfile profile = OsProfile::LinuxX();
+  profile.protocol_kind = ProtocolKind::kLbx;
+  return profile;
+}
+
+// The corpus: OS x protocol x users, plus one full capacity search.
+const GoldenCase kCases[] = {
+    {"consolidation_tse_rdp_u1", [] { return Consolidation(OsProfile::Tse(), 1); }},
+    {"consolidation_tse_rdp_u3", [] { return Consolidation(OsProfile::Tse(), 3); }},
+    {"consolidation_linux_x_u1", [] { return Consolidation(OsProfile::LinuxX(), 1); }},
+    {"consolidation_linux_x_u3", [] { return Consolidation(OsProfile::LinuxX(), 3); }},
+    {"consolidation_linux_lbx_u3", [] { return Consolidation(LinuxLbx(), 3); }},
+    {"consolidation_ntws_rdp_u2",
+     [] { return Consolidation(OsProfile::NtWorkstation(), 2); }},
+    {"capacity_tse_rdp",
+     [] {
+       CapacityOptions opt;
+       opt.max_users = 4;
+       opt.behavior.duration = Duration::Seconds(5);
+       return ToJson(RunServerCapacity(OsProfile::Tse(), opt));
+     }},
+};
+
+class GoldenReportTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenReportTest,
+                         ::testing::Range<size_t>(0, std::size(kCases)),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::string(kCases[info.param].name);
+                         });
+
+TEST_P(GoldenReportTest, ReportMatchesGoldenFieldForField) {
+  const GoldenCase& c = kCases[GetParam()];
+  std::string path = std::string(TCS_GOLDEN_DIR) + "/" + c.name + ".json";
+  std::string actual = c.render() + "\n";
+
+  if (std::getenv("TCS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run tools/regen_golden.sh to create the corpus";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(StripWall(actual), StripWall(buffer.str()))
+      << "report drifted from " << path
+      << " — if the change is intentional, re-bless with tools/regen_golden.sh";
+}
+
+}  // namespace
+}  // namespace tcs

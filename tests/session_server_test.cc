@@ -58,9 +58,16 @@ TEST(ServerTest, LoginAccountsSessionMemory) {
   size_t before = server.pager().frames_used();
   Session& s = server.Login();
   EXPECT_EQ(s.private_memory(), Bytes::KiB(3244));
-  // 3244 KiB of process pages + the 1000-page working set.
+  EXPECT_EQ(s.shared_memory(), Bytes::KiB(2676));
+  // First login: 3244 KiB of private process pages + the 1000-page working set + the
+  // one server-wide copy of the 2676 KiB of shared text (669 pages).
   size_t after = server.pager().frames_used();
-  EXPECT_EQ(after - before, 811u + 1000u);
+  EXPECT_EQ(after - before, 811u + 1000u + 669u);
+  // A second full login maps the same text: only private memory + working set grow —
+  // §5.1.1's sublinear per-user bill.
+  Session& second = server.Login();
+  EXPECT_EQ(second.shared_memory(), Bytes::KiB(2676));
+  EXPECT_EQ(server.pager().frames_used() - after, 811u + 1000u);
   Session& light = server.Login(true);
   EXPECT_EQ(light.private_memory(), Bytes::KiB(2100));
 }

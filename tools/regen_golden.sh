@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Re-bless the golden report corpus in tests/golden/.
+#
+# Builds golden_report_test and reruns it with TCS_REGEN_GOLDEN=1, which makes each
+# case rewrite its golden file instead of comparing against it. Run this after an
+# intentional change to simulation behavior or report formatting, then review the
+# diff under tests/golden/ before committing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_report_test -j >/dev/null
+
+mkdir -p tests/golden
+TCS_REGEN_GOLDEN=1 "$BUILD_DIR/tests/golden_report_test"
+
+echo "Regenerated $(ls tests/golden/*.json | wc -l) golden files:"
+git -c core.pager=cat diff --stat -- tests/golden || true

@@ -11,6 +11,18 @@
 //   gif      --protocol=... [--frames=N --seconds=N --loop-aware]  Figures 5/7
 //   rtt      [--mbps=X --seconds=N]                      Figures 8-9 probe
 //   sizing   --os=... --users=N                          utilization vs latency sizing
+//   capacity [--os=tse,linux,linux:lbx --max-users=N --seconds=N --sinks=N
+//            --burst-ms=N --burst-every-ms=N --ram-mib=N --max-util=0.85
+//            --max-p99-ms=100 --jobs=N --seed=N --report-out=capacity.json]
+//            admission-control capacity search: for every OS(:protocol) configuration,
+//            binary-searches the maximum number of concurrently admitted interactive
+//            users under both sizing doctrines — utilization-based (aggregate CPU below
+//            --max-util) and latency-based (every user's p99 keystroke stall below
+//            --max-p99-ms) — over the full consolidation stack: per-session protocol
+//            pipelines multiplexed on the shared link, cross-session text-page sharing
+//            in the pager, per-user typing plus periodic application bursts. Reports
+//            both answers side by side and flags configurations where utilization
+//            sizing over-admits. Output is byte-identical for any --jobs value.
 //   e2e      --os=... [--sinks=N --background-mbps=X --client=pc|winterm|handheld]
 //   sweep    --experiment=typing|sizing|e2e [--os=tse,linux,... --sinks=L --users=L
 //            --seconds=N --jobs=N --seed=N]              parallel config-matrix sweep
@@ -56,6 +68,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/core/admission.h"
 #include "src/core/experiments.h"
 #include "src/core/parallel_sweep.h"
 #include "src/core/report.h"
@@ -67,6 +80,7 @@
 #include "src/proto/vnc_protocol.h"
 #include "src/proto/x_protocol.h"
 #include "src/session/server.h"
+#include "src/util/config_error.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/workload/script_io.h"
@@ -77,8 +91,8 @@ namespace {
 int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
-      "commands: idle typing paging traffic webpage gif rtt sizing e2e sweep chaos blame "
-      "trace replay help\n"
+      "commands: idle typing paging traffic webpage gif rtt sizing capacity e2e sweep "
+      "chaos blame trace replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -703,6 +717,131 @@ int CmdBlame(FlagSet& flags) {
   return 0;
 }
 
+// The evaluation the search settled on for `users`, if that candidate was probed.
+const ConsolidationResult* FindProbe(const CapacityResult& r, int users) {
+  for (const ConsolidationResult& probe : r.probes) {
+    if (probe.users == users) {
+      return &probe;
+    }
+  }
+  return nullptr;
+}
+
+int CmdCapacity(FlagSet& flags) {
+  // An --os entry is `name` or `name:protocol`, as in `blame`.
+  struct CapacityConfig {
+    OsProfile profile;
+    std::string os_word;
+    std::string proto_word;
+  };
+  std::vector<CapacityConfig> base;
+  for (const std::string& token : SplitList(flags.GetString("os", "tse,linux"))) {
+    CapacityConfig cfg;
+    size_t colon = token.find(':');
+    cfg.os_word = token.substr(0, colon);
+    if (!ParseOs(cfg.os_word, &cfg.profile)) {
+      return 2;
+    }
+    if (colon != std::string::npos) {
+      ProtocolKind kind;
+      if (!ParseProtocol(token.substr(colon + 1), &kind)) {
+        return 2;
+      }
+      cfg.profile.protocol_kind = kind;
+    }
+    cfg.proto_word = ProtocolWord(cfg.profile.protocol_kind);
+    base.push_back(std::move(cfg));
+  }
+  if (base.empty()) {
+    std::fprintf(stderr, "capacity needs at least one --os entry\n");
+    return 2;
+  }
+
+  CapacityOptions proto_options;
+  proto_options.max_users = static_cast<int>(flags.GetInt("max-users", 16));
+  proto_options.admission.max_utilization = flags.GetDouble("max-util", 0.85);
+  proto_options.admission.max_p99_stall =
+      Duration::Millis(flags.GetInt("max-p99-ms", 100));
+  proto_options.behavior.duration = Duration::Seconds(flags.GetInt("seconds", 30));
+  proto_options.behavior.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+  proto_options.behavior.burst_cpu = Duration::Millis(flags.GetInt("burst-ms", 300));
+  proto_options.behavior.burst_period =
+      Duration::Millis(flags.GetInt("burst-every-ms", 5000));
+  proto_options.behavior.ram = Bytes::MiB(flags.GetInt("ram-mib", 64));
+  uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  int configs = static_cast<int>(base.size());
+
+  // The sweep parallelizes across configurations only; each configuration's binary
+  // search is sequential and memoized, with every candidate run on the same
+  // position-derived seed. Output is byte-identical for any --jobs value.
+  ParallelSweep sweep(jobs);
+  std::vector<CapacityResult> results;
+  try {
+    results = sweep.Map(configs, [&](int i) {
+      CapacityOptions options = proto_options;
+      options.behavior.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
+      return RunServerCapacity(base[static_cast<size_t>(i)].profile, options);
+    });
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "bad capacity configuration — %s\n", e.what());
+    return 2;
+  }
+
+  TextTable table({"os", "protocol", "latency-sized", "util-sized", "over-admits",
+                   "p99 @ util (ms)", "CPU @ util", "resident @ latency"});
+  for (int i = 0; i < configs; ++i) {
+    const CapacityConfig& cfg = base[static_cast<size_t>(i)];
+    const CapacityResult& r = results[static_cast<size_t>(i)];
+    const ConsolidationResult* at_util = FindProbe(r, r.utilization_sized_users);
+    const ConsolidationResult* at_latency = FindProbe(r, r.latency_sized_users);
+    table.AddRow(
+        {cfg.os_word, cfg.proto_word, TextTable::Num(r.latency_sized_users),
+         TextTable::Num(r.utilization_sized_users),
+         r.utilization_over_admits ? "yes" : "no",
+         at_util != nullptr ? TextTable::Fixed(at_util->worst_p99_stall_ms, 1) : "-",
+         at_util != nullptr ? TextTable::Percent(at_util->cpu_utilization, 1) : "-",
+         at_latency != nullptr
+             ? TextTable::Num(static_cast<int64_t>(at_latency->resident_pages)) + "/" +
+                   TextTable::Num(static_cast<int64_t>(at_latency->total_frames))
+             : "-"});
+  }
+  Emit(table, flags.GetBool("csv"));
+  for (int i = 0; i < configs; ++i) {
+    const CapacityConfig& cfg = base[static_cast<size_t>(i)];
+    const CapacityResult& r = results[static_cast<size_t>(i)];
+    if (!r.utilization_over_admits) {
+      continue;
+    }
+    const ConsolidationResult* at_util = FindProbe(r, r.utilization_sized_users);
+    std::printf("%s/%s: utilization sizing (< %.0f%% CPU) admits %d users, but the "
+                "worst user's p99 stall there is %.1f ms — latency sizing stops at %d\n",
+                cfg.os_word.c_str(), cfg.proto_word.c_str(),
+                proto_options.admission.max_utilization * 100.0,
+                r.utilization_sized_users,
+                at_util != nullptr ? at_util->worst_p99_stall_ms : 0.0,
+                r.latency_sized_users);
+  }
+
+  std::string report_path = flags.GetString("report-out", "");
+  if (!report_path.empty()) {
+    std::string report = "{\"experiment\":\"capacity_sweep\",\"points\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) {
+        report += ',';
+      }
+      report += ToJson(results[i]);
+    }
+    report += "]}\n";
+    if (!WriteFile(report_path, report)) {
+      return 1;
+    }
+  }
+  // stderr, so stdout stays byte-identical for any --jobs value.
+  std::fprintf(stderr, "%d capacity configs over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
 bool ParseCategories(const std::string& list, uint32_t* mask) {
   uint32_t out = 0;
   for (const std::string& word : SplitList(list)) {
@@ -956,7 +1095,8 @@ int Run(int argc, char** argv) {
                  "mbps", "users", "background-mbps", "client", "csv", "experiment",
                  "jobs", "seed", "out", "metrics-out", "report-out", "categories",
                  "loss", "flap-ms", "flap-every-ms", "disk-stall", "disconnect-ms",
-                 "threshold-ms"});
+                 "threshold-ms", "max-users", "max-util", "max-p99-ms", "burst-ms",
+                 "burst-every-ms", "ram-mib"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -984,6 +1124,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "sizing") {
     return CmdSizing(flags);
+  }
+  if (command == "capacity") {
+    return CmdCapacity(flags);
   }
   if (command == "e2e") {
     return CmdE2e(flags);
