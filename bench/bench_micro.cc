@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "src/core/admission.h"
 #include "src/cpu/cpu.h"
 #include "src/cpu/nt_scheduler.h"
 #include "src/obs/attribution.h"
@@ -206,6 +207,35 @@ void BM_AttributionOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AttributionOverhead)->Arg(0)->Arg(1);
+
+// End-to-end cost of simulating a consolidated server: N concurrent typists, each with
+// its own protocol pipeline multiplexed over the shared link, with the latency-attribution
+// engine engaged (the capacity-probe configuration). The tracked metric is wall time per
+// simulated second — the multiplier on every sweep, chaos run, and capacity search.
+// `wall_s_per_sim_s` x 1e9 is the ns-per-simulated-second figure BENCH_BASELINE records.
+void BM_SimulateConsolidatedUsers(benchmark::State& state) {
+  int users = static_cast<int>(state.range(0));
+  ConsolidationOptions opts;
+  opts.users = users;
+  opts.duration = Duration::Seconds(users >= 256 ? 2 : 5);
+  opts.ram = Bytes::MiB(4096);  // hold the logins resident: measure model code, not thrash
+  // Same 104 ms login-ramp span at every N, so per-user event mixes stay comparable.
+  opts.stagger = Duration::Micros(104000 / users);
+  for (auto _ : state) {
+    LatencyAttribution attribution;
+    ObsConfig obs;
+    obs.attribution = &attribution;
+    ConsolidationResult result = RunConsolidation(OsProfile::Tse(), opts, &obs);
+    benchmark::DoNotOptimize(result.worst_p99_stall_ms);
+    benchmark::DoNotOptimize(result.blame.total_us);
+  }
+  double sim_seconds = (opts.start_delay + opts.duration).ToSecondsF();
+  state.counters["wall_s_per_sim_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * sim_seconds,
+                         benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SimulateConsolidatedUsers)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tcs

@@ -14,20 +14,9 @@ size_t AddressSpace::MissingIn(uint64_t first, size_t count) const {
   return missing;
 }
 
-void AddressSpace::SetResident(uint64_t vpn, bool dirty) {
-  PageState& ps = pages_[vpn];
-  if (!ps.resident) {
-    ps.resident = true;
-    ++resident_count_;
-  }
-  ps.dirty = ps.dirty || dirty;
-}
-
 void AddressSpace::SetEvicted(uint64_t vpn) {
-  auto it = pages_.find(vpn);
-  assert(it != pages_.end() && it->second.resident);
-  it->second.resident = false;
-  it->second.dirty = false;
+  assert(vpn < pages_.size() && pages_[vpn] >= kFrameBase);
+  pages_[vpn] = kEvicted;
   --resident_count_;
 }
 

@@ -4,13 +4,19 @@
 // recency ordering used for eviction. The `interactive` flag marks spaces belonging to
 // user-facing processes; the kInteractiveProtect eviction policy (Evans et al.'s fix,
 // §5.2) refuses to steal their pages on behalf of non-interactive faults.
+//
+// Page state is a flat array indexed by vpn — every workload in the model numbers its
+// pages densely from zero (segments are sized in pages, hogs walk a bounded region), so
+// a vector beats a hash table by an order of magnitude on the fault/touch path. Each
+// entry packs the page's lifecycle state, its physical frame slot while resident, and
+// the dirty bit; the Pager interprets the frame slot against its frame slab.
 
 #ifndef TCS_SRC_MEM_ADDRESS_SPACE_H_
 #define TCS_SRC_MEM_ADDRESS_SPACE_H_
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 namespace tcs {
 
@@ -27,18 +33,16 @@ class AddressSpace {
   bool interactive() const { return interactive_; }
 
   bool IsResident(uint64_t vpn) const {
-    auto it = pages_.find(vpn);
-    return it != pages_.end() && it->second.resident;
+    return vpn < pages_.size() && pages_[vpn] >= kFrameBase;
   }
   // True if the page was resident once and has been paged out: re-touching it costs a
   // disk read. A never-touched page zero-fills for free.
   bool WasEvicted(uint64_t vpn) const {
-    auto it = pages_.find(vpn);
-    return it != pages_.end() && !it->second.resident;
+    return vpn < pages_.size() && pages_[vpn] == kEvicted;
   }
   bool IsDirty(uint64_t vpn) const {
-    auto it = pages_.find(vpn);
-    return it != pages_.end() && it->second.dirty;
+    return vpn < pages_.size() && pages_[vpn] >= kFrameBase &&
+           ((pages_[vpn] - kFrameBase) & 1u) != 0;
   }
   size_t resident_pages() const { return resident_count_; }
 
@@ -49,18 +53,39 @@ class AddressSpace {
  private:
   friend class Pager;
 
-  struct PageState {
-    bool resident = false;
-    bool dirty = false;
-  };
+  // Packed page entry: kNever (untouched), kEvicted (on disk), or
+  // kFrameBase + 2*frame + dirty for a resident page in the Pager's frame slab.
+  static constexpr uint32_t kNever = 0;
+  static constexpr uint32_t kEvicted = 1;
+  static constexpr uint32_t kFrameBase = 2;
 
-  void SetResident(uint64_t vpn, bool dirty);
+  void EnsurePage(uint64_t vpn) {
+    if (vpn >= pages_.size()) {
+      pages_.resize(vpn + 1, kNever);
+    }
+  }
+  // Frame slot of a resident page (caller guarantees residency).
+  uint32_t FrameOf(uint64_t vpn) const { return (pages_[vpn] - kFrameBase) >> 1; }
+  void SetResidentInFrame(uint64_t vpn, uint32_t frame, bool dirty) {
+    EnsurePage(vpn);
+    uint32_t& e = pages_[vpn];
+    if (e < kFrameBase) {
+      ++resident_count_;
+    }
+    e = kFrameBase + (frame << 1) + (dirty ? 1u : 0u);
+  }
+  void MarkDirty(uint64_t vpn) { pages_[vpn] |= 1u; }
   void SetEvicted(uint64_t vpn);
+  // MarkSwappedOut setup path: create a never-touched page directly in the evicted state.
+  void MarkEvictedUntouched(uint64_t vpn) {
+    EnsurePage(vpn);
+    pages_[vpn] = kEvicted;
+  }
 
   uint64_t id_;
   std::string name_;
   bool interactive_;
-  std::unordered_map<uint64_t, PageState> pages_;
+  std::vector<uint32_t> pages_;
   size_t resident_count_ = 0;
 };
 

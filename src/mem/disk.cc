@@ -52,7 +52,7 @@ void Disk::SetTracer(Tracer* tracer) {
   }
 }
 
-void Disk::Enqueue(const char* op, int pages, std::function<void()> done) {
+void Disk::Enqueue(const char* op, int pages, InlineCallback done) {
   Duration service = ServiceTime(pages);
   if (fault_ != nullptr) {
     // Stalls and retried I/O errors lengthen this request's occupancy of the device,
@@ -71,13 +71,13 @@ void Disk::Enqueue(const char* op, int pages, std::function<void()> done) {
   }
 }
 
-void Disk::Read(int pages, std::function<void()> done) {
+void Disk::Read(int pages, InlineCallback done) {
   ++reads_;
   pages_read_ += pages;
   Enqueue("disk-read", pages, std::move(done));
 }
 
-void Disk::Write(int pages, std::function<void()> done) {
+void Disk::Write(int pages, InlineCallback done) {
   ++writes_;
   pages_written_ += pages;
   Enqueue("disk-write", pages, std::move(done));

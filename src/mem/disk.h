@@ -9,7 +9,6 @@
 #define TCS_SRC_MEM_DISK_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/fault/fault_injector.h"
 #include "src/obs/trace.h"
@@ -42,11 +41,11 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   // Enqueues a read of `pages` contiguous pages; `done` fires when the transfer completes.
-  void Read(int pages, std::function<void()> done);
+  void Read(int pages, InlineCallback done);
 
   // Enqueues a write of `pages` pages; `done` (optional) fires at completion. Used for
   // dirty-page eviction, which is typically fire-and-forget but still occupies the queue.
-  void Write(int pages, std::function<void()> done = nullptr);
+  void Write(int pages, InlineCallback done = nullptr);
 
   // Time at which the device drains everything currently queued.
   TimePoint busy_until() const { return busy_until_; }
@@ -69,7 +68,7 @@ class Disk {
 
  private:
   Duration ServiceTime(int pages);
-  void Enqueue(const char* op, int pages, std::function<void()> done);
+  void Enqueue(const char* op, int pages, InlineCallback done);
 
   Simulator& sim_;
   Rng rng_;

@@ -47,14 +47,63 @@ void Pager::ReleaseShared(const std::string& key) {
   }
 }
 
+void Pager::UnlinkFrame(uint32_t f) {
+  Frame& fr = frames_[f];
+  if (fr.prev != kNilFrame) {
+    frames_[fr.prev].next = fr.next;
+  } else {
+    lru_head_ = fr.next;
+  }
+  if (fr.next != kNilFrame) {
+    frames_[fr.next].prev = fr.prev;
+  } else {
+    lru_tail_ = fr.prev;
+  }
+}
+
+void Pager::LinkFrameAtTail(uint32_t f) {
+  Frame& fr = frames_[f];
+  fr.prev = lru_tail_;
+  fr.next = kNilFrame;
+  if (lru_tail_ != kNilFrame) {
+    frames_[lru_tail_].next = f;
+  } else {
+    lru_head_ = f;
+  }
+  lru_tail_ = f;
+}
+
+uint32_t Pager::AllocFrame(AddressSpace& as, uint64_t vpn) {
+  uint32_t f;
+  if (free_head_ != kNilFrame) {
+    f = free_head_;
+    free_head_ = frames_[f].next;
+  } else {
+    f = static_cast<uint32_t>(frames_.size());
+    frames_.push_back(Frame{});
+  }
+  frames_[f].as = &as;
+  frames_[f].vpn = vpn;
+  LinkFrameAtTail(f);
+  ++frames_used_;
+  return f;
+}
+
+void Pager::FreeFrame(uint32_t f) {
+  frames_[f].as = nullptr;
+  frames_[f].next = free_head_;
+  free_head_ = f;
+  --frames_used_;
+}
+
 void Pager::DropFramesOf(AddressSpace& as) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->as == &as) {
-      frame_index_.erase(FramesKey::Of(as, it->vpn));
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (uint32_t it = lru_head_; it != kNilFrame;) {
+    uint32_t next = frames_[it].next;
+    if (frames_[it].as == &as) {
+      UnlinkFrame(it);
+      FreeFrame(it);
     }
+    it = next;
   }
   // Page-ins of a dying space still on the disk: their map entries go away and any
   // waiters resume now (the disk completion itself is harmless — its erase is guarded).
@@ -84,8 +133,8 @@ void Pager::ReleaseAddressSpace(AddressSpace* as) {
   assert(false && "address space not owned by this pager");
 }
 
-std::function<void()> Pager::ArmInFlight(std::shared_ptr<std::vector<uint64_t>> keys,
-                                         std::function<void()> done) {
+InlineCallback Pager::ArmInFlight(std::shared_ptr<std::vector<uint64_t>> keys,
+                                  InlineCallback done) {
   auto barrier = std::make_shared<InFlightRead>();
   for (uint64_t key : *keys) {
     in_flight_[key] = barrier;
@@ -110,34 +159,36 @@ std::function<void()> Pager::ArmInFlight(std::shared_ptr<std::vector<uint64_t>> 
 }
 
 void Pager::TouchLru(AddressSpace& as, uint64_t vpn) {
-  uint64_t key = FramesKey::Of(as, vpn);
-  auto it = frame_index_.find(key);
-  assert(it != frame_index_.end());
-  lru_.splice(lru_.end(), lru_, it->second);  // move to MRU position
+  uint32_t f = as.FrameOf(vpn);
+  if (f == lru_tail_) {
+    return;  // already most recently used
+  }
+  UnlinkFrame(f);
+  LinkFrameAtTail(f);
 }
 
 void Pager::EvictOneFrame(const AddressSpace& for_whom) {
-  assert(!lru_.empty());
-  auto victim = lru_.begin();
+  assert(lru_head_ != kNilFrame);
+  uint32_t victim = lru_head_;
   if (config_.policy == EvictionPolicy::kInteractiveProtect && !for_whom.interactive()) {
     // Skip pages belonging to interactive address spaces; steal the oldest
     // non-interactive page instead. Fall back to true LRU only if every resident page is
     // protected.
-    auto it = lru_.begin();
-    while (it != lru_.end() && it->as->interactive()) {
+    uint32_t it = lru_head_;
+    while (it != kNilFrame && frames_[it].as->interactive()) {
       ++protected_skips_;
-      ++it;
+      it = frames_[it].next;
     }
-    if (it != lru_.end()) {
+    if (it != kNilFrame) {
       victim = it;
     }
   }
-  AddressSpace& vas = *victim->as;
-  uint64_t vvpn = victim->vpn;
+  AddressSpace& vas = *frames_[victim].as;
+  uint64_t vvpn = frames_[victim].vpn;
   bool dirty = vas.IsDirty(vvpn);
   vas.SetEvicted(vvpn);
-  frame_index_.erase(FramesKey::Of(vas, vvpn));
-  lru_.erase(victim);
+  UnlinkFrame(victim);
+  FreeFrame(victim);
   ++evictions_;
   if (tracer_ != nullptr) {
     tracer_->Instant(TraceCategory::kMem, dirty ? "evict-dirty" : "evict", trace_track_,
@@ -155,7 +206,7 @@ bool Pager::MakeResident(AddressSpace& as, uint64_t vpn, bool write) {
     ++hits_;
     TouchLru(as, vpn);
     if (write) {
-      as.SetResident(vpn, /*dirty=*/true);
+      as.MarkDirty(vpn);
     }
     return false;
   }
@@ -164,12 +215,11 @@ bool Pager::MakeResident(AddressSpace& as, uint64_t vpn, bool write) {
     tracer_->Instant(TraceCategory::kMem, "fault", trace_track_, sim_.Now(), "as",
                      static_cast<int64_t>(as.id()), "vpn", static_cast<int64_t>(vpn));
   }
-  if (lru_.size() >= config_.total_frames) {
+  if (frames_used_ >= config_.total_frames) {
     EvictOneFrame(as);
   }
-  as.SetResident(vpn, write);
-  lru_.push_back(Resident{&as, vpn});
-  frame_index_[FramesKey::Of(as, vpn)] = std::prev(lru_.end());
+  uint32_t frame = AllocFrame(as, vpn);
+  as.SetResidentInFrame(vpn, frame, write);
   return true;
 }
 
@@ -181,20 +231,22 @@ Duration Pager::ThrottleFor(const AddressSpace& as) const {
   return Duration::Zero();
 }
 
-void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<void()> done) {
+void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, InlineCallback done) {
   Duration throttle = ThrottleFor(as);
   bool needs_disk = as.WasEvicted(vpn);
   bool faulted = MakeResident(as, vpn, write);
   if (!faulted) {
     // Hit — but if the page's read is still on the disk (another session faulted it
     // first), the data hasn't arrived: join that read's waiters instead of proceeding.
-    auto fit = in_flight_.find(FramesKey::Of(as, vpn));
-    if (fit != in_flight_.end()) {
-      ++coalesced_waits_;
-      if (done) {
-        fit->second->waiters.push_back(std::move(done));
+    if (!in_flight_.empty()) {
+      auto fit = in_flight_.find(FramesKey::Of(as, vpn));
+      if (fit != in_flight_.end()) {
+        ++coalesced_waits_;
+        if (done) {
+          fit->second->waiters.push_back(std::move(done));
+        }
+        return;
       }
-      return;
     }
   }
   if (!faulted || !needs_disk) {
@@ -219,15 +271,18 @@ void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, std::function<voi
 }
 
 void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool write,
-                        std::function<void()> done) {
+                        InlineCallback done) {
   assert(count > 0);
   TimePoint access_start = sim_.Now();
   Duration throttle = ThrottleFor(as);
   // Bookkeeping first: compute contiguous runs of missing pages, make everything resident,
   // then simulate the I/O chain for the runs. Resident pages whose page-in is still on
   // the disk (another session's fault) contribute a join on that read's barrier.
-  auto runs = std::make_shared<std::vector<int>>();
-  auto io_keys = std::make_shared<std::vector<uint64_t>>();
+  //
+  // The steady-state keystroke path is all hits: `runs`/`io_keys` stay unallocated and
+  // the whole call touches nothing but the page array and the recency list.
+  std::shared_ptr<std::vector<int>> runs;
+  std::shared_ptr<std::vector<uint64_t>> io_keys;
   std::vector<std::shared_ptr<InFlightRead>> joins;
   size_t current_run = 0;
   uint64_t prev_missing = 0;
@@ -236,7 +291,7 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
     bool needs_disk = as.WasEvicted(vpn);
     bool faulted = MakeResident(as, vpn, write);
     if (!needs_disk) {
-      if (!faulted) {
+      if (!faulted && !in_flight_.empty()) {
         auto fit = in_flight_.find(FramesKey::Of(as, vpn));
         if (fit != in_flight_.end() &&
             std::find(joins.begin(), joins.end(), fit->second) == joins.end()) {
@@ -244,6 +299,10 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
         }
       }
       continue;  // hit or zero-fill: no I/O of our own
+    }
+    if (io_keys == nullptr) {
+      io_keys = std::make_shared<std::vector<uint64_t>>();
+      runs = std::make_shared<std::vector<int>>();
     }
     io_keys->push_back(FramesKey::Of(as, vpn));
     bool adjacent = have_prev && vpn == prev_missing + 1;
@@ -261,7 +320,7 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   if (current_run > 0) {
     runs->push_back(static_cast<int>(current_run));
   }
-  if (runs->empty() && joins.empty()) {
+  if (runs == nullptr && joins.empty()) {
     if (tracer_ != nullptr) {
       tracer_->Span(TraceCategory::kMem, "access", trace_track_, access_start, access_start,
                     "pages", static_cast<int64_t>(count), "io_pages", int64_t{0});
@@ -274,8 +333,10 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   if (tracer_ != nullptr) {
     // Wrap completion so the span closes at the moment the last clustered read lands.
     int64_t io_pages = 0;
-    for (int r : *runs) {
-      io_pages += r;
+    if (runs != nullptr) {
+      for (int r : *runs) {
+        io_pages += r;
+      }
     }
     done = [this, access_start, count, io_pages, done = std::move(done)]() mutable {
       tracer_->Span(TraceCategory::kMem, "page-in", trace_track_, access_start, sim_.Now(),
@@ -286,21 +347,26 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
     };
   }
   // The access completes when its own read chain AND every joined in-flight read land.
-  size_t pending = joins.size() + (runs->empty() ? 0 : 1);
-  auto remaining = std::make_shared<size_t>(pending);
-  auto fire = [remaining, done = std::move(done)]() mutable {
-    if (--*remaining == 0 && done) {
-      done();
+  // The fan-in state is shared so each joined barrier can hold its own (copyable) hook.
+  struct FanIn {
+    size_t remaining;
+    InlineCallback done;
+  };
+  auto fan = std::make_shared<FanIn>(
+      FanIn{joins.size() + (runs != nullptr ? 1u : 0u), std::move(done)});
+  auto fire = [fan] {
+    if (--fan->remaining == 0 && fan->done) {
+      fan->done();
     }
   };
   coalesced_waits_ += static_cast<int64_t>(joins.size());
   for (auto& barrier : joins) {
     barrier->waiters.push_back(fire);
   }
-  if (runs->empty()) {
+  if (runs == nullptr) {
     return;
   }
-  auto chain_done = ArmInFlight(io_keys, std::move(fire));
+  InlineCallback chain_done = ArmInFlight(io_keys, fire);
   if (throttle.IsZero()) {
     IssueRuns(runs, 0, std::move(chain_done));
   } else {
@@ -311,7 +377,7 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
 }
 
 void Pager::IssueRuns(std::shared_ptr<std::vector<int>> runs, size_t index,
-                      std::function<void()> done) {
+                      InlineCallback done) {
   assert(index < runs->size());
   int pages = (*runs)[index];
   bool last = index + 1 == runs->size();
@@ -327,14 +393,13 @@ void Pager::IssueRuns(std::shared_ptr<std::vector<int>> runs, size_t index,
 void Pager::MarkSwappedOut(AddressSpace& as, uint64_t first, size_t count) {
   for (uint64_t vpn = first; vpn < first + count; ++vpn) {
     if (as.IsResident(vpn)) {
-      auto it = frame_index_.find(FramesKey::Of(as, vpn));
-      assert(it != frame_index_.end());
-      lru_.erase(it->second);
-      frame_index_.erase(it);
+      uint32_t f = as.FrameOf(vpn);
+      UnlinkFrame(f);
+      FreeFrame(f);
       as.SetEvicted(vpn);
     } else {
       // Create the page in the evicted state.
-      as.pages_[vpn] = AddressSpace::PageState{false, false};
+      as.MarkEvictedUntouched(vpn);
     }
   }
 }

@@ -17,24 +17,17 @@ void LatencyRecorder::Record(Duration latency) {
   sum_sq_us_ += static_cast<__int128>(us) * us;
   stats_.Add(latency.ToMillisF());
   samples_us_.push_back(us);
-  sorted_ = false;
+  sketch_.Add(us);
   if (latency >= kPerceptionThreshold) {
     ++perceptible_;
   }
 }
 
 Duration LatencyRecorder::Percentile(double q) const {
-  if (samples_us_.empty()) {
+  if (sketch_.empty()) {
     return Duration::Zero();
   }
-  if (!sorted_) {
-    std::sort(samples_us_.begin(), samples_us_.end());
-    sorted_ = true;
-  }
-  auto n = static_cast<int64_t>(samples_us_.size());
-  auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
-  rank = std::clamp<int64_t>(rank, 1, n);
-  return Duration::Micros(samples_us_[static_cast<size_t>(rank - 1)]);
+  return Duration::Micros(sketch_.NearestRank(q));
 }
 
 double LatencyRecorder::PercentileMs(double q) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/sim/time.h"
+#include "src/util/percentile_sketch.h"
 #include "src/util/stats.h"
 
 namespace tcs {
@@ -46,6 +47,7 @@ class LatencyRecorder {
   // always an actually observed latency, to the microsecond. (Samples used to be stored
   // as millisecond doubles, which quantized p50/p99 — ToMillisF is lossy for most
   // microsecond values — so percentiles now stay integral until serialization.)
+  // Queries interleaved with Record() pay only an incremental merge, not a full re-sort.
   Duration Percentile(double q) const;
   double PercentileMs(double q) const;  // derived from Percentile at serialization time
 
@@ -54,9 +56,10 @@ class LatencyRecorder {
 
  private:
   RunningStats stats_;  // milliseconds, for raw() consumers (means/extremes only)
-  // Exact microsecond samples for percentiles; sorted lazily by Percentile().
-  mutable std::vector<int64_t> samples_us_;
-  mutable bool sorted_ = true;
+  // Microsecond samples in arrival order (samples_us() contract) plus the incremental
+  // sketch Percentile() queries against.
+  std::vector<int64_t> samples_us_;
+  PercentileSketch<int64_t> sketch_;
   int64_t perceptible_ = 0;
   // Exact accumulators (microseconds). The sum of squares uses 128-bit storage so even
   // long runs of 100+ second latencies cannot overflow.

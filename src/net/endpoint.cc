@@ -22,7 +22,7 @@ int64_t MessageSender::PacketsFor(Bytes payload) const {
   return (payload.count() + max_payload.count() - 1) / max_payload.count();
 }
 
-void MessageSender::SendMessage(Bytes payload, std::function<void()> delivered) {
+void MessageSender::SendMessage(Bytes payload, InlineCallback delivered) {
   int64_t packets = PacketsFor(payload);
   ++messages_sent_;
   packets_sent_ += packets;

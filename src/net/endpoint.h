@@ -9,7 +9,6 @@
 #define TCS_SRC_NET_ENDPOINT_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/net/headers.h"
 #include "src/net/link.h"
@@ -24,7 +23,7 @@ class MessageSender {
 
   // Sends a protocol message of `payload` bytes. It is segmented into as many frames as
   // the MTU requires; `delivered` (optional) fires when the last frame arrives.
-  void SendMessage(Bytes payload, std::function<void()> delivered = nullptr);
+  void SendMessage(Bytes payload, InlineCallback delivered = nullptr);
 
   int64_t messages_sent() const { return messages_sent_; }
   int64_t packets_sent() const { return packets_sent_; }

@@ -108,32 +108,59 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
   return ok;
 }
 
-void Link::SendEx(Bytes wire_bytes, std::function<void(bool)> done) {
+bool Link::TransmitAll(Bytes wire_bytes, TimePoint* delivery) {
   assert(wire_bytes.count() > 0);
   const int64_t max_frame = config_.mtu.count() + config_.framing.count();
   bool all_ok = true;
-  TimePoint delivery = TimePoint::Zero();
   int64_t remaining = wire_bytes.count();
   while (remaining > 0) {
     Bytes chunk = Bytes::Of(std::min(remaining, max_frame));
     remaining -= chunk.count();
-    bool ok = TransmitFrame(chunk, &delivery);
+    bool ok = TransmitFrame(chunk, delivery);
     all_ok = all_ok && ok;
   }
+  return all_ok;
+}
+
+void Link::SendEx(Bytes wire_bytes, InlineFunction<void(bool)> done) {
+  TimePoint delivery = TimePoint::Zero();
+  bool all_ok = TransmitAll(wire_bytes, &delivery);
   if (done) {
-    sim_.At(delivery, [cb = std::move(done), all_ok] { cb(all_ok); });
+    sim_.At(delivery, [cb = std::move(done), all_ok]() mutable { cb(all_ok); });
   }
 }
 
-void Link::Send(Bytes wire_bytes, std::function<void()> delivered) {
+void Link::Send(Bytes wire_bytes, InlineCallback delivered, int64_t* delivered_tally) {
+  TimePoint delivery = TimePoint::Zero();
+  bool all_ok = TransmitAll(wire_bytes, &delivery);
+  // A send that wants any delivery notification schedules exactly one event at the
+  // delivery time — even when the frame was lost (the event is then a no-op). Lost and
+  // delivered frames thus execute identical event schedules, which keeps the
+  // events_executed counter (and the golden corpus that records it) fate-independent.
+  //
+  // The common consolidation path is tally-only: the delivery event captures a pointer
+  // and a bool and stays inside the event queue's inline buffer. A bare callback on a
+  // healthy link passes through unwrapped — it already IS the event callback type.
   if (delivered) {
-    SendEx(wire_bytes, [cb = std::move(delivered)](bool ok) {
+    if (delivered_tally != nullptr) {
+      sim_.At(delivery,
+              [tally = delivered_tally, ok = all_ok, cb = std::move(delivered)]() mutable {
+                if (ok) {
+                  ++*tally;
+                  cb();
+                }
+              });
+    } else if (all_ok) {
+      sim_.At(delivery, std::move(delivered));
+    } else {
+      sim_.At(delivery, [] {});
+    }
+  } else if (delivered_tally != nullptr) {
+    sim_.At(delivery, [tally = delivered_tally, ok = all_ok] {
       if (ok) {
-        cb();
+        ++*tally;
       }
     });
-  } else {
-    SendEx(wire_bytes, nullptr);
   }
 }
 

@@ -15,10 +15,10 @@
 #define TCS_SRC_NET_LINK_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/fault/fault_injector.h"
 #include "src/obs/trace.h"
+#include "src/sim/inline_callback.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/units.h"
@@ -57,7 +57,11 @@ class FrameTransport {
 
   // Queues a frame of `wire_bytes`; `delivered` (optional) fires when the last bit
   // arrives at the far end (for reliable transports: in order, after any recovery).
-  virtual void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr) = 0;
+  // `delivered_tally` (optional) is incremented at that same moment, just before the
+  // callback — the allocation-free way for per-session ledgers to count deliveries
+  // without wrapping every send in a closure. The pointee must outlive the delivery.
+  virtual void Send(Bytes wire_bytes, InlineCallback delivered = nullptr,
+                    int64_t* delivered_tally = nullptr) = 0;
 
   // The underlying link's configuration (MTU, rate) for segmentation arithmetic.
   virtual const LinkConfig& config() const = 0;
@@ -74,12 +78,14 @@ class Link : public FrameTransport {
   // last bit arrives at the far end. Sends larger than mtu+framing are fragmented into
   // multiple frames (each queued separately); `delivered` fires when the last fragment
   // lands, and only if every fragment survived any attached fault injector.
-  void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr) override;
+  // `delivered_tally` is bumped at delivery under the same condition (see FrameTransport).
+  void Send(Bytes wire_bytes, InlineCallback delivered = nullptr,
+            int64_t* delivered_tally = nullptr) override;
 
   // Fate-reporting send: `done` (optional) always fires at the would-be delivery time,
   // with ok=false when the frame (any fragment) was lost/corrupted/in an outage.
   // Reliable transports use this as their loss-detection oracle.
-  void SendEx(Bytes wire_bytes, std::function<void(bool ok)> done);
+  void SendEx(Bytes wire_bytes, InlineFunction<void(bool ok)> done);
 
   const LinkConfig& config() const override { return config_; }
   int64_t frames_sent() const { return frames_sent_; }
@@ -124,6 +130,9 @@ class Link : public FrameTransport {
   // Queues one MTU-bounded frame; returns whether it will arrive and sets `delivery` to
   // its last-bit-plus-propagation time.
   bool TransmitFrame(Bytes frame_bytes, TimePoint* delivery);
+  // Fragments `wire_bytes` into MTU-bounded frames and queues them all; returns whether
+  // every fragment will arrive and sets `delivery` to the last fragment's arrival time.
+  bool TransmitAll(Bytes wire_bytes, TimePoint* delivery);
 
   Simulator& sim_;
   LinkConfig config_;

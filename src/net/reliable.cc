@@ -27,11 +27,13 @@ Duration ReliableChannel::CurrentRtoBase() const {
   return std::clamp(srtt_ * 2, config_.min_rto, config_.max_rto);
 }
 
-void ReliableChannel::Send(Bytes wire_bytes, std::function<void()> delivered) {
+void ReliableChannel::Send(Bytes wire_bytes, InlineCallback delivered,
+                           int64_t* delivered_tally) {
   uint64_t seq = next_seq_++;
   Record& rec = records_[seq];
   rec.bytes = wire_bytes;
   rec.delivered = std::move(delivered);
+  rec.delivered_tally = delivered_tally;
   rec.rto = CurrentRtoBase();
   ++frames_sent_;
   Transmit(seq);
@@ -144,6 +146,9 @@ void ReliableChannel::ReleaseInOrder() {
     if (!rec.released) {
       rec.released = true;
       ++frames_delivered_;
+      if (rec.delivered_tally != nullptr) {
+        ++*rec.delivered_tally;
+      }
       if (rec.delivered) {
         auto cb = std::move(rec.delivered);
         cb();

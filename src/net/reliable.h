@@ -19,7 +19,6 @@
 #define TCS_SRC_NET_RELIABLE_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 
 #include "src/net/link.h"
@@ -48,8 +47,10 @@ class ReliableChannel : public FrameTransport {
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
   // Queues `wire_bytes` for reliable in-order delivery; `delivered` fires once the frame
-  // (and every frame sent before it) has arrived at the far end.
-  void Send(Bytes wire_bytes, std::function<void()> delivered = nullptr) override;
+  // (and every frame sent before it) has arrived at the far end. `delivered_tally` is
+  // bumped at that same in-order release (abandoned frames bump nothing).
+  void Send(Bytes wire_bytes, InlineCallback delivered = nullptr,
+            int64_t* delivered_tally = nullptr) override;
 
   const LinkConfig& config() const override { return link_.config(); }
 
@@ -74,7 +75,8 @@ class ReliableChannel : public FrameTransport {
  private:
   struct Record {
     Bytes bytes = Bytes::Zero();
-    std::function<void()> delivered;
+    InlineCallback delivered;
+    int64_t* delivered_tally = nullptr;
     int attempts = 0;
     Duration rto = Duration::Zero();
     TimePoint sent_at = TimePoint::Zero();  // most recent transmission time

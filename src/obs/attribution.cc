@@ -9,16 +9,13 @@ namespace {
 
 constexpr int Idx(AttrStage stage) { return static_cast<int>(stage); }
 
-// Nearest-rank percentile over sorted exact-microsecond samples: the reported value is
-// always an observed sample, so it is an integer and invariant under worker count.
-int64_t NearestRank(const std::vector<int64_t>& sorted, double q) {
-  if (sorted.empty()) {
+// Nearest-rank percentile over the sketch's sorted samples: the reported value is always
+// an observed sample, so it is an integer and invariant under worker count.
+int64_t NearestRank(const PercentileSketch<int64_t>& sketch, double q) {
+  if (sketch.empty()) {
     return 0;
   }
-  auto n = static_cast<int64_t>(sorted.size());
-  auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
-  rank = std::clamp<int64_t>(rank, 1, n);
-  return sorted[static_cast<size_t>(rank - 1)];
+  return sketch.NearestRank(q);
 }
 
 }  // namespace
@@ -72,13 +69,14 @@ void LatencyAttribution::Commit(const InteractionRecord& rec) {
   }
   ++committed_;
   keystrokes_ += rec.batch;
-  total_samples_.push_back(rec.total_us());
+  total_us_sum_ += rec.total_us();
+  total_samples_.Append(arena_, rec.total_us());
   for (int s = 0; s < kAttrStageCount; ++s) {
     stage_total_us_[s] += rec.stage_us[s];
-    stage_samples_[s].push_back(rec.stage_us[s]);
+    stage_samples_[s].Append(arena_, rec.stage_us[s]);
   }
   if (config_.keep_records) {
-    records_.push_back(rec);
+    records_.Append(arena_, rec);
   }
   if (config_.tracer != nullptr) {
     EmitTrace(rec);
@@ -118,6 +116,17 @@ void LatencyAttribution::EmitTrace(const InteractionRecord& rec) {
   tr->FlowEnd(kCat, "interaction", client_track_, at(rec.painted_us), rec.id);
 }
 
+void LatencyAttribution::RefreshSketches() const {
+  for (; total_consumed_ < total_samples_.size(); ++total_consumed_) {
+    total_sorted_.Add(total_samples_[total_consumed_]);
+  }
+  for (int s = 0; s < kAttrStageCount; ++s) {
+    for (; stage_consumed_[s] < stage_samples_[s].size(); ++stage_consumed_[s]) {
+      stage_sorted_[s].Add(stage_samples_[s][stage_consumed_[s]]);
+    }
+  }
+}
+
 AttributionResult LatencyAttribution::Collect() const {
   AttributionResult result;
   result.active = true;
@@ -129,25 +138,21 @@ AttributionResult LatencyAttribution::Collect() const {
   for (int s = 0; s < kAttrStageCount; ++s) {
     stage_grand_total += stage_total_us_[s];
   }
-  std::vector<int64_t> sorted = total_samples_;
-  std::sort(sorted.begin(), sorted.end());
-  result.p50_total_us = NearestRank(sorted, 0.50);
-  result.p99_total_us = NearestRank(sorted, 0.99);
-  result.max_total_us = sorted.empty() ? 0 : sorted.back();
-  for (int64_t t : sorted) {
-    result.total_us += t;
-  }
+  RefreshSketches();
+  result.p50_total_us = NearestRank(total_sorted_, 0.50);
+  result.p99_total_us = NearestRank(total_sorted_, 0.99);
+  result.max_total_us = total_sorted_.empty() ? 0 : total_sorted_.Max();
+  result.total_us = total_us_sum_;
   int64_t top_p99 = -1;
   for (int s = 0; s < kAttrStageCount; ++s) {
     StageSummary sum;
     sum.stage = AttrStageName(static_cast<AttrStage>(s));
     sum.count = committed_;
     sum.total_us = stage_total_us_[s];
-    std::vector<int64_t> stage_sorted = stage_samples_[s];
-    std::sort(stage_sorted.begin(), stage_sorted.end());
+    const PercentileSketch<int64_t>& stage_sorted = stage_sorted_[s];
     sum.p50_us = NearestRank(stage_sorted, 0.50);
     sum.p99_us = NearestRank(stage_sorted, 0.99);
-    sum.max_us = stage_sorted.empty() ? 0 : stage_sorted.back();
+    sum.max_us = stage_sorted.empty() ? 0 : stage_sorted.Max();
     sum.share = stage_grand_total > 0 ? static_cast<double>(sum.total_us) /
                                             static_cast<double>(stage_grand_total)
                                       : 0.0;

@@ -33,8 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/arena.h"
 #include "src/obs/trace.h"
 #include "src/sim/time.h"
+#include "src/util/percentile_sketch.h"
 
 namespace tcs {
 
@@ -145,20 +147,32 @@ class LatencyAttribution {
   AttributionResult Collect() const;
 
   // Empty unless config.keep_records.
-  const std::vector<InteractionRecord>& records() const { return records_; }
+  const ArenaColumn<InteractionRecord>& records() const { return records_; }
 
  private:
   void EmitTrace(const InteractionRecord& rec);
+  // Feeds samples appended since the last Collect() into the sorted sketches.
+  void RefreshSketches() const;
 
   AttributionConfig config_;
   uint64_t minted_ = 0;
   int64_t committed_ = 0;
   int64_t keystrokes_ = 0;
   int64_t mismatches_ = 0;
+  int64_t total_us_sum_ = 0;
   int64_t stage_total_us_[kAttrStageCount] = {};
-  std::vector<int64_t> stage_samples_[kAttrStageCount];
-  std::vector<int64_t> total_samples_;
-  std::vector<InteractionRecord> records_;
+  // All per-commit storage bump-allocates from the arena: no element-wise growth copies
+  // on the Commit path, teardown frees a handful of blocks.
+  BumpArena arena_;
+  ArenaColumn<int64_t> stage_samples_[kAttrStageCount];
+  ArenaColumn<int64_t> total_samples_;
+  ArenaColumn<InteractionRecord> records_;
+  // Incrementally maintained sorted views over the columns; Collect() merges only the
+  // delta since the previous query instead of copy+sorting every stream.
+  mutable PercentileSketch<int64_t> stage_sorted_[kAttrStageCount];
+  mutable PercentileSketch<int64_t> total_sorted_;
+  mutable size_t stage_consumed_[kAttrStageCount] = {};
+  mutable size_t total_consumed_ = 0;
   // Blame tracks, registered at construction (registration order == construction order).
   TraceTrack net_track_;
   TraceTrack cpu_track_;

@@ -10,6 +10,7 @@
 #define TCS_SRC_PROTO_DISPLAY_PROTOCOL_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -32,6 +33,16 @@ class DisplayProtocol {
 
   // Server side: the application produced a drawing operation.
   virtual void SubmitDraw(const DrawCommand& cmd) = 0;
+
+  // Server side: the application produced a burst of drawing operations that will be
+  // flushed together. Encoders override this to pay virtual dispatch once per burst
+  // instead of once per command; the wire output is identical to submitting each command
+  // in order. Default: the per-command loop.
+  virtual void SubmitDrawBatch(std::span<const DrawCommand> cmds) {
+    for (const DrawCommand& cmd : cmds) {
+      SubmitDraw(cmd);
+    }
+  }
 
   // Client side: the user produced an input event.
   virtual void SubmitInput(const InputEvent& event) = 0;

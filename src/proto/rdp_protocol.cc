@@ -33,7 +33,15 @@ void RdpProtocol::FlushPdu() {
   pdu_pending_ = Bytes::Zero();
 }
 
-void RdpProtocol::SubmitDraw(const DrawCommand& cmd) {
+void RdpProtocol::SubmitDraw(const DrawCommand& cmd) { EncodeDraw(cmd); }
+
+void RdpProtocol::SubmitDrawBatch(std::span<const DrawCommand> cmds) {
+  for (const DrawCommand& cmd : cmds) {
+    EncodeDraw(cmd);
+  }
+}
+
+void RdpProtocol::EncodeDraw(const DrawCommand& cmd) {
   switch (cmd.op) {
     case DrawOp::kText: {
       // Glyphs render through the glyph cache: first use of a character code ships the

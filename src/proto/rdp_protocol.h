@@ -49,6 +49,7 @@ class RdpProtocol final : public DisplayProtocol {
   ~RdpProtocol() override;
 
   void SubmitDraw(const DrawCommand& cmd) override;
+  void SubmitDrawBatch(std::span<const DrawCommand> cmds) override;
   void SubmitInput(const InputEvent& event) override;
   void Flush() override;
   // Reconnect invalidates all client-side caches: the bitmap cache and glyph sets must
@@ -62,6 +63,8 @@ class RdpProtocol final : public DisplayProtocol {
   int64_t orders_encoded() const { return orders_encoded_; }
 
  private:
+  // The order encoder proper; SubmitDraw/SubmitDrawBatch are thin dispatch shims over it.
+  void EncodeDraw(const DrawCommand& cmd);
   void AppendOrder(Bytes order_bytes);
   void FlushPdu();
   void FlushInputBatch();

@@ -12,7 +12,15 @@ void SlimProtocol::EmitCommand(Bytes payload) {
   EmitMessage(Channel::kDisplay, config_.command_header + payload);
 }
 
-void SlimProtocol::SubmitDraw(const DrawCommand& cmd) {
+void SlimProtocol::SubmitDraw(const DrawCommand& cmd) { EncodeDraw(cmd); }
+
+void SlimProtocol::SubmitDrawBatch(std::span<const DrawCommand> cmds) {
+  for (const DrawCommand& cmd : cmds) {
+    EncodeDraw(cmd);
+  }
+}
+
+void SlimProtocol::EncodeDraw(const DrawCommand& cmd) {
   switch (cmd.op) {
     case DrawOp::kText: {
       // BITMAP: 1 bit/pixel glyph cells plus the two colors.

@@ -32,6 +32,7 @@ class SlimProtocol final : public DisplayProtocol {
                ProtoTap* tap, Rng rng, SlimConfig config = {});
 
   void SubmitDraw(const DrawCommand& cmd) override;
+  void SubmitDrawBatch(std::span<const DrawCommand> cmds) override;
   void SubmitInput(const InputEvent& event) override;
   std::string name() const override { return "SLIM"; }
   Bytes session_setup_bytes() const override { return config_.session_setup; }
@@ -39,6 +40,8 @@ class SlimProtocol final : public DisplayProtocol {
   int64_t commands_encoded() const { return commands_encoded_; }
 
  private:
+  // The command encoder proper; SubmitDraw/SubmitDrawBatch are thin dispatch shims.
+  void EncodeDraw(const DrawCommand& cmd);
   void EmitCommand(Bytes payload);
 
   SlimConfig config_;

@@ -19,7 +19,15 @@ void VncProtocol::StopClientPull() {
   pull_task_.Stop();
 }
 
-void VncProtocol::SubmitDraw(const DrawCommand& cmd) {
+void VncProtocol::SubmitDraw(const DrawCommand& cmd) { EncodeDraw(cmd); }
+
+void VncProtocol::SubmitDrawBatch(std::span<const DrawCommand> cmds) {
+  for (const DrawCommand& cmd : cmds) {
+    EncodeDraw(cmd);
+  }
+}
+
+void VncProtocol::EncodeDraw(const DrawCommand& cmd) {
   // Everything lands in the server-side framebuffer; the protocol only tracks how many
   // raw bytes are dirty for the next update.
   Bytes raw = Bytes::Zero();

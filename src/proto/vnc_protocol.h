@@ -36,6 +36,7 @@ class VncProtocol final : public DisplayProtocol {
               ProtoTap* tap, Rng rng, VncConfig config = {});
 
   void SubmitDraw(const DrawCommand& cmd) override;
+  void SubmitDrawBatch(std::span<const DrawCommand> cmds) override;
   void SubmitInput(const InputEvent& event) override;
   // A no-op: updates ship on the pull cadence, never on application flush boundaries.
   void Flush() override;
@@ -50,6 +51,8 @@ class VncProtocol final : public DisplayProtocol {
   int64_t updates_sent() const { return updates_sent_; }
 
  private:
+  // The damage accumulator proper; SubmitDraw/SubmitDrawBatch are thin dispatch shims.
+  void EncodeDraw(const DrawCommand& cmd);
   void OnPull();
 
   VncConfig config_;

@@ -74,7 +74,15 @@ const char* XProtocol::OpcodeName(uint8_t opcode) {
   }
 }
 
-void XProtocol::SubmitDraw(const DrawCommand& cmd) {
+void XProtocol::SubmitDraw(const DrawCommand& cmd) { EncodeDraw(cmd); }
+
+void XProtocol::SubmitDrawBatch(std::span<const DrawCommand> cmds) {
+  for (const DrawCommand& cmd : cmds) {
+    EncodeDraw(cmd);
+  }
+}
+
+void XProtocol::EncodeDraw(const DrawCommand& cmd) {
   switch (cmd.op) {
     case DrawOp::kText: {
       // PolyText8: 24-byte fixed part + the string.

@@ -43,6 +43,7 @@ class XProtocol : public DisplayProtocol {
             ProtoTap* tap, Rng rng, XProtocolConfig config = {});
 
   void SubmitDraw(const DrawCommand& cmd) override;
+  void SubmitDrawBatch(std::span<const DrawCommand> cmds) override;
   void SubmitInput(const InputEvent& event) override;
   void Flush() override;
   std::string name() const override { return "X"; }
@@ -83,6 +84,10 @@ class XProtocol : public DisplayProtocol {
   std::vector<uint8_t> BuildRequest(uint8_t opcode, size_t payload_len, double redundancy);
 
  private:
+  // The request encoder proper; SubmitDraw/SubmitDrawBatch are thin dispatch shims over
+  // it. LBX inherits both shims — per-request bytes still flow through the virtual
+  // OnRequest/OnReply hooks, so its compressor sees the identical stream.
+  void EncodeDraw(const DrawCommand& cmd);
   void FlushDisplayBuffer();
 
   XProtocolConfig config_;

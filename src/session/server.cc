@@ -249,7 +249,8 @@ Session& Server::Login(bool light_session) {
 
   // The session's own protocol pipeline: a flow-accounting tap on the one shared
   // transport, its message senders, and a fresh encoder + caches.
-  s.flow_ = std::make_unique<SessionFlow>(PickTransport(reliable_, link_));
+  s.flow_ = std::make_unique<SessionFlow>(PickTransport(reliable_, link_),
+                                          flow_ledgers_.Acquire());
   s.display_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
   s.input_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
   s.protocol_ = MakeProtocol(profile_.protocol_kind, sim_, *s.display_sender_,

@@ -273,6 +273,9 @@ class Server {
   };
   std::vector<DaemonRuntime> daemons_;
   std::vector<std::unique_ptr<Session>> sessions_;
+  // One FlowLedger per session, packed one cache line apiece in login order, so the
+  // per-user accounting sweep at the end of a consolidation run walks a flat array.
+  FlowLedgerTable flow_ledgers_;
   // Interned pipeline-hop names for attribution trace spans (empty unless the
   // attribution engine carries a tracer).
   std::vector<const char*> hop_trace_names_;

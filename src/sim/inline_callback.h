@@ -1,5 +1,5 @@
-// Small-buffer-optimized, move-only replacement for std::function<void()> on the
-// simulator's hot path.
+// Small-buffer-optimized, move-only replacement for std::function on the simulator's
+// hot paths.
 //
 // Nearly every scheduled callback in the models is a lambda capturing `this` plus a
 // couple of scalars — far below the 48-byte inline buffer — so Schedule() never touches
@@ -8,6 +8,10 @@
 // std::function the type is move-only, which is what an event queue needs: callbacks are
 // scheduled once and consumed once, and captured state (unique_ptrs, buffers) need not
 // be copyable.
+//
+// InlineFunction<R(Args...)> is the general template; InlineCallback keeps its original
+// name as the void() alias the event queue uses. The network layer uses the void(bool)
+// instantiation for per-frame delivery fates.
 
 #ifndef TCS_SRC_SIM_INLINE_CALLBACK_H_
 #define TCS_SRC_SIM_INLINE_CALLBACK_H_
@@ -19,21 +23,25 @@
 
 namespace tcs {
 
-class InlineCallback {
+template <typename Sig>
+class InlineFunction;
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   // Covers a vtable-less lambda capturing `this` plus ~5 scalar words, and a whole
   // std::function (32 bytes on common ABIs) when one is forwarded through.
   static constexpr size_t kInlineSize = 48;
 
-  InlineCallback() = default;
-  InlineCallback(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
 
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
                                         !std::is_same_v<D, std::nullptr_t> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineCallback(F&& f) {  // NOLINT: implicit, mirrors std::function
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, mirrors std::function
     if constexpr (kFitsInline<D>) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
@@ -43,14 +51,14 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(other.storage_, storage_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       if (ops_ != nullptr) {
         ops_->destroy(storage_);
@@ -64,10 +72,10 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() {
+  ~InlineFunction() {
     if (ops_ != nullptr) {
       ops_->destroy(storage_);
     }
@@ -76,7 +84,7 @@ class InlineCallback {
   explicit operator bool() const { return ops_ != nullptr; }
 
   // Must not be called on an empty callback.
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) { return ops_->invoke(storage_, std::forward<Args>(args)...); }
 
   // True if the callable is stored in the inline buffer (no heap allocation). Exposed so
   // tests can pin down which capture sizes stay allocation-free.
@@ -84,7 +92,7 @@ class InlineCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args...);
     // Move-construct the callable from `from` into `to`, then destroy it at `from`.
     void (*relocate)(void* from, void* to);
     void (*destroy)(void*);
@@ -98,7 +106,9 @@ class InlineCallback {
 
   template <typename D>
   static constexpr Ops kInlineOps = {
-      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p, Args... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) {
         D* f = static_cast<D*>(from);
         ::new (to) D(std::move(*f));
@@ -110,7 +120,9 @@ class InlineCallback {
 
   template <typename D>
   static constexpr Ops kHeapOps = {
-      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* p, Args... args) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
       [](void* p) { delete *static_cast<D**>(p); },
       /*inline_storage=*/false,
@@ -119,6 +131,10 @@ class InlineCallback {
   alignas(std::max_align_t) std::byte storage_[kInlineSize];
   const Ops* ops_ = nullptr;
 };
+
+// The event queue's callback type — the original name, kept because it is what nearly
+// every model component spells.
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace tcs
 

@@ -1,0 +1,96 @@
+// Incremental exact-percentile sketch.
+//
+// Percentile consumers in the model interleave appends with queries: the capacity search
+// reads p50/p99 stall latencies between probe rounds, attribution collects stage
+// percentiles per report, and the latency recorder answers Percentile() mid-run. The
+// classic store-then-sort approach pays a full O(n log n) re-sort at every query once a
+// single sample has arrived since the last one.
+//
+// This sketch keeps the samples in two parts: a sorted main run and an unsorted pending
+// delta. Appends are O(1) pushes into the delta. A query compacts: sort the (small)
+// delta, then std::inplace_merge it into the main run — O(k log k + n) for k pending
+// samples instead of O(n log n) over everything. Results are EXACT (every sample is
+// retained; nothing is approximated) — the differential tests in util_stats_test compare
+// it against the naive sort-and-scan on random streams.
+
+#ifndef TCS_SRC_UTIL_PERCENTILE_SKETCH_H_
+#define TCS_SRC_UTIL_PERCENTILE_SKETCH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcs {
+
+template <typename T>
+class PercentileSketch {
+ public:
+  void Add(T x) { pending_.push_back(x); }
+
+  size_t size() const { return sorted_.size() + pending_.size(); }
+  bool empty() const { return size() == 0; }
+
+  // Fully sorted view of every sample added so far (compacts first).
+  const std::vector<T>& sorted() const {
+    Compact();
+    return sorted_;
+  }
+
+  // Exact nearest-rank percentile: the sample at rank ceil(q * n), clamped to [1, n].
+  // The result is always an actually observed value.
+  T NearestRank(double q) const {
+    assert(!empty());
+    Compact();
+    auto n = static_cast<int64_t>(sorted_.size());
+    auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
+    rank = std::clamp<int64_t>(rank, 1, n);
+    return sorted_[static_cast<size_t>(rank - 1)];
+  }
+
+  // Linear interpolation between the two ranks straddling q (SampleSet semantics).
+  double Interpolated(double q) const {
+    assert(!empty());
+    Compact();
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(sorted_.size() - 1);
+    auto lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(sorted_[lo]) * (1.0 - frac) +
+           static_cast<double>(sorted_[hi]) * frac;
+  }
+
+  T Min() const {
+    assert(!empty());
+    Compact();
+    return sorted_.front();
+  }
+  T Max() const {
+    assert(!empty());
+    Compact();
+    return sorted_.back();
+  }
+
+ private:
+  void Compact() const {
+    if (pending_.empty()) {
+      return;
+    }
+    std::sort(pending_.begin(), pending_.end());
+    size_t main_size = sorted_.size();
+    sorted_.insert(sorted_.end(), pending_.begin(), pending_.end());
+    std::inplace_merge(sorted_.begin(),
+                       sorted_.begin() + static_cast<ptrdiff_t>(main_size),
+                       sorted_.end());
+    pending_.clear();
+  }
+
+  mutable std::vector<T> sorted_;   // invariant: ascending
+  mutable std::vector<T> pending_;  // appended since the last compaction
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_PERCENTILE_SKETCH_H_

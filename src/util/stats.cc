@@ -98,49 +98,30 @@ double Histogram::Percentile(double q) const {
 }
 
 void SampleSet::Add(double x) {
-  samples_.push_back(x);
-  sorted_ = false;
-}
-
-void SampleSet::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  sketch_.Add(x);
+  sum_ += x;
 }
 
 double SampleSet::Percentile(double q) const {
-  assert(!samples_.empty());
-  EnsureSorted();
-  q = std::clamp(q, 0.0, 1.0);
-  double rank = q * static_cast<double>(samples_.size() - 1);
-  auto lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, samples_.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  assert(!sketch_.empty());
+  return sketch_.Interpolated(q);
 }
 
 double SampleSet::Mean() const {
-  if (samples_.empty()) {
+  if (sketch_.empty()) {
     return 0.0;
   }
-  double sum = 0.0;
-  for (double s : samples_) {
-    sum += s;
-  }
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(sketch_.size());
 }
 
 double SampleSet::Min() const {
-  assert(!samples_.empty());
-  EnsureSorted();
-  return samples_.front();
+  assert(!sketch_.empty());
+  return sketch_.Min();
 }
 
 double SampleSet::Max() const {
-  assert(!samples_.empty());
-  EnsureSorted();
-  return samples_.back();
+  assert(!sketch_.empty());
+  return sketch_.Max();
 }
 
 }  // namespace tcs

@@ -8,6 +8,8 @@
 #include <limits>
 #include <vector>
 
+#include "src/util/percentile_sketch.h"
+
 namespace tcs {
 
 // Welford's online algorithm: numerically stable mean/variance without storing samples.
@@ -69,22 +71,21 @@ class Histogram {
 };
 
 // Exact percentile estimator that stores all samples. Fine for per-experiment sample
-// counts (thousands); use Histogram for unbounded streams.
+// counts (thousands); use Histogram for unbounded streams. Queries interleaved with
+// Add() pay an incremental merge of the new samples, not a full re-sort.
 class SampleSet {
  public:
   void Add(double x);
-  size_t size() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  size_t size() const { return sketch_.size(); }
+  bool empty() const { return sketch_.empty(); }
   double Percentile(double q) const;  // q in [0,1]; linear interpolation between ranks.
   double Mean() const;
   double Min() const;
   double Max() const;
 
  private:
-  void EnsureSorted() const;
-
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  PercentileSketch<double> sketch_;
+  double sum_ = 0.0;
 };
 
 }  // namespace tcs

@@ -223,9 +223,7 @@ void AppScript::Replay(Simulator& sim, DisplayProtocol& protocol,
       for (const InputEvent& event : step.inputs) {
         protocol.SubmitInput(event);
       }
-      for (const DrawCommand& draw : step.draws) {
-        protocol.SubmitDraw(draw);
-      }
+      protocol.SubmitDrawBatch(step.draws);
       protocol.Flush();
     });
     at += step.think;

@@ -33,16 +33,19 @@ void Marquee::Stop() {
 
 void Marquee::Tick() {
   ++ticks_;
-  // Scroll the band one step left...
-  protocol_.SubmitDraw(DrawCommand::CopyArea(config_.width, config_.height));
-  // ...redraw from the cyclic strip set (a bitmap cache holds these, in isolation)...
   const BitmapRef& strip = strips_[static_cast<size_t>(next_strip_)];
   next_strip_ = (next_strip_ + 1) % config_.strip_count;
-  protocol_.SubmitDraw(DrawCommand::PutImage(strip));
-  // ...and paint the newly exposed edge column: fresh pixels every tick, never cacheable.
+  // Fresh pixels for the newly exposed edge column every tick, never cacheable.
   BitmapRef edge = BitmapRef::Make((config_.id << 42) ^ ++edge_counter_, config_.width,
                                    config_.edge_height, config_.compression_ratio);
-  protocol_.SubmitDraw(DrawCommand::PutImage(edge));
+  // One batch per tick: scroll the band one step left, redraw from the cyclic strip set
+  // (a bitmap cache holds these, in isolation), then paint the exposed edge column.
+  const DrawCommand tick_draws[] = {
+      DrawCommand::CopyArea(config_.width, config_.height),
+      DrawCommand::PutImage(strip),
+      DrawCommand::PutImage(edge),
+  };
+  protocol_.SubmitDrawBatch(tick_draws);
   protocol_.Flush();
 }
 

@@ -1,0 +1,85 @@
+// BumpArena / ArenaColumn: stable addresses, alignment, chunk growth, iteration.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/arena.h"
+
+namespace tcs {
+namespace {
+
+TEST(BumpArenaTest, AllocationsAreAlignedAndDisjoint) {
+  BumpArena arena(256);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    for (void* q : ptrs) {
+      EXPECT_NE(p, q);
+    }
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);  // 100 * 24 bytes cannot fit one 256-byte chunk
+  EXPECT_EQ(arena.bytes_allocated(), 100u * 24u);
+}
+
+TEST(BumpArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  BumpArena arena(64);
+  auto* big = arena.AllocateArray<int64_t>(100);  // 800 bytes > chunk size
+  big[0] = 1;
+  big[99] = 2;
+  EXPECT_EQ(big[0] + big[99], 3);
+}
+
+TEST(ArenaColumnTest, AppendKeepsStableAddressesAcrossGrowth) {
+  BumpArena arena;
+  ArenaColumn<int64_t, 16> col;
+  std::vector<const int64_t*> addrs;
+  for (int64_t i = 0; i < 1000; ++i) {
+    col.Append(arena, i * 3);
+    addrs.push_back(&col[static_cast<size_t>(i)]);
+  }
+  ASSERT_EQ(col.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    // No growth step ever moved an element (vector would have invalidated these).
+    EXPECT_EQ(addrs[static_cast<size_t>(i)], &col[static_cast<size_t>(i)]);
+    EXPECT_EQ(col[static_cast<size_t>(i)], i * 3);
+  }
+}
+
+TEST(ArenaColumnTest, RangeForIteratesInAppendOrder) {
+  BumpArena arena;
+  ArenaColumn<int, 4> col;
+  EXPECT_TRUE(col.empty());
+  for (int i = 0; i < 11; ++i) {
+    col.Append(arena, i);
+  }
+  int expect = 0;
+  for (int v : col) {
+    EXPECT_EQ(v, expect++);
+  }
+  EXPECT_EQ(expect, 11);
+}
+
+TEST(ArenaColumnTest, StructElements) {
+  struct Rec {
+    int64_t a = 0;
+    bool flags[8] = {};
+  };
+  BumpArena arena;
+  ArenaColumn<Rec, 8> col;
+  for (int i = 0; i < 20; ++i) {
+    Rec r;
+    r.a = i;
+    r.flags[i % 8] = true;
+    col.Append(arena, r);
+  }
+  EXPECT_EQ(col[19].a, 19);
+  EXPECT_TRUE(col[19].flags[3]);
+  EXPECT_FALSE(col[19].flags[4]);
+}
+
+}  // namespace
+}  // namespace tcs
