@@ -237,6 +237,40 @@ void BM_SimulateConsolidatedUsers(benchmark::State& state) {
 BENCHMARK(BM_SimulateConsolidatedUsers)->Arg(8)->Arg(64)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+// Flight-recorder overhead on the 64-user consolidation configuration (the workload
+// BM_SimulateConsolidatedUsers/64 measures). Arg meaning:
+//   0 — no recorder attached (the shipping default: one null-pointer branch per site)
+//   1 — recorder attached: every component appends compact records into the ring
+// The 0-vs-1 gap prices the tentpole's "<3% always-on" contract (BENCH_BASELINE gates
+// the ratio via the two wall_s_per_sim_s counters).
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  ConsolidationOptions opts;
+  opts.users = 64;
+  opts.duration = Duration::Seconds(5);
+  opts.ram = Bytes::MiB(4096);
+  opts.stagger = Duration::Micros(104000 / 64);
+  for (auto _ : state) {
+    FlightRecorder recorder;
+    AttributionConfig attr_cfg;
+    attr_cfg.recorder = enabled ? &recorder : nullptr;
+    LatencyAttribution attribution(attr_cfg);
+    ObsConfig obs;
+    obs.attribution = &attribution;
+    if (enabled) {
+      obs.recorder = &recorder;
+    }
+    ConsolidationResult result = RunConsolidation(OsProfile::Tse(), opts, &obs);
+    benchmark::DoNotOptimize(result.worst_p99_stall_ms);
+    benchmark::DoNotOptimize(recorder.records_seen());
+  }
+  double sim_seconds = (opts.start_delay + opts.duration).ToSecondsF();
+  state.counters["wall_s_per_sim_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * sim_seconds,
+                         benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FlightRecorderOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace tcs
 

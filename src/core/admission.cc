@@ -106,6 +106,8 @@ ConsolidationResult RunConsolidation(const OsProfile& profile,
   cfg.ram = options.ram;
   cfg.eviction = options.eviction;
   ApplyObs(cfg, obs);
+  SloRuntime slo(sim, obs);
+  slo.ApplyTo(cfg);
   AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
   SamplerScope sampler(sim, obs);
@@ -144,6 +146,32 @@ ConsolidationResult RunConsolidation(const OsProfile& profile,
     runtimes.push_back(std::move(rt));
   }
   server.StartSinks(options.sinks);
+
+  if (slo.active()) {
+    // Live p99 is over samples seen so far (a user who hasn't produced two updates yet
+    // contributes nothing live); total starvation is a whole-run objective and only
+    // scored by FinishRun, so warm-up can't trip it.
+    slo.watchdog()->SetWorstP99Source([&runtimes] {
+      double worst = 0.0;
+      for (const UserRuntime& rt : runtimes) {
+        worst = std::max(worst, rt.tap->samples.PercentileMs(0.99));
+      }
+      return worst;
+    });
+    slo.watchdog()->SetStarvationSource([&runtimes] {
+      int starved = 0;
+      for (const UserRuntime& rt : runtimes) {
+        if (rt.tap->stalls.updates() < 2) {
+          ++starved;
+        }
+      }
+      return static_cast<double>(starved) / static_cast<double>(runtimes.size());
+    });
+    slo.watchdog()->SetLinkBacklogSource([&server, &sim] {
+      return server.link().BacklogBytesAt(sim.Now()).count();
+    });
+    slo.Start();
+  }
 
   Duration total = options.start_delay + options.duration;
   sim.RunUntil(TimePoint::Zero() + total);
@@ -192,6 +220,7 @@ ConsolidationResult RunConsolidation(const OsProfile& profile,
   }
   result.avg_stall_ms = stall_sum / static_cast<double>(options.users);
   CollectBlame(result.blame, obs);
+  slo.Finish(result.slo);
   FinishRun(result.run, sim, t0);
   return result;
 }
@@ -226,11 +255,22 @@ CapacityResult RunServerCapacity(const OsProfile& profile,
       // candidate runs) and shares the caller's tracer. The caller's metrics registry
       // is deliberately not threaded through: one registry cannot serve gauge sets
       // from many servers.
-      LatencyAttribution probe_blame(
-          AttributionConfig{obs != nullptr ? obs->tracer : nullptr, false});
+      AttributionConfig probe_attr;
+      probe_attr.tracer = obs != nullptr ? obs->tracer : nullptr;
+      LatencyAttribution probe_blame(probe_attr);
       ObsConfig probe_obs;
-      probe_obs.tracer = obs != nullptr ? obs->tracer : nullptr;
+      probe_obs.tracer = probe_attr.tracer;
       probe_obs.attribution = &probe_blame;
+      // Each probe gets its own SLO spec (bundle stem suffixed with the candidate N)
+      // and its own run-local recorder, so violating candidates leave distinct,
+      // deterministically named forensic bundles. The caller's recorder is deliberately
+      // not shared: interleaving probes would corrupt each other's frozen windows.
+      SloSpec probe_slo;
+      if (obs != nullptr && obs->slo != nullptr && obs->slo->Any()) {
+        probe_slo = *obs->slo;
+        probe_slo.name += "_u" + std::to_string(users);
+        probe_obs.slo = &probe_slo;
+      }
       it = memo.emplace(users, RunConsolidation(profile, copt, &probe_obs)).first;
     }
     return it->second;

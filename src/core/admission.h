@@ -88,6 +88,8 @@ struct ConsolidationResult {
   double worst_p99_stall_ms = 0.0;  // max over users of per-user p99
   std::vector<UserStallStats> per_user;
   AttributionResult blame;
+  // SLO verdict; `slo.active` only when the ObsConfig carried an SloSpec.
+  SloReport slo;
   RunStats run;
 };
 

@@ -191,6 +191,7 @@ TypingUnderLoadResult RunTypingUnderLoad(const OsProfile& profile, int sinks,
   result.updates = user.updates;
   result.stall_samples_us = user.stall_samples_us;
   result.blame = std::move(consolidated.blame);
+  result.slo = std::move(consolidated.slo);
   result.run = consolidated.run;
   return result;
 }
@@ -572,6 +573,8 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   cfg.seed = options.seed;
   cfg.faults = options.faults;
   ApplyObs(cfg, obs);
+  SloRuntime slo(sim, obs);
+  slo.ApplyTo(cfg);
   AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
   SamplerScope sampler(sim, obs);
@@ -593,13 +596,27 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   RunningStats display_ms;
   RunningStats client_ms;
   RunningStats total_ms;
+  LatencyRecorder slo_latency;  // exact-microsecond stream for the live p99 objective
+  bool slo_active = slo.active();
   session.set_on_frame_painted([&](const KeystrokeLatency& lat) {
     input_ms.Add(lat.input_net.ToMillisF());
     server_ms.Add(lat.server.ToMillisF());
     display_ms.Add(lat.display_net.ToMillisF());
     client_ms.Add(lat.client.ToMillisF());
     total_ms.Add(lat.total().ToMillisF());
+    if (slo_active) {
+      slo_latency.Record(lat.total());
+    }
   });
+  if (slo.active()) {
+    slo.watchdog()->SetWorstP99Source([&slo_latency] {
+      return slo_latency.PercentileMs(0.99);
+    });
+    slo.watchdog()->SetLinkBacklogSource([&server, &sim] {
+      return server.link().BacklogBytesAt(sim.Now()).count();
+    });
+    slo.Start();
+  }
 
   Typist typist(sim, [&server, &session] { server.Keystroke(session); });
   typist.Start(Duration::Seconds(2));  // past session setup and warm-up
@@ -622,6 +639,7 @@ EndToEndResult RunEndToEndLatency(const OsProfile& profile, const EndToEndOption
   result.faults =
       server.CollectFaultStats(Duration::Seconds(2) + options.duration + Duration::Seconds(1));
   CollectBlame(result.blame, obs);
+  slo.Finish(result.slo, result.faults.availability);
   FinishRun(result.run, sim, t0);
   return result;
 }
@@ -641,13 +659,20 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
   cfg.faults.disk.stall_rate = options.disk_stall_rate;
   cfg.faults.session.disconnect_every = options.disconnect_every;
   ApplyObs(cfg, obs);
+  SloRuntime slo(sim, obs);
+  slo.ApplyTo(cfg);
   // Chaos points always attribute (a local engine unless the caller supplied one): the
   // blame block is how a loss sweep shows retransmit time moving into the network stage.
-  LatencyAttribution local_attribution(
-      AttributionConfig{obs != nullptr ? obs->tracer : nullptr, false});
+  AttributionConfig attr_cfg;
+  attr_cfg.tracer = obs != nullptr ? obs->tracer : nullptr;
+  attr_cfg.recorder = cfg.recorder;
+  LatencyAttribution local_attribution(attr_cfg);
   LatencyAttribution* attribution =
       cfg.attribution != nullptr ? cfg.attribution : &local_attribution;
   cfg.attribution = attribution;
+  if (slo.active()) {
+    slo.watchdog()->SetAttribution(attribution);
+  }
   AttachSimHook(sim, obs);
   Server server(sim, profile, cfg);
   SamplerScope sampler(sim, obs);
@@ -665,6 +690,13 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
       ++perceptible;
     }
   });
+  if (slo.active()) {
+    slo.watchdog()->SetWorstP99Source([&latency] { return latency.PercentileMs(0.99); });
+    slo.watchdog()->SetLinkBacklogSource([&server, &sim] {
+      return server.link().BacklogBytesAt(sim.Now()).count();
+    });
+    slo.Start();
+  }
 
   Typist typist(sim, [&server, &session] { server.Keystroke(session); });
   typist.Start(Duration::Seconds(2));  // past session setup and warm-up
@@ -695,6 +727,7 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
                               ? static_cast<int64_t>(server.reliable()->retransmissions())
                               : 0;
   point.blame = attribution->Collect();
+  slo.Finish(point.slo, point.faults.availability);
   FinishRun(point.run, sim, t0);
   return point;
 }

@@ -17,6 +17,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/mem/pager.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/proto/bitmap_cache.h"
 #include "src/session/os_profile.h"
 #include "src/sim/time.h"
@@ -64,6 +65,8 @@ struct TypingUnderLoadResult {
   // Per-stage latency attribution; `blame.active` only when the run's ObsConfig carried
   // a LatencyAttribution engine.
   AttributionResult blame;
+  // SLO verdict; `slo.active` only when the ObsConfig carried an SloSpec.
+  SloReport slo;
   RunStats run;
 };
 
@@ -272,6 +275,8 @@ struct EndToEndResult {
   FaultStats faults;
   // Per-stage latency attribution; active when the ObsConfig carried an engine.
   AttributionResult blame;
+  // SLO verdict; `slo.active` only when the ObsConfig carried an SloSpec.
+  SloReport slo;
   RunStats run;
 };
 
@@ -321,6 +326,9 @@ struct ChaosPoint {
   // Chaos points always attribute: the blame block shows retransmit/outage time moving
   // into the network stages as loss grows.
   AttributionResult blame;
+  // SLO verdict; `slo.active` only when the ObsConfig carried an SloSpec. On violation
+  // `slo.postmortems` names the forensic bundle written for this cell.
+  SloReport slo;
   RunStats run;
 };
 

@@ -1,74 +1,10 @@
 #include "src/core/report.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include "src/util/json.h"
 
 namespace tcs {
 
 namespace {
-
-// Minimal JSON object builder: appends comma-separated "key": value pairs. Keys here are
-// all literals and values numbers/strings without control characters, so escaping is
-// limited to quotes and backslashes.
-class JsonObject {
- public:
-  void Str(const char* key, const std::string& value) {
-    Key(key);
-    out_ += '"';
-    for (char c : value) {
-      if (c == '"' || c == '\\') {
-        out_ += '\\';
-      }
-      out_ += c;
-    }
-    out_ += '"';
-  }
-
-  void Int(const char* key, int64_t value) {
-    Key(key);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
-    out_ += buf;
-  }
-
-  void UInt(const char* key, uint64_t value) {
-    Key(key);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-    out_ += buf;
-  }
-
-  void Bool(const char* key, bool value) {
-    Key(key);
-    out_ += value ? "true" : "false";
-  }
-
-  void Double(const char* key, double value) {
-    Key(key);
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.9g", value);
-    out_ += buf;
-  }
-
-  void Raw(const char* key, const std::string& json) {
-    Key(key);
-    out_ += json;
-  }
-
-  std::string Finish() { return "{" + out_ + "}"; }
-
- private:
-  void Key(const char* key) {
-    if (!out_.empty()) {
-      out_ += ',';
-    }
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-  }
-
-  std::string out_;
-};
 
 std::string RunJson(const RunStats& run) {
   JsonObject o;
@@ -139,6 +75,9 @@ std::string ToJson(const TypingUnderLoadResult& r) {
   if (r.blame.active) {
     o.Raw("blame", ToJson(r.blame));
   }
+  if (r.slo.active) {
+    o.Raw("slo", ToJson(r.slo));
+  }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }
@@ -177,6 +116,9 @@ std::string ToJson(const EndToEndResult& r) {
   }
   if (r.blame.active) {
     o.Raw("blame", ToJson(r.blame));
+  }
+  if (r.slo.active) {
+    o.Raw("slo", ToJson(r.slo));
   }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
@@ -235,6 +177,9 @@ std::string ToJson(const ConsolidationResult& r) {
   o.Raw("per_user", users);
   if (r.blame.active) {
     o.Raw("blame", ToJson(r.blame));
+  }
+  if (r.slo.active) {
+    o.Raw("slo", ToJson(r.slo));
   }
   o.Raw("run", RunJson(r.run));
   return o.Finish();
@@ -297,6 +242,9 @@ std::string ToJson(const ChaosPoint& r) {
   o.Raw("faults", FaultsJson(r.faults));
   if (r.blame.active) {
     o.Raw("blame", ToJson(r.blame));
+  }
+  if (r.slo.active) {
+    o.Raw("slo", ToJson(r.slo));
   }
   o.Raw("run", RunJson(r.run));
   return o.Finish();

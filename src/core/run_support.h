@@ -15,6 +15,8 @@
 #include <string>
 
 #include "src/core/experiments.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/slo.h"
 #include "src/session/server.h"
 
 namespace tcs {
@@ -64,8 +66,64 @@ inline void ApplyObs(ServerConfig& cfg, const ObsConfig* obs) {
     cfg.tracer = obs->tracer;
     cfg.metrics = obs->metrics;
     cfg.attribution = obs->attribution;
+    cfg.recorder = obs->recorder;
   }
 }
+
+// Per-run SLO harness. When the ObsConfig carries an SloSpec with at least one active
+// objective, this owns the run's watchdog — and, when the caller did not attach a
+// FlightRecorder of its own, a run-local recorder, so a trace-off sweep cell still
+// yields a full forensic bundle on violation. Inert (all methods no-ops / nullptr)
+// when no SLO was requested, preserving the null-sink contract.
+class SloRuntime {
+ public:
+  SloRuntime(Simulator& sim, const ObsConfig* obs) {
+    if (obs == nullptr || obs->slo == nullptr || !obs->slo->Any()) {
+      return;
+    }
+    if (obs->recorder != nullptr) {
+      recorder_ = obs->recorder;
+    } else {
+      owned_recorder_ = std::make_unique<FlightRecorder>();
+      recorder_ = owned_recorder_.get();
+    }
+    watchdog_ = std::make_unique<SloWatchdog>(sim, *obs->slo, recorder_, obs->metrics,
+                                              obs->attribution);
+  }
+
+  SloRuntime(const SloRuntime&) = delete;
+  SloRuntime& operator=(const SloRuntime&) = delete;
+
+  bool active() const { return watchdog_ != nullptr; }
+  FlightRecorder* recorder() const { return recorder_; }
+  SloWatchdog* watchdog() const { return watchdog_.get(); }
+
+  // Points the server at the run-local recorder when this runtime owns one (a
+  // caller-supplied recorder was already wired by ApplyObs).
+  void ApplyTo(ServerConfig& cfg) const {
+    if (owned_recorder_ != nullptr) {
+      cfg.recorder = owned_recorder_.get();
+    }
+  }
+
+  void Start() {
+    if (watchdog_ != nullptr) {
+      watchdog_->Start();
+    }
+  }
+
+  // Settles the run's SLO verdict into `out` (no-op when inactive).
+  void Finish(SloReport& out, double availability = 1.0) {
+    if (watchdog_ != nullptr) {
+      out = watchdog_->FinishRun(availability);
+    }
+  }
+
+ private:
+  std::unique_ptr<FlightRecorder> owned_recorder_;
+  FlightRecorder* recorder_ = nullptr;
+  std::unique_ptr<SloWatchdog> watchdog_;
+};
 
 // Fills `blame` from the run's attribution engine, if one was attached.
 inline void CollectBlame(AttributionResult& blame, const ObsConfig* obs) {

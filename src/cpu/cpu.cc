@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+
 namespace tcs {
 
 Cpu::Cpu(Simulator& sim, std::unique_ptr<Scheduler> scheduler, CpuConfig config)
@@ -162,6 +164,10 @@ void Cpu::AccountSegment(Processor& proc, TimePoint end) {
                     "prio", t.sched_priority, "switch_us",
                     proc.segment_switch_cost.ToMicros());
     }
+    if (recorder_ != nullptr) {
+      recorder_->Span(FlightComponent::kCpu, "seg", proc.segment_start, end, 0,
+                      static_cast<int64_t>(t.id()), t.sched_priority);
+    }
   }
 }
 
@@ -174,6 +180,10 @@ void Cpu::Preempt(Processor& proc) {
     tracer_->Instant(TraceCategory::kCpu, "preempt",
                      cpu_tracks_[static_cast<size_t>(proc.index)], sim_.Now(), "thread",
                      static_cast<int64_t>(t.id()));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Instant(FlightComponent::kSched, "preempt", sim_.Now(), 0,
+                       static_cast<int64_t>(t.id()));
   }
   proc.running = nullptr;
   t.set_state(ThreadState::kReady);

@@ -29,6 +29,8 @@
 
 namespace tcs {
 
+class FlightRecorder;
+
 struct CpuConfig {
   // Relative processor speed. Work costs are divided by this, so 2.0 halves every burst —
   // used by the boost-threshold ablation (faster CPU brings operations under the 180 ms
@@ -68,6 +70,10 @@ class Cpu {
   // running thread) and every preemption as an instant. Null tracer disables all of it at
   // the cost of one branch per segment.
   void SetTracer(Tracer* tracer);
+
+  // Flight recorder: every executed segment becomes a compact cpu record (thread id +
+  // priority args) and every preemption an instant. Null disables at one branch.
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
@@ -117,6 +123,7 @@ class Cpu {
   std::vector<SegmentObserver> observers_;
   std::vector<Processor> processors_;
   Tracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   std::vector<TraceTrack> cpu_tracks_;  // one per processor
 
   Duration busy_time_ = Duration::Zero();

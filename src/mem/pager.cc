@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+
 namespace tcs {
 
 Pager::Pager(Simulator& sim, Disk& disk, PagerConfig config)
@@ -235,6 +237,13 @@ void Pager::Access(AddressSpace& as, uint64_t vpn, bool write, InlineCallback do
   Duration throttle = ThrottleFor(as);
   bool needs_disk = as.WasEvicted(vpn);
   bool faulted = MakeResident(as, vpn, write);
+  if (faulted && recorder_ != nullptr) {
+    // Flight records are batched per access, not per page: the Tracer keeps the
+    // per-fault instants, the always-on ring carries one "faults" record per faulting
+    // access (count + address space) so steady-state fault storms don't dominate it.
+    recorder_->Instant(FlightComponent::kMem, "faults", sim_.Now(), 0, 1,
+                       static_cast<int64_t>(as.id()));
+  }
   if (!faulted) {
     // Hit — but if the page's read is still on the disk (another session faulted it
     // first), the data hasn't arrived: join that read's waiters instead of proceeding.
@@ -287,9 +296,11 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   size_t current_run = 0;
   uint64_t prev_missing = 0;
   bool have_prev = false;
+  int64_t faulted_pages = 0;
   for (uint64_t vpn = first; vpn < first + count; ++vpn) {
     bool needs_disk = as.WasEvicted(vpn);
     bool faulted = MakeResident(as, vpn, write);
+    faulted_pages += faulted ? 1 : 0;
     if (!needs_disk) {
       if (!faulted && !in_flight_.empty()) {
         auto fit = in_flight_.find(FramesKey::Of(as, vpn));
@@ -320,6 +331,11 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
   if (current_run > 0) {
     runs->push_back(static_cast<int>(current_run));
   }
+  if (faulted_pages > 0 && recorder_ != nullptr) {
+    // One batched flight record per faulting access (see Access above).
+    recorder_->Instant(FlightComponent::kMem, "faults", sim_.Now(), 0, faulted_pages,
+                       static_cast<int64_t>(as.id()));
+  }
   if (runs == nullptr && joins.empty()) {
     if (tracer_ != nullptr) {
       tracer_->Span(TraceCategory::kMem, "access", trace_track_, access_start, access_start,
@@ -330,7 +346,7 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
     }
     return;
   }
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr || recorder_ != nullptr) {
     // Wrap completion so the span closes at the moment the last clustered read lands.
     int64_t io_pages = 0;
     if (runs != nullptr) {
@@ -339,8 +355,15 @@ void Pager::AccessRange(AddressSpace& as, uint64_t first, size_t count, bool wri
       }
     }
     done = [this, access_start, count, io_pages, done = std::move(done)]() mutable {
-      tracer_->Span(TraceCategory::kMem, "page-in", trace_track_, access_start, sim_.Now(),
-                    "pages", static_cast<int64_t>(count), "io_pages", io_pages);
+      if (tracer_ != nullptr) {
+        tracer_->Span(TraceCategory::kMem, "page-in", trace_track_, access_start,
+                      sim_.Now(), "pages", static_cast<int64_t>(count), "io_pages",
+                      io_pages);
+      }
+      if (recorder_ != nullptr) {
+        recorder_->Span(FlightComponent::kMem, "page-in", access_start, sim_.Now(), 0,
+                        static_cast<int64_t>(count), io_pages);
+      }
       if (done) {
         done();
       }

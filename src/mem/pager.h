@@ -36,6 +36,8 @@
 
 namespace tcs {
 
+class FlightRecorder;
+
 enum class EvictionPolicy { kGlobalLru, kInteractiveProtect };
 
 struct PagerConfig {
@@ -122,6 +124,11 @@ class Pager {
   // AccessRange that touches the disk becomes a "page-in" span. One branch when null.
   void SetTracer(Tracer* tracer);
 
+  // Flight recorder: faulting accesses become one batched "faults" mem instant each
+  // (faulted page count + address space) and disk-touching AccessRanges "page-in"
+  // spans. One branch when null.
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   struct FramesKey {
     static uint64_t Of(const AddressSpace& as, uint64_t vpn) {
@@ -172,6 +179,7 @@ class Pager {
   Disk& disk_;
   PagerConfig config_;
   Tracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   TraceTrack trace_track_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::vector<Frame> frames_;      // slab; indices live in AddressSpace page entries

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/util/config_error.h"
 
 namespace tcs {
@@ -103,6 +104,10 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
     tracer_->Span(TraceCategory::kNet, ok ? "frame" : "frame-lost", trace_track_, start,
                   busy_until_, "bytes", frame_bytes.count(), "queue_us",
                   (start - now).ToMicros());
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Span(FlightComponent::kNet, ok ? "frame" : "frame-lost", start,
+                    busy_until_, 0, frame_bytes.count(), (start - now).ToMicros());
   }
   *delivery = busy_until_ + config_.propagation;
   return ok;

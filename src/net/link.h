@@ -27,6 +27,8 @@
 
 namespace tcs {
 
+class FlightRecorder;
+
 struct LinkConfig {
   BitsPerSecond rate = BitsPerSecond::Mbps(10);
   Duration propagation = Duration::Micros(50);
@@ -124,6 +126,9 @@ class Link : public FrameTransport {
   // Observability: each frame becomes a net-category span over its serialization window.
   void SetTracer(Tracer* tracer);
 
+  // Flight recorder: each frame becomes a compact net record (bytes + queue delay).
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   // Extra delay from CSMA/CD contention for a frame starting at `start`.
   Duration ContentionDelay(TimePoint start);
@@ -139,6 +144,7 @@ class Link : public FrameTransport {
   Rng rng_;
   LinkFaultInjector* fault_ = nullptr;
   Tracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   TraceTrack trace_track_;
   TimePoint busy_until_ = TimePoint::Zero();
   int64_t frames_sent_ = 0;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+
 namespace tcs {
 
 ReliableChannel::ReliableChannel(Simulator& sim, Link& link, ReliableChannelConfig config)
@@ -48,6 +50,10 @@ void ReliableChannel::Transmit(uint64_t seq) {
     if (tracer_ != nullptr) {
       tracer_->Instant(TraceCategory::kNet, "retransmit", trace_track_, sim_.Now(), "seq",
                        static_cast<int64_t>(seq), "attempt", rec.attempts);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Instant(FlightComponent::kNet, "retransmit", sim_.Now(), 0,
+                         static_cast<int64_t>(seq), rec.attempts);
     }
   }
   TimePoint sent_at = sim_.Now();

@@ -72,6 +72,9 @@ class ReliableChannel : public FrameTransport {
   // Each retransmission becomes an instant on a net-category "reliable" track.
   void SetTracer(Tracer* tracer);
 
+  // Flight recorder: each retransmission becomes a compact net instant (seq + attempt).
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   struct Record {
     Bytes bytes = Bytes::Zero();
@@ -99,6 +102,7 @@ class ReliableChannel : public FrameTransport {
   Link& link_;
   ReliableChannelConfig config_;
   Tracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   TraceTrack trace_track_;
   std::map<uint64_t, Record> records_;
   uint64_t next_seq_ = 0;

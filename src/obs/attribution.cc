@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/flight_recorder.h"
+
 namespace tcs {
 
 namespace {
@@ -77,6 +79,12 @@ void LatencyAttribution::Commit(const InteractionRecord& rec) {
   }
   if (config_.keep_records) {
     records_.Append(arena_, rec);
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->Span(FlightComponent::kBlame, "interaction",
+                           TimePoint::FromMicros(rec.sent_us),
+                           TimePoint::FromMicros(rec.painted_us), rec.id, rec.total_us(),
+                           rec.batch);
   }
   if (config_.tracer != nullptr) {
     EmitTrace(rec);

@@ -40,6 +40,8 @@
 
 namespace tcs {
 
+class FlightRecorder;
+
 enum class AttrStage : int {
   kInputNet = 0,
   kRetransmit,
@@ -118,6 +120,10 @@ struct AttributionConfig {
   // net/cpu/mem/proto/client tracks plus Perfetto flow events (ph "s"/"t"/"f") linking
   // one interaction's spans across those tracks.
   Tracer* tracer = nullptr;
+  // With a flight recorder, every commit leaves one compact blame span (sent -> painted,
+  // flow id == interaction id) in the always-on ring, so a frozen postmortem window can
+  // name the exact interactions that straddled the violation.
+  FlightRecorder* recorder = nullptr;
   // Retain every InteractionRecord for tests/tools (off by default: aggregation only).
   bool keep_records = false;
 };

@@ -1,0 +1,153 @@
+// Always-on flight recorder: a bounded ring of compact per-component records.
+//
+// The Tracer answers "show me everything" at the cost of unbounded growth and JSON
+// rendering; sweeps therefore run trace-off and a stall found by a 512-point chaos grid
+// used to be unexplainable without a full re-run. The FlightRecorder is the other point
+// in the design space: every component continuously appends fixed-size POD records
+// (timestamp, duration, name literal, component, flow id, two integer args) into a
+// bounded ring backed by one contiguous arena block allocated at construction.
+// Appending is a mask and a handful of stores — no JSON, no per-record allocation, no
+// branches beyond the null-pointer gate at each call site — so it is cheap enough to
+// leave on for every run (gated by BM_FlightRecorderOverhead at <3% on the 64-user
+// consolidation bench).
+//
+// When an SloWatchdog detects a violation it calls Freeze(now): the records of the last
+// `window` of virtual time are copied out of the ring (first freeze wins, so the bundle
+// shows the *first* violation's history, not the run's tail). WindowJson() renders the
+// frozen window as a Chrome/Perfetto trace-event JSON document — one process ("flight"),
+// one track per component, span/instant/counter events plus flow arrows grouped by the
+// records' interaction ids — in the same dialect as Tracer::WriteJson, so existing trace
+// validation and viewers work unchanged.
+//
+// Determinism contract: records carry only virtual-time stamps, name literals, and
+// integer args; the ring's contents and the rendered window are byte-identical across
+// reruns and ParallelSweep worker counts for a given seed.
+
+#ifndef TCS_SRC_OBS_FLIGHT_RECORDER_H_
+#define TCS_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/arena.h"
+#include "src/sim/time.h"
+
+namespace tcs {
+
+enum class FlightComponent : int32_t {
+  kSim = 0,
+  kCpu,
+  kSched,
+  kMem,
+  kNet,
+  kProto,
+  kSession,
+  kFault,
+  kBlame,
+};
+
+inline constexpr int kFlightComponentCount = 9;
+
+const char* FlightComponentName(FlightComponent c);
+
+enum class FlightKind : int32_t { kSpan = 0, kInstant, kCounter };
+
+// One recorded event. `name` must outlive the recorder (string literals, interned
+// names); identity is virtual time + integers only, never pointers or wall clock.
+// Padded to exactly one cache line: at the natural 56-byte size most appends straddle
+// two lines, and the ring is written far more often than it is read.
+struct alignas(64) FlightRecord {
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;      // spans only; 0 otherwise
+  const char* name = nullptr;
+  int32_t component = 0;   // FlightComponent
+  int32_t kind = 0;        // FlightKind
+  uint64_t flow_id = 0;    // interaction id; 0 = not part of a flow
+  int64_t arg1 = 0;
+  int64_t arg2 = 0;
+};
+
+struct FlightRecorderConfig {
+  // Ring capacity in records (rounded up to a power of two, minimum 1024, so the
+  // append path masks instead of dividing). 64Ki records ≈ 3.5 MiB, several virtual
+  // seconds of fully-loaded consolidation history.
+  size_t capacity = size_t{1} << 16;
+  // How much history Freeze() keeps, in virtual time.
+  Duration window = Duration::Millis(500);
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Span(FlightComponent c, const char* name, TimePoint start, TimePoint end,
+            uint64_t flow_id = 0, int64_t arg1 = 0, int64_t arg2 = 0) {
+    Append(start.ToMicros(), (end - start).ToMicros(), name, c, FlightKind::kSpan,
+           flow_id, arg1, arg2);
+  }
+
+  void Instant(FlightComponent c, const char* name, TimePoint t, uint64_t flow_id = 0,
+               int64_t arg1 = 0, int64_t arg2 = 0) {
+    Append(t.ToMicros(), 0, name, c, FlightKind::kInstant, flow_id, arg1, arg2);
+  }
+
+  void Counter(FlightComponent c, const char* name, TimePoint t, int64_t value) {
+    Append(t.ToMicros(), 0, name, c, FlightKind::kCounter, 0, value, 0);
+  }
+
+  // Records ever appended (monotonic; the ring holds the last min(seen, capacity)).
+  uint64_t records_seen() const { return head_; }
+  size_t capacity() const { return capacity_; }
+  Duration window() const { return config_.window; }
+
+  // Copies the ring records with ts >= now - window, oldest append first, into the
+  // frozen window. The first freeze wins: later calls are no-ops so the bundle keeps
+  // the *first* violation's history.
+  void Freeze(TimePoint now);
+  bool frozen() const { return frozen_; }
+  TimePoint frozen_at() const { return TimePoint::FromMicros(frozen_at_us_); }
+  const std::vector<FlightRecord>& frozen_window() const { return window_; }
+
+  // Renders the frozen window as Chrome trace-event JSON (metadata only when Freeze
+  // was never called or kept nothing). Deterministic byte-for-byte.
+  void WriteWindowJson(std::ostream& out) const;
+  std::string WindowJson() const;
+
+ private:
+  static constexpr size_t kMinCapacity = 1024;
+
+  void Append(int64_t ts_us, int64_t dur_us, const char* name, FlightComponent c,
+              FlightKind kind, uint64_t flow_id, int64_t arg1, int64_t arg2) {
+    // capacity_ is a power of two and the ring is one contiguous block, so the wrap
+    // is a mask and the store a single indexed write — this runs on every CPU
+    // segment, page-in, and link frame of every run.
+    FlightRecord& r = ring_[static_cast<size_t>(head_) & (capacity_ - 1)];
+    r.ts_us = ts_us;
+    r.dur_us = dur_us;
+    r.name = name;
+    r.component = static_cast<int32_t>(c);
+    r.kind = static_cast<int32_t>(kind);
+    r.flow_id = flow_id;
+    r.arg1 = arg1;
+    r.arg2 = arg2;
+    ++head_;
+  }
+
+  FlightRecorderConfig config_;
+  size_t capacity_ = 0;
+  BumpArena arena_;
+  FlightRecord* ring_ = nullptr;  // one contiguous capacity_-record block in the arena
+  uint64_t head_ = 0;             // total records ever appended
+  bool frozen_ = false;
+  int64_t frozen_at_us_ = 0;
+  std::vector<FlightRecord> window_;  // filled by Freeze()
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_OBS_FLIGHT_RECORDER_H_

@@ -27,6 +27,9 @@
 
 namespace tcs {
 
+class FlightRecorder;
+struct SloSpec;
+
 class MetricsCounter {
  public:
   explicit MetricsCounter(std::string name) : name_(std::move(name)) {}
@@ -113,6 +116,14 @@ struct ObsConfig {
   // When set, server experiments thread interaction ids through the keystroke pipeline
   // and fill their result's `blame` block (per-stage latency attribution).
   LatencyAttribution* attribution = nullptr;
+  // Always-on bounded ring of compact component records (src/obs/flight_recorder.h).
+  // Null = off (one branch per would-be record at every call site).
+  FlightRecorder* recorder = nullptr;
+  // Declarative per-run objectives (src/obs/slo.h). When set, experiments run an
+  // SloWatchdog, fill their result's `slo` block, and — lacking a `recorder` above —
+  // attach a run-local FlightRecorder so violating runs still yield a full postmortem
+  // bundle even with tracing off.
+  const SloSpec* slo = nullptr;
   Duration sample_period = Duration::Millis(100);
   // When non-null, the experiment renders its PeriodicSampler's gauge series (CSV) here
   // before the sampler goes out of scope, so callers can persist it.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/flight_recorder.h"
 #include "src/util/config_error.h"
 #include "src/proto/lbx_protocol.h"
 #include "src/proto/slim_protocol.h"
@@ -121,6 +122,14 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
     }
     if (config_.faults.session.Any()) {
       fault_track_ = config_.tracer->RegisterTrack("fault", "server");
+    }
+  }
+  if (config_.recorder != nullptr) {
+    cpu_.SetFlightRecorder(config_.recorder);
+    pager_.SetFlightRecorder(config_.recorder);
+    link_.SetFlightRecorder(config_.recorder);
+    if (reliable_ != nullptr) {
+      reliable_->SetFlightRecorder(config_.recorder);
     }
   }
   if (config_.metrics != nullptr) {
@@ -357,6 +366,11 @@ void Server::OnKeystrokeArrived(Session& session, TimePoint sent_at,
     config_.tracer->Span(TraceCategory::kSession, "input-net", session.trace_track_,
                          sent_at, sim_.Now());
   }
+  if (config_.recorder != nullptr) {
+    config_.recorder->Span(FlightComponent::kSession, "input-net", sent_at, sim_.Now(),
+                           interaction_id, static_cast<int64_t>(session.id_),
+                           retransmit_us);
+  }
   if (session.pending_keystrokes_ == 0) {
     session.oldest_pending_sent_ = sent_at;
     session.oldest_pending_arrived_ = sim_.Now();
@@ -503,6 +517,13 @@ void Server::CompletePipeline(Session& session, int batch) {
     config_.tracer->Span(TraceCategory::kSession, "keystroke-batch", session.trace_track_,
                          session.current_batch_arrived_, emitted, "batch",
                          static_cast<int64_t>(batch));
+  }
+  if (config_.recorder != nullptr) {
+    uint64_t flow = config_.attribution != nullptr ? session.current_attr_.id : 0;
+    config_.recorder->Span(FlightComponent::kSession, "keystroke-batch",
+                           session.current_batch_arrived_, emitted, flow,
+                           static_cast<int64_t>(batch),
+                           static_cast<int64_t>(session.id_));
   }
   if (session.on_display_update_) {
     session.on_display_update_(emitted);

@@ -58,6 +58,11 @@ struct ServerConfig {
   // exact per-stage breakdown (sum of stage micros == end-to-end micros) on completion.
   // Null costs one branch per stage boundary and zero allocations.
   LatencyAttribution* attribution = nullptr;
+  // Always-on flight recorder (optional, non-owning). When set, the CPU, pager, link,
+  // reliable channel, and session pipeline continuously append compact records into its
+  // bounded ring so an SLO violation can be explained without re-running traced. Null
+  // costs one branch per would-be record.
+  FlightRecorder* recorder = nullptr;
 };
 
 // Where one keystroke's end-to-end latency went (requires an attached client device for

@@ -1,0 +1,80 @@
+// Minimal JSON object builder: appends comma-separated "key": value pairs.
+//
+// Shared by the core report renderers and the obs postmortem bundles so both emit the
+// same deterministic number formats (%.9g doubles, exact integers). Keys are literals
+// and values numbers/strings without control characters, so escaping is limited to
+// quotes and backslashes.
+
+#ifndef TCS_SRC_UTIL_JSON_H_
+#define TCS_SRC_UTIL_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tcs {
+
+class JsonObject {
+ public:
+  void Str(const char* key, const std::string& value) {
+    Key(key);
+    out_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+      }
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  void Int(const char* key, int64_t value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out_ += buf;
+  }
+
+  void UInt(const char* key, uint64_t value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ += buf;
+  }
+
+  void Bool(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+  }
+
+  void Double(const char* key, double value) {
+    Key(key);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += buf;
+  }
+
+  void Raw(const char* key, const std::string& json) {
+    Key(key);
+    out_ += json;
+  }
+
+  std::string Finish() { return "{" + out_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    if (!out_.empty()) {
+      out_ += ',';
+    }
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_UTIL_JSON_H_

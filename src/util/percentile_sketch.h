@@ -17,7 +17,6 @@
 #define TCS_SRC_UTIL_PERCENTILE_SKETCH_H_
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -39,9 +38,13 @@ class PercentileSketch {
   }
 
   // Exact nearest-rank percentile: the sample at rank ceil(q * n), clamped to [1, n].
-  // The result is always an actually observed value.
+  // The result is always an actually observed value. With no samples every query below
+  // returns the value-initialized sentinel T{} (0 for the numeric instantiations) —
+  // a defined answer rather than an out-of-bounds read.
   T NearestRank(double q) const {
-    assert(!empty());
+    if (empty()) {
+      return T{};
+    }
     Compact();
     auto n = static_cast<int64_t>(sorted_.size());
     auto rank = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999999);
@@ -51,7 +54,9 @@ class PercentileSketch {
 
   // Linear interpolation between the two ranks straddling q (SampleSet semantics).
   double Interpolated(double q) const {
-    assert(!empty());
+    if (empty()) {
+      return 0.0;
+    }
     Compact();
     q = std::clamp(q, 0.0, 1.0);
     double rank = q * static_cast<double>(sorted_.size() - 1);
@@ -63,12 +68,16 @@ class PercentileSketch {
   }
 
   T Min() const {
-    assert(!empty());
+    if (empty()) {
+      return T{};
+    }
     Compact();
     return sorted_.front();
   }
   T Max() const {
-    assert(!empty());
+    if (empty()) {
+      return T{};
+    }
     Compact();
     return sorted_.back();
   }

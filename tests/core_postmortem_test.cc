@@ -1,0 +1,193 @@
+// Determinism contract for SLO postmortem bundles.
+//
+// A violation's forensic bundle (frozen Perfetto window + postmortem JSON) derives
+// every byte from virtual time and the spec, so rerunning the same configuration —
+// serially or under any ParallelSweep worker count — must reproduce it exactly. These
+// tests run violating experiments twice (and across --jobs 1 vs 4) and byte-compare
+// the bundles, and pin down when the report JSON carries an "slo" block.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/admission.h"
+#include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
+#include "src/core/report.h"
+#include "src/session/os_profile.h"
+
+namespace tcs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// wall_ms is the one nondeterministic report field; the postmortem paths embed the
+// (deliberately distinct) out dirs. Neutralize both before comparing reports.
+std::string Normalize(std::string json, const std::string& out_dir) {
+  static const std::regex kWall("\"wall_ms\":[-+0-9.eE]+");
+  json = std::regex_replace(json, kWall, "\"wall_ms\":0");
+  size_t pos;
+  while ((pos = json.find(out_dir)) != std::string::npos) {
+    json.replace(pos, out_dir.size(), "<out>");
+  }
+  return json;
+}
+
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    path = (std::filesystem::temp_directory_path() /
+            (std::string("tcs_pm_") + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+ChaosOptions LossyChaos() {
+  ChaosOptions opt;
+  opt.loss_rate = 0.05;
+  opt.duration = Duration::Seconds(5);
+  opt.seed = 7;
+  return opt;
+}
+
+SloSpec TightSlo(const std::string& name, const std::string& out_dir) {
+  SloSpec spec;
+  spec.max_worst_p99_ms = 1.0;  // no real run stays under 1 ms: guaranteed violation
+  spec.name = name;
+  spec.out_dir = out_dir;
+  return spec;
+}
+
+TEST(PostmortemDeterminismTest, ChaosBundleIsByteIdenticalAcrossReruns) {
+  TempDir dir_a("chaos_a");
+  TempDir dir_b("chaos_b");
+  auto run = [](const std::string& out_dir) {
+    SloSpec spec = TightSlo("cell", out_dir);
+    ObsConfig obs;
+    obs.slo = &spec;
+    return RunChaosPoint(OsProfile::Tse(), LossyChaos(), &obs);
+  };
+  ChaosPoint a = run(dir_a.path);
+  ChaosPoint b = run(dir_b.path);
+  ASSERT_TRUE(a.slo.active);
+  ASSERT_FALSE(a.slo.passed);
+  ASSERT_EQ(a.slo.postmortems.size(), 2u);
+  EXPECT_EQ(a.slo.violated_at_us, b.slo.violated_at_us);
+  std::string trace_a = ReadFile(dir_a.path + "/cell.trace.json");
+  std::string trace_b = ReadFile(dir_b.path + "/cell.trace.json");
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_GT(trace_a.size(), 1000u);  // a real window, not just metadata
+  EXPECT_EQ(ReadFile(dir_a.path + "/cell.postmortem.json"),
+            ReadFile(dir_b.path + "/cell.postmortem.json"));
+  // Chaos points always attribute, so the bundle carries a blame digest.
+  EXPECT_NE(ReadFile(dir_a.path + "/cell.postmortem.json").find("\"blame\":"),
+            std::string::npos);
+}
+
+TEST(PostmortemDeterminismTest, BundlesAreInvariantAcrossSweepWorkerCounts) {
+  TempDir dir_serial("jobs1");
+  TempDir dir_parallel("jobs4");
+  auto sweep = [](const std::string& out_dir, int workers) {
+    ParallelSweep sweep(workers);
+    return sweep.Map(4, [&out_dir](int i) {
+      ChaosOptions opt;
+      opt.loss_rate = 0.02 * (i + 1);
+      opt.duration = Duration::Seconds(5);
+      opt.seed = SweepSeed(7, static_cast<uint64_t>(i));
+      SloSpec spec = TightSlo("cell" + std::to_string(i), out_dir);
+      ObsConfig obs;
+      obs.slo = &spec;
+      return RunChaosPoint(OsProfile::Tse(), opt, &obs);
+    });
+  };
+  std::vector<ChaosPoint> serial = sweep(dir_serial.path, 1);
+  std::vector<ChaosPoint> parallel = sweep(dir_parallel.path, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].slo.active);
+    EXPECT_EQ(Normalize(ToJson(serial[i]), dir_serial.path),
+              Normalize(ToJson(parallel[i]), dir_parallel.path))
+        << "cell " << i << " report differs across worker counts";
+    std::string stem = "/cell" + std::to_string(i);
+    EXPECT_EQ(ReadFile(dir_serial.path + stem + ".trace.json"),
+              ReadFile(dir_parallel.path + stem + ".trace.json"));
+    EXPECT_EQ(ReadFile(dir_serial.path + stem + ".postmortem.json"),
+              ReadFile(dir_parallel.path + stem + ".postmortem.json"));
+  }
+}
+
+TEST(PostmortemDeterminismTest, ConsolidationBundleIsByteIdenticalAcrossReruns) {
+  TempDir dir_a("cons_a");
+  TempDir dir_b("cons_b");
+  auto run = [](const std::string& out_dir) {
+    ConsolidationOptions opt;
+    opt.users = 3;
+    opt.duration = Duration::Seconds(5);
+    opt.seed = 1;
+    opt.burst_cpu = Duration::Millis(200);
+    SloSpec spec = TightSlo("cons", out_dir);
+    ObsConfig obs;
+    obs.slo = &spec;
+    return RunConsolidation(OsProfile::Tse(), opt, &obs);
+  };
+  ConsolidationResult a = run(dir_a.path);
+  ConsolidationResult b = run(dir_b.path);
+  ASSERT_TRUE(a.slo.active);
+  ASSERT_FALSE(a.slo.passed);
+  EXPECT_EQ(a.slo.violated_at_us, b.slo.violated_at_us);
+  EXPECT_EQ(ReadFile(dir_a.path + "/cons.trace.json"),
+            ReadFile(dir_b.path + "/cons.trace.json"));
+  EXPECT_EQ(ReadFile(dir_a.path + "/cons.postmortem.json"),
+            ReadFile(dir_b.path + "/cons.postmortem.json"));
+}
+
+TEST(SloReportBlockTest, ReportJsonCarriesSloBlockOnlyWhenActive) {
+  // Without an SloSpec the report must be byte-identical to the pre-SLO schema
+  // (the golden corpus depends on this).
+  ChaosPoint plain = RunChaosPoint(OsProfile::Tse(), LossyChaos());
+  EXPECT_EQ(ToJson(plain).find("\"slo\":"), std::string::npos);
+
+  SloSpec spec;
+  spec.max_worst_p99_ms = 1.0;  // violated
+  ObsConfig obs;
+  obs.slo = &spec;
+  ChaosPoint gated = RunChaosPoint(OsProfile::Tse(), LossyChaos(), &obs);
+  std::string json = ToJson(gated);
+  EXPECT_NE(json.find("\"slo\":{\"passed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"violating_objective\":\"worst_p99_ms\""), std::string::npos);
+  // No out_dir => verdict in the report, no files on disk.
+  EXPECT_TRUE(gated.slo.postmortems.empty());
+}
+
+TEST(SloReportBlockTest, PassingSloReportsInJsonWithoutBundle) {
+  ChaosOptions opt;
+  opt.duration = Duration::Seconds(5);  // fault-free: latencies stay tens of ms
+  SloSpec spec;
+  spec.max_worst_p99_ms = 10'000.0;  // absurdly lax: guaranteed pass
+  ObsConfig obs;
+  obs.slo = &spec;
+  ChaosPoint point = RunChaosPoint(OsProfile::Tse(), opt, &obs);
+  ASSERT_TRUE(point.slo.active);
+  EXPECT_TRUE(point.slo.passed);
+  EXPECT_EQ(point.slo.violated_at_us, -1);
+  std::string json = ToJson(point);
+  EXPECT_NE(json.find("\"slo\":{\"passed\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcs

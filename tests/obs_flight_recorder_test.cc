@@ -1,0 +1,136 @@
+#include "src/obs/flight_recorder.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/time.h"
+
+namespace tcs {
+namespace {
+
+TimePoint Us(int64_t us) { return TimePoint::FromMicros(us); }
+
+TEST(FlightRecorderTest, CapacityRoundsUpToAPowerOfTwo) {
+  FlightRecorderConfig cfg;
+  cfg.capacity = 1;
+  FlightRecorder recorder(cfg);
+  EXPECT_EQ(recorder.capacity(), 1024u);  // floor: 1024 records
+
+  FlightRecorderConfig cfg2;
+  cfg2.capacity = 1025;
+  FlightRecorder recorder2(cfg2);
+  EXPECT_EQ(recorder2.capacity(), 2048u);
+}
+
+TEST(FlightRecorderTest, RecordsSeenIsMonotonicPastCapacity) {
+  FlightRecorderConfig cfg;
+  cfg.capacity = 1024;
+  cfg.window = Duration::Seconds(10);
+  FlightRecorder recorder(cfg);
+  for (int i = 0; i < 3000; ++i) {
+    recorder.Instant(FlightComponent::kSim, "tick", Us(i));
+  }
+  EXPECT_EQ(recorder.records_seen(), 3000u);
+  recorder.Freeze(Us(3000));
+  // The ring only holds the last `capacity` records; the oldest 1976 were overwritten.
+  ASSERT_EQ(recorder.frozen_window().size(), 1024u);
+  EXPECT_EQ(recorder.frozen_window().front().ts_us, 3000 - 1024);
+  EXPECT_EQ(recorder.frozen_window().back().ts_us, 2999);
+}
+
+TEST(FlightRecorderTest, FreezeKeepsOnlyTheConfiguredWindow) {
+  FlightRecorderConfig cfg;
+  cfg.window = Duration::Millis(1);  // keep the last 1000 us
+  FlightRecorder recorder(cfg);
+  recorder.Instant(FlightComponent::kNet, "old", Us(100));
+  recorder.Instant(FlightComponent::kNet, "edge", Us(2000));  // exactly at the horizon
+  recorder.Instant(FlightComponent::kNet, "new", Us(2500));
+  recorder.Freeze(Us(3000));
+  ASSERT_EQ(recorder.frozen_window().size(), 2u);
+  EXPECT_STREQ(recorder.frozen_window()[0].name, "edge");
+  EXPECT_STREQ(recorder.frozen_window()[1].name, "new");
+  EXPECT_EQ(recorder.frozen_at().ToMicros(), 3000);
+}
+
+TEST(FlightRecorderTest, FirstFreezeWins) {
+  FlightRecorder recorder;
+  recorder.Instant(FlightComponent::kFault, "first", Us(10));
+  recorder.Freeze(Us(20));
+  ASSERT_TRUE(recorder.frozen());
+  ASSERT_EQ(recorder.frozen_window().size(), 1u);
+  // Later records and later freezes must not disturb the first violation's window.
+  recorder.Instant(FlightComponent::kFault, "second", Us(30));
+  recorder.Freeze(Us(40));
+  EXPECT_EQ(recorder.frozen_at().ToMicros(), 20);
+  ASSERT_EQ(recorder.frozen_window().size(), 1u);
+  EXPECT_STREQ(recorder.frozen_window()[0].name, "first");
+}
+
+TEST(FlightRecorderTest, SpanInstantCounterFieldsSurviveTheRing) {
+  FlightRecorder recorder;
+  recorder.Span(FlightComponent::kCpu, "seg", Us(100), Us(250), 7, 42, 43);
+  recorder.Instant(FlightComponent::kMem, "fault", Us(300), 0, 5);
+  recorder.Counter(FlightComponent::kSim, "pending_events", Us(400), 12);
+  recorder.Freeze(Us(500));
+  ASSERT_EQ(recorder.frozen_window().size(), 3u);
+  const FlightRecord& span = recorder.frozen_window()[0];
+  EXPECT_EQ(span.kind, static_cast<int32_t>(FlightKind::kSpan));
+  EXPECT_EQ(span.ts_us, 100);
+  EXPECT_EQ(span.dur_us, 150);
+  EXPECT_EQ(span.flow_id, 7u);
+  EXPECT_EQ(span.arg1, 42);
+  EXPECT_EQ(span.arg2, 43);
+  const FlightRecord& instant = recorder.frozen_window()[1];
+  EXPECT_EQ(instant.kind, static_cast<int32_t>(FlightKind::kInstant));
+  EXPECT_EQ(instant.dur_us, 0);
+  EXPECT_EQ(instant.arg1, 5);
+  const FlightRecord& counter = recorder.frozen_window()[2];
+  EXPECT_EQ(counter.kind, static_cast<int32_t>(FlightKind::kCounter));
+  EXPECT_EQ(counter.arg1, 12);
+}
+
+TEST(FlightRecorderTest, WindowJsonWithoutFreezeIsMetadataOnly) {
+  FlightRecorder recorder;
+  recorder.Instant(FlightComponent::kSim, "tick", Us(1));
+  std::string json = recorder.WindowJson();
+  // Process + nine component tracks, but no event records until Freeze selects them.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"blame\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WindowJsonIsByteIdenticalAcrossIdenticalRuns) {
+  auto drive = [](FlightRecorder& recorder) {
+    for (int i = 0; i < 50; ++i) {
+      recorder.Span(FlightComponent::kSession, "keystroke-batch", Us(i * 100),
+                    Us(i * 100 + 40), static_cast<uint64_t>(i % 5 + 1), i, i * 2);
+      recorder.Instant(FlightComponent::kMem, "fault", Us(i * 100 + 10));
+      recorder.Counter(FlightComponent::kNet, "backlog", Us(i * 100 + 20), i * 7);
+    }
+    recorder.Freeze(Us(5000));
+  };
+  FlightRecorder a;
+  FlightRecorder b;
+  drive(a);
+  drive(b);
+  std::string ja = a.WindowJson();
+  EXPECT_EQ(ja, b.WindowJson());
+  // Flow arrows only appear for ids seen more than once, with begin/step/end phases.
+  EXPECT_NE(ja.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(ja.find("\"ph\":\"f\",\"name\":\"interaction\""), std::string::npos);
+  EXPECT_NE(ja.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SingleOccurrenceFlowIdEmitsNoArrow) {
+  FlightRecorder recorder;
+  recorder.Span(FlightComponent::kBlame, "interaction", Us(0), Us(10), 99);
+  recorder.Freeze(Us(100));
+  std::string json = recorder.WindowJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -151,6 +151,39 @@ TEST(LatencyRecorderSketchTest, DifferentialAgainstSortAndScan) {
   }
 }
 
+// Regression: empty percentile queries must return the value-initialized sentinel, not
+// read past the end of an empty vector. The SLO watchdog's live p99 source polls
+// recorders from its first tick — typically before the first interaction has landed —
+// so "query before any Add" is a hot path, not an edge case.
+TEST(PercentileSketchTest, EmptyQueriesReturnSentinel) {
+  PercentileSketch<int64_t> sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.NearestRank(0.5), 0);
+  EXPECT_EQ(sketch.NearestRank(0.99), 0);
+  EXPECT_DOUBLE_EQ(sketch.Interpolated(0.5), 0.0);
+  EXPECT_EQ(sketch.Min(), 0);
+  EXPECT_EQ(sketch.Max(), 0);
+  // Still consistent after the first real sample.
+  sketch.Add(42);
+  EXPECT_EQ(sketch.NearestRank(0.99), 42);
+
+  PercentileSketch<double> dsketch;
+  EXPECT_DOUBLE_EQ(dsketch.NearestRank(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(dsketch.Interpolated(0.99), 0.0);
+}
+
+TEST(LatencyRecorderSketchTest, EmptyRecorderAnswersZeroEverywhere) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0);
+  EXPECT_EQ(rec.Percentile(0.5), Duration::Zero());
+  EXPECT_EQ(rec.Percentile(0.99), Duration::Zero());
+  EXPECT_DOUBLE_EQ(rec.PercentileMs(0.99), 0.0);
+  EXPECT_EQ(rec.Mean(), Duration::Zero());
+  EXPECT_EQ(rec.Jitter(), Duration::Zero());
+  EXPECT_DOUBLE_EQ(rec.PerceptibleFraction(), 0.0);
+  EXPECT_TRUE(rec.samples_us().empty());
+}
+
 TEST(SampleSetSketchTest, DifferentialAgainstSortAndScan) {
   for (uint64_t seed = 42; seed < 52; ++seed) {
     std::mt19937_64 gen(seed);

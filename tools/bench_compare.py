@@ -3,7 +3,7 @@
 
 Usage:
   bench_compare.py results.json [--baseline BENCH_BASELINE.json]
-                   [--threshold 0.10] [--strict]
+                   [--threshold 0.10] [--strict] [--summary-md PATH]
 
 For every benchmark entry in the baseline whose gbench name appears in the results
 file, the tool extracts the tracked metric (a named counter, or real_time), compares
@@ -22,6 +22,8 @@ Baseline entry fields the tool understands (all optional except unit/current):
 
 With --benchmark_repetitions, aggregate rows are emitted per benchmark; the tool
 prefers the "_median" aggregate and otherwise uses the plain (non-aggregate) row.
+--summary-md appends the comparison as a GitHub-flavored-Markdown table to PATH
+(append, so several invocations can share one $GITHUB_STEP_SUMMARY file).
 Stdlib only — no pip dependencies.
 """
 
@@ -72,6 +74,9 @@ def main():
                     help="relative change flagged as regression (default 0.10)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 if any regression exceeds the threshold")
+    ap.add_argument("--summary-md", metavar="PATH",
+                    help="append the comparison as a Markdown table to PATH "
+                         "(e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -122,6 +127,21 @@ def main():
     if not rows:
         print("no comparable benchmarks found", file=sys.stderr)
         return 1
+
+    if args.summary_md:
+        status_md = {"REGRESSION": ":red_circle: regression",
+                     "improved": ":green_circle: improved", "": "ok"}
+        with open(args.summary_md, "a") as f:
+            f.write("### Benchmark trend vs BENCH_BASELINE\n\n")
+            f.write("| benchmark | baseline | measured | delta | better | status |\n")
+            f.write("|---|---:|---:|---:|---|---|\n")
+            for key, cur, meas, delta, better, flag in rows:
+                f.write(f"| `{key}` | {cur:.6g} | {meas:.6g} | {delta:+.1%} "
+                        f"| {better} | {status_md[flag]} |\n")
+            if skipped:
+                f.write(f"\n{len(skipped)} entr{'y' if len(skipped) == 1 else 'ies'} "
+                        "skipped (not in this run's results).\n")
+            f.write("\n")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) past {args.threshold:.0%}: "

@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# Re-bless the golden report corpus in tests/golden/.
+# Re-bless (or verify) the golden report corpus in tests/golden/.
 #
-# Builds golden_report_test and reruns it with TCS_REGEN_GOLDEN=1, which makes each
-# case rewrite its golden file instead of comparing against it. Run this after an
-# intentional change to simulation behavior or report formatting, then review the
-# diff under tests/golden/ before committing.
+# Default mode builds golden_report_test and reruns it with TCS_REGEN_GOLDEN=1, which
+# makes each case rewrite its golden file instead of comparing against it. Run this
+# after an intentional change to simulation behavior or report formatting, then review
+# the diff under tests/golden/ before committing.
+#
+# --check regenerates into the working tree and then fails (exit 1) if any golden file
+# changed — i.e. the committed corpus no longer matches what the build produces. CI's
+# golden-no-rebless job runs this; it catches both behavior drift and a re-bless that
+# was run but not committed. wall_ms (the one nondeterministic report field) is
+# neutralized before comparing, and in-sync files are restored so a passing check
+# leaves the working tree clean.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+fi
 
 BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . >/dev/null
@@ -16,5 +28,28 @@ cmake --build "$BUILD_DIR" --target golden_report_test -j >/dev/null
 mkdir -p tests/golden
 TCS_REGEN_GOLDEN=1 "$BUILD_DIR/tests/golden_report_test"
 
-echo "Regenerated $(ls tests/golden/*.json | wc -l) golden files:"
-git -c core.pager=cat diff --stat -- tests/golden || true
+if [[ "$CHECK" == 1 ]]; then
+  # Compare each regenerated file against HEAD with wall_ms zeroed on both sides
+  # (same normalization golden_report_test applies): wall time is nondeterministic
+  # by contract and must not fail the check.
+  drifted=0
+  for f in tests/golden/*.json; do
+    if ! diff -u \
+        <(git show "HEAD:$f" | sed -E 's/"wall_ms":[-+0-9.eE]+/"wall_ms":0/g') \
+        <(sed -E 's/"wall_ms":[-+0-9.eE]+/"wall_ms":0/g' "$f") \
+        --label "HEAD:$f" --label "$f"; then
+      drifted=1
+    else
+      git checkout --quiet -- "$f"  # in sync: drop the regenerated wall_ms churn
+    fi
+  done
+  if [[ "$drifted" == 1 ]]; then
+    echo "golden corpus drifted: regenerating produced the diff above." >&2
+    echo "If the change is intentional, commit the regenerated files." >&2
+    exit 1
+  fi
+  echo "golden corpus is in sync ($(ls tests/golden/*.json | wc -l) files)."
+else
+  echo "Regenerated $(ls tests/golden/*.json | wc -l) golden files:"
+  git -c core.pager=cat diff --stat -- tests/golden || true
+fi

@@ -46,6 +46,13 @@
 //            whose p99 first crosses --threshold-ms and the stage that dominates it.
 //            An `--os` entry may carry a protocol suffix (e.g. linux:lbx runs the X
 //            pipeline over LBX). Output is byte-identical for any --jobs value.
+//   postmortem <experiment> [experiment flags] [--slo-p99-ms=100 --slo-availability=0.99
+//            --slo-backlog-kb=N --slo-starved=X --postmortem-dir=postmortems]
+//            run one experiment (typing|e2e|chaos|consolidation) under a (by default
+//            tight) SLO; on violation the always-on flight recorder's frozen window and
+//            a forensic summary are written as <dir>/<name>.trace.json and
+//            <dir>/<name>.postmortem.json, deterministically named and byte-identical
+//            across reruns. Prints the per-objective verdicts and bundle paths.
 //   trace    <experiment> [experiment flags] [--out=trace.json --metrics-out=metrics.csv
 //            --report-out=report.json --categories=cpu,sched,...]
 //            run one experiment observed: writes a Perfetto-loadable Chrome trace, the
@@ -61,6 +68,10 @@
 // sizing) and fans the configurations out over a worker pool (--jobs, default: all
 // cores). Each configuration gets a deterministic seed derived from --seed and its
 // position in the matrix, so output is byte-identical for any worker count.
+//
+// `sweep` (typing/e2e), `chaos`, and `capacity` also accept the --slo-* flags: each
+// configuration is then watched by an SloWatchdog and violating cells leave forensic
+// bundles under --postmortem-dir, even though the sweep itself runs trace-off.
 
 #include <cstdio>
 #include <memory>
@@ -92,7 +103,7 @@ int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
       "commands: idle typing paging traffic webpage gif rtt sizing capacity e2e sweep "
-      "chaos blame trace replay help\n"
+      "chaos blame postmortem trace replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -308,6 +319,8 @@ bool ParseIntList(const std::string& value, const char* flag, std::vector<int>* 
   return true;
 }
 
+SloSpec SloSpecFromFlags(FlagSet& flags);
+
 int CmdSweep(FlagSet& flags) {
   std::string experiment = flags.GetString("experiment", "typing");
   if (experiment != "typing" && experiment != "sizing" && experiment != "e2e") {
@@ -345,6 +358,12 @@ int CmdSweep(FlagSet& flags) {
   int jobs = static_cast<int>(flags.GetInt("jobs", 0));
   int load_count = static_cast<int>(loads.size());
   int configs = static_cast<int>(profiles.size()) * load_count;
+  SloSpec base_slo = SloSpecFromFlags(flags);
+  if (base_slo.Any() && experiment == "sizing") {
+    std::fprintf(stderr, "--slo-* flags are not supported for --experiment=sizing "
+                         "(use typing or e2e)\n");
+    return 2;
+  }
 
   // One row per configuration, OS-major, load-minor: the same order the equivalent
   // serial loops would produce, regardless of --jobs.
@@ -362,17 +381,28 @@ int CmdSweep(FlagSet& flags) {
   }();
 
   std::vector<std::vector<std::string>> rows;
+  std::vector<SloReport> slo_reports;  // config order; empty unless --slo-* given
   if (experiment == "typing") {
     auto results = sweep.Map(configs, [&](int i) {
+      if (!base_slo.Any()) {
+        return RunTypingUnderLoad(profiles[static_cast<size_t>(i / load_count)],
+                                  loads[static_cast<size_t>(i % load_count)], seconds,
+                                  SweepSeed(base_seed, static_cast<uint64_t>(i)));
+      }
+      SloSpec cfg_slo = base_slo;
+      cfg_slo.name = "sweep_typing_cfg" + std::to_string(i);
+      ObsConfig obs;
+      obs.slo = &cfg_slo;
       return RunTypingUnderLoad(profiles[static_cast<size_t>(i / load_count)],
                                 loads[static_cast<size_t>(i % load_count)], seconds,
-                                SweepSeed(base_seed, static_cast<uint64_t>(i)));
+                                SweepSeed(base_seed, static_cast<uint64_t>(i)), 1, &obs);
     });
-    for (const TypingUnderLoadResult& r : results) {
+    for (TypingUnderLoadResult& r : results) {
       rows.push_back({r.os_name, TextTable::Num(r.sinks),
                       TextTable::Fixed(r.avg_stall_ms, 1),
                       TextTable::Fixed(r.max_stall_ms, 1),
                       TextTable::Fixed(r.jitter_ms, 1), TextTable::Num(r.updates)});
+      slo_reports.push_back(std::move(r.slo));
     }
   } else if (experiment == "sizing") {
     auto results = sweep.Map(configs, [&](int i) {
@@ -387,27 +417,52 @@ int CmdSweep(FlagSet& flags) {
                       TextTable::Fixed(p.worst_stall_ms, 1)});
     }
   } else {
+    double background_mbps = flags.GetDouble("background-mbps", 0.0);
     auto results = sweep.Map(configs, [&](int i) {
       EndToEndOptions opt;
       opt.sinks = loads[static_cast<size_t>(i % load_count)];
-      opt.background_mbps = flags.GetDouble("background-mbps", 0.0);
+      opt.background_mbps = background_mbps;
       opt.duration = seconds;
       opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
-      return RunEndToEndLatency(profiles[static_cast<size_t>(i / load_count)], opt);
+      if (!base_slo.Any()) {
+        return RunEndToEndLatency(profiles[static_cast<size_t>(i / load_count)], opt);
+      }
+      SloSpec cfg_slo = base_slo;
+      cfg_slo.name = "sweep_e2e_cfg" + std::to_string(i);
+      ObsConfig obs;
+      obs.slo = &cfg_slo;
+      return RunEndToEndLatency(profiles[static_cast<size_t>(i / load_count)], opt, &obs);
     });
     for (size_t i = 0; i < results.size(); ++i) {
-      const EndToEndResult& r = results[i];
+      EndToEndResult& r = results[i];
       rows.push_back({r.os_name, TextTable::Num(loads[i % loads.size()]),
                       TextTable::Fixed(r.input_net_ms, 2),
                       TextTable::Fixed(r.server_ms, 2),
                       TextTable::Fixed(r.display_net_ms, 2),
                       TextTable::Fixed(r.client_ms, 2), TextTable::Fixed(r.total_ms, 2)});
+      slo_reports.push_back(std::move(r.slo));
     }
   }
   for (auto& row : rows) {
     table.AddRow(std::move(row));
   }
   Emit(table, flags.GetBool("csv"));
+  if (base_slo.Any()) {
+    int violated = 0;
+    for (size_t i = 0; i < slo_reports.size(); ++i) {
+      const SloReport& slo = slo_reports[i];
+      if (!slo.active || slo.passed) {
+        continue;
+      }
+      ++violated;
+      std::printf("SLO violated at config %zu: %s\n", i,
+                  slo.violating_objective.c_str());
+      for (const std::string& path : slo.postmortems) {
+        std::printf("  postmortem: %s\n", path.c_str());
+      }
+    }
+    std::printf("SLO: %d of %d configs violated\n", violated, configs);
+  }
   // stderr, so stdout stays byte-identical for any --jobs value (and CSV stays clean).
   std::fprintf(stderr, "%d configs over %d workers\n", configs, sweep.workers());
   return 0;
@@ -427,6 +482,37 @@ bool ParseDoubleList(const std::string& value, const char* flag,
 }
 
 bool WriteFile(const std::string& path, const std::string& contents);
+
+// The shared --slo-* flags as an SloSpec; a spec with no flags set checks nothing
+// (Any() is false), so commands only pay for the watchdog when asked.
+SloSpec SloSpecFromFlags(FlagSet& flags) {
+  SloSpec spec;
+  spec.max_worst_p99_ms = flags.GetDouble("slo-p99-ms", 0.0);
+  spec.min_availability = flags.GetDouble("slo-availability", 0.0);
+  spec.max_link_backlog_bytes = flags.GetInt("slo-backlog-kb", 0) * 1024;
+  spec.max_starved_fraction = flags.GetDouble("slo-starved", -1.0);
+  spec.out_dir = flags.GetString("postmortem-dir", "postmortems");
+  return spec;
+}
+
+// Per-objective verdicts plus any bundle paths, for humans.
+void PrintSloReport(const SloReport& slo, const char* label) {
+  if (!slo.active) {
+    return;
+  }
+  for (const SloObjectiveResult& o : slo.objectives) {
+    std::printf("%s  %-20s limit %.3f observed %.3f  %s\n", label, o.objective.c_str(),
+                o.limit, o.observed, o.passed ? "ok" : "VIOLATED");
+  }
+  if (!slo.passed) {
+    std::printf("%s  first violation: %s at %.3f ms virtual\n", label,
+                slo.violating_objective.c_str(),
+                static_cast<double>(slo.violated_at_us) / 1000.0);
+    for (const std::string& path : slo.postmortems) {
+      std::printf("%s  postmortem: %s\n", label, path.c_str());
+    }
+  }
+}
 
 int CmdChaos(FlagSet& flags) {
   OsProfile profile;
@@ -464,7 +550,10 @@ int CmdChaos(FlagSet& flags) {
   int configs = static_cast<int>(losses.size()) * flap_count;
 
   // Loss-major, flap-minor, each config with a position-derived seed: the grid is
-  // byte-identical for any --jobs value.
+  // byte-identical for any --jobs value. With --slo-* flags, every cell runs under its
+  // own watchdog and run-local flight recorder (the sweep stays trace-off); violating
+  // cells leave bundles named by grid position + seed, so --jobs cannot rename them.
+  SloSpec base_slo = SloSpecFromFlags(flags);
   ParallelSweep sweep(jobs);
   auto points = sweep.Map(configs, [&](int i) {
     ChaosOptions opt;
@@ -480,7 +569,15 @@ int CmdChaos(FlagSet& flags) {
     opt.duration = seconds;
     opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
     opt.threshold = threshold;
-    return RunChaosPoint(profile, opt);
+    if (!base_slo.Any()) {
+      return RunChaosPoint(profile, opt);
+    }
+    SloSpec cell_slo = base_slo;
+    cell_slo.name =
+        "chaos_cell" + std::to_string(i) + "_seed" + std::to_string(opt.seed);
+    ObsConfig obs;
+    obs.slo = &cell_slo;
+    return RunChaosPoint(profile, opt, &obs);
   });
 
   TextTable table({"loss", "flap (ms)", "p50 (ms)", "p99 (ms)", "mean (ms)",
@@ -522,6 +619,22 @@ int CmdChaos(FlagSet& flags) {
   } else {
     std::printf("p99 stays under %lld ms across the grid\n",
                 static_cast<long long>(threshold.ToMicros() / 1000));
+  }
+  if (base_slo.Any()) {
+    int violated = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ChaosPoint& p = points[i];
+      if (!p.slo.active || p.slo.passed) {
+        continue;
+      }
+      ++violated;
+      std::printf("SLO violated at loss %.1f%% / flap %.0f ms: %s\n", p.loss_rate * 100.0,
+                  p.flap_ms, p.slo.violating_objective.c_str());
+      for (const std::string& path : p.slo.postmortems) {
+        std::printf("  postmortem: %s\n", path.c_str());
+      }
+    }
+    std::printf("SLO: %d of %d cells violated\n", violated, configs);
   }
 
   std::string report_path = flags.GetString("report-out", "");
@@ -774,14 +887,24 @@ int CmdCapacity(FlagSet& flags) {
 
   // The sweep parallelizes across configurations only; each configuration's binary
   // search is sequential and memoized, with every candidate run on the same
-  // position-derived seed. Output is byte-identical for any --jobs value.
+  // position-derived seed. Output is byte-identical for any --jobs value. With --slo-*
+  // flags every probe is watched; bundle stems carry the configuration and candidate N.
+  SloSpec base_slo = SloSpecFromFlags(flags);
   ParallelSweep sweep(jobs);
   std::vector<CapacityResult> results;
   try {
     results = sweep.Map(configs, [&](int i) {
       CapacityOptions options = proto_options;
       options.behavior.seed = SweepSeed(base_seed, static_cast<uint64_t>(i));
-      return RunServerCapacity(base[static_cast<size_t>(i)].profile, options);
+      if (!base_slo.Any()) {
+        return RunServerCapacity(base[static_cast<size_t>(i)].profile, options);
+      }
+      SloSpec cfg_slo = base_slo;
+      cfg_slo.name = "capacity_" + base[static_cast<size_t>(i)].os_word + "_" +
+                     base[static_cast<size_t>(i)].proto_word;
+      ObsConfig obs;
+      obs.slo = &cfg_slo;
+      return RunServerCapacity(base[static_cast<size_t>(i)].profile, options, &obs);
     });
   } catch (const ConfigError& e) {
     std::fprintf(stderr, "bad capacity configuration — %s\n", e.what());
@@ -823,6 +946,26 @@ int CmdCapacity(FlagSet& flags) {
                 r.latency_sized_users);
   }
 
+  if (base_slo.Any()) {
+    int violated = 0;
+    for (int i = 0; i < configs; ++i) {
+      for (const ConsolidationResult& probe : results[static_cast<size_t>(i)].probes) {
+        if (!probe.slo.active || probe.slo.passed) {
+          continue;
+        }
+        ++violated;
+        std::printf("SLO violated at %s/%s with %d users: %s\n",
+                    base[static_cast<size_t>(i)].os_word.c_str(),
+                    base[static_cast<size_t>(i)].proto_word.c_str(), probe.users,
+                    probe.slo.violating_objective.c_str());
+        for (const std::string& path : probe.slo.postmortems) {
+          std::printf("  postmortem: %s\n", path.c_str());
+        }
+      }
+    }
+    std::printf("SLO: %d probes violated\n", violated);
+  }
+
   std::string report_path = flags.GetString("report-out", "");
   if (!report_path.empty()) {
     std::string report = "{\"experiment\":\"capacity_sweep\",\"points\":[";
@@ -839,6 +982,110 @@ int CmdCapacity(FlagSet& flags) {
   }
   // stderr, so stdout stays byte-identical for any --jobs value.
   std::fprintf(stderr, "%d capacity configs over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
+int CmdPostmortem(FlagSet& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "postmortem needs an experiment (typing|e2e|chaos|consolidation)\n");
+    return 2;
+  }
+  std::string experiment = flags.positional()[1];
+  if (experiment == "typing_under_load") {
+    experiment = "typing";
+  } else if (experiment == "end_to_end" || experiment == "end_to_end_latency") {
+    experiment = "e2e";
+  } else if (experiment == "chaos_point") {
+    experiment = "chaos";
+  }
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+
+  // Tight defaults: a p99 budget at the perception threshold and near-perfect
+  // availability, so the command catches real degradation out of the box. Explicit
+  // --slo-* flags override.
+  SloSpec spec = SloSpecFromFlags(flags);
+  if (!spec.Any()) {
+    spec.max_worst_p99_ms = flags.GetDouble("slo-p99-ms", 100.0);
+    spec.min_availability = flags.GetDouble("slo-availability", 0.99);
+  }
+  spec.name = experiment;
+  ObsConfig obs;
+  obs.slo = &spec;
+
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  SloReport slo;
+  if (experiment == "typing") {
+    TypingUnderLoadResult r = RunTypingUnderLoad(
+        profile, static_cast<int>(flags.GetInt("sinks", 2)), seconds, seed,
+        static_cast<int>(flags.GetInt("cpus", 1)), &obs);
+    std::printf("typing on %s: avg stall %.1f ms, max %.1f ms\n", r.os_name.c_str(),
+                r.avg_stall_ms, r.max_stall_ms);
+    slo = std::move(r.slo);
+  } else if (experiment == "e2e") {
+    EndToEndOptions opt;
+    opt.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+    opt.background_mbps = flags.GetDouble("background-mbps", 0.0);
+    opt.duration = seconds;
+    opt.seed = seed;
+    if (flags.GetDouble("loss", 0.0) > 0.0) {
+      opt.faults.link.loss_rate = flags.GetDouble("loss", 0.0);
+    }
+    EndToEndResult r = RunEndToEndLatency(profile, opt, &obs);
+    std::printf("e2e on %s: total %.2f ms over %lld updates\n", r.os_name.c_str(),
+                r.total_ms, static_cast<long long>(r.updates));
+    slo = std::move(r.slo);
+  } else if (experiment == "chaos") {
+    ChaosOptions opt;
+    opt.loss_rate = flags.GetDouble("loss", 0.05);
+    int flap = static_cast<int>(flags.GetInt("flap-ms", 0));
+    if (flap > 0) {
+      opt.flap_every = Duration::Millis(flags.GetInt("flap-every-ms", 2000));
+      opt.flap_duration = Duration::Millis(flap);
+    }
+    opt.disk_stall_rate = flags.GetDouble("disk-stall", 0.0);
+    opt.disconnect_every = Duration::Millis(flags.GetInt("disconnect-ms", 0));
+    opt.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+    opt.duration = seconds;
+    opt.seed = seed;
+    opt.threshold = Duration::Millis(flags.GetInt("threshold-ms", 150));
+    ChaosPoint r = RunChaosPoint(profile, opt, &obs);
+    std::printf("chaos on %s (loss %.1f%%, flap %.0f ms): p50 %.2f ms, p99 %.2f ms, "
+                "availability %.3f\n",
+                r.os_name.c_str(), r.loss_rate * 100.0, r.flap_ms, r.p50_ms, r.p99_ms,
+                r.faults.availability);
+    slo = std::move(r.slo);
+  } else if (experiment == "consolidation") {
+    ConsolidationOptions opt;
+    opt.users = static_cast<int>(flags.GetInt("users", 8));
+    opt.duration = seconds;
+    opt.seed = seed;
+    opt.sinks = static_cast<int>(flags.GetInt("sinks", 0));
+    opt.burst_cpu = Duration::Millis(flags.GetInt("burst-ms", 300));
+    opt.burst_period = Duration::Millis(flags.GetInt("burst-every-ms", 5000));
+    opt.ram = Bytes::MiB(flags.GetInt("ram-mib", 64));
+    ConsolidationResult r;
+    try {
+      r = RunConsolidation(profile, opt, &obs);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "bad consolidation configuration — %s\n", e.what());
+      return 2;
+    }
+    std::printf("consolidation on %s with %d users: worst p99 stall %.1f ms, CPU %.1f%%\n",
+                r.os_name.c_str(), r.users, r.worst_p99_stall_ms,
+                r.cpu_utilization * 100.0);
+    slo = std::move(r.slo);
+  } else {
+    std::fprintf(stderr, "unknown experiment '%s' (typing|e2e|chaos|consolidation)\n",
+                 experiment.c_str());
+    return 2;
+  }
+
+  PrintSloReport(slo, "");
+  std::printf("SLO %s\n", slo.passed ? "PASSED" : "FAILED");
   return 0;
 }
 
@@ -928,7 +1175,9 @@ int CmdTrace(FlagSet& flags) {
   bool server_experiment = experiment == "typing" || experiment == "paging" ||
                            experiment == "e2e" || experiment == "sizing";
   if (server_experiment) {
-    attribution = std::make_unique<LatencyAttribution>(AttributionConfig{&tracer, false});
+    AttributionConfig attr_cfg;
+    attr_cfg.tracer = &tracer;
+    attribution = std::make_unique<LatencyAttribution>(attr_cfg);
     obs.attribution = attribution.get();
   }
 
@@ -1096,7 +1345,8 @@ int Run(int argc, char** argv) {
                  "jobs", "seed", "out", "metrics-out", "report-out", "categories",
                  "loss", "flap-ms", "flap-every-ms", "disk-stall", "disconnect-ms",
                  "threshold-ms", "max-users", "max-util", "max-p99-ms", "burst-ms",
-                 "burst-every-ms", "ram-mib"});
+                 "burst-every-ms", "ram-mib", "slo-p99-ms", "slo-availability",
+                 "slo-backlog-kb", "slo-starved", "postmortem-dir"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -1139,6 +1389,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "blame") {
     return CmdBlame(flags);
+  }
+  if (command == "postmortem") {
+    return CmdPostmortem(flags);
   }
   if (command == "trace") {
     return CmdTrace(flags);
