@@ -18,6 +18,7 @@
 #include "src/proto/rdp_protocol.h"
 #include "src/proto/x_protocol.h"
 #include "src/session/server.h"
+#include "src/util/config_error.h"
 #include "src/util/stats.h"
 #include "src/workload/animation.h"
 #include "src/workload/app_script.h"
@@ -728,6 +729,307 @@ ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
                               : 0;
   point.blame = attribution->Collect();
   slo.Finish(point.slo, point.faults.availability);
+  FinishRun(point.run, sim, t0);
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// WAN pathology sweep + graceful degradation
+
+WanProfile WanProfileByName(const std::string& name) {
+  WanProfile p;
+  p.name = name;
+  if (name == "dsl") {
+    // Consumer ADSL tail: asymmetric, modest RTT, rare short bursts, and the classic
+    // oversized modem buffer — ~780 ms of bufferbloat at line rate when pinned.
+    p.extra_delay = Duration::Millis(20);
+    p.jitter = Duration::Millis(5);
+    p.down_rate = BitsPerSecond::Mbps(4);
+    p.up_rate = BitsPerSecond::Kbps(512);
+    p.queue_bytes = Bytes::KiB(384);
+    p.ge_p_good_to_bad = 0.002;
+    p.ge_p_bad_to_good = 0.2;
+    p.ge_loss_good = 0.0005;
+    p.ge_loss_bad = 0.08;
+  } else if (name == "lte") {
+    // Cellular: decent rates but jittery, bursty loss at cell-edge, and notoriously deep
+    // eNB buffers — over a second of bufferbloat when the downlink saturates.
+    p.extra_delay = Duration::Millis(35);
+    p.jitter = Duration::Millis(15);
+    p.down_rate = BitsPerSecond::Mbps(6);
+    p.up_rate = BitsPerSecond::Mbps(2);
+    p.queue_bytes = Bytes::KiB(768);
+    p.ge_p_good_to_bad = 0.005;
+    p.ge_p_bad_to_good = 0.15;
+    p.ge_loss_good = 0.001;
+    p.ge_loss_bad = 0.15;
+  } else if (name == "satellite") {
+    // GEO hop: enormous fixed delay, narrow uplink, long queues, weather-fade bursts.
+    p.extra_delay = Duration::Millis(280);
+    p.jitter = Duration::Millis(30);
+    p.down_rate = BitsPerSecond::Mbps(3);
+    p.up_rate = BitsPerSecond::Kbps(768);
+    p.queue_bytes = Bytes::KiB(192);
+    p.ge_p_good_to_bad = 0.002;
+    p.ge_p_bad_to_good = 0.25;
+    p.ge_loss_good = 0.0005;
+    p.ge_loss_bad = 0.05;
+  } else if (name == "congested-office") {
+    // An oversubscribed branch-office uplink: symmetric but starved for capacity, a
+    // shallow router queue that tail-drops readily, and contention-driven loss bursts.
+    p.extra_delay = Duration::Millis(5);
+    p.jitter = Duration::Millis(10);
+    p.down_rate = BitsPerSecond::Mbps(2);
+    p.up_rate = BitsPerSecond::Mbps(2);
+    p.queue_bytes = Bytes::KiB(48);
+    p.ge_p_good_to_bad = 0.004;
+    p.ge_p_bad_to_good = 0.3;
+    p.ge_loss_good = 0.002;
+    p.ge_loss_bad = 0.12;
+  } else {
+    throw ConfigError("WanProfile", "unknown WAN profile: " + name +
+                                        " (expected dsl, lte, satellite, or"
+                                        " congested-office)");
+  }
+  return p;
+}
+
+std::vector<std::string> WanProfileNames() {
+  return {"dsl", "lte", "satellite", "congested-office"};
+}
+
+WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
+                     const ObsConfig* obs) {
+  WallClock::time_point t0 = WallClock::now();
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.seed = options.seed;
+  cfg.faults.seed = options.seed ^ 0xFA017u;
+  // An all-empty profile injects nothing: LinkFaultPlan.Any() stays false, no injector or
+  // reliable channel is constructed, and the run is byte-identical to a LAN run.
+  cfg.faults.link.wan.extra_delay = options.profile.extra_delay;
+  cfg.faults.link.wan.jitter = options.profile.jitter;
+  cfg.faults.link.wan.down_rate = options.profile.down_rate;
+  cfg.faults.link.wan.up_rate = options.profile.up_rate;
+  cfg.faults.link.wan.queue_bytes = options.profile.queue_bytes;
+  cfg.faults.link.wan.ge_p_good_to_bad = options.profile.ge_p_good_to_bad;
+  cfg.faults.link.wan.ge_p_bad_to_good = options.profile.ge_p_bad_to_good;
+  cfg.faults.link.wan.ge_loss_good = options.profile.ge_loss_good;
+  cfg.faults.link.wan.ge_loss_bad = options.profile.ge_loss_bad;
+  cfg.degradation.enabled = options.degrade;
+  // Arm the controller only once the warm-up (login storm, first desktop paint) is over,
+  // so its ledger records WAN congestion rather than setup transients.
+  cfg.degradation.start_delay = Duration::Seconds(2);
+  if (options.profile.queue_bytes.count() > 0) {
+    // Calibrate the pressure ladder to the bottleneck queue: a backlog pinned at the
+    // drop-tail bound (bufferbloat saturation) engages the deepest level, and each
+    // quarter of the queue engages one more step.
+    cfg.degradation.level_step = Bytes::Of(
+        std::max<int64_t>(Bytes::KiB(8).count(), options.profile.queue_bytes.count() / 4));
+  }
+  ApplyObs(cfg, obs);
+  SloRuntime slo(sim, obs);
+  slo.ApplyTo(cfg);
+  // WAN points always attribute: the blame table is how degradation shows its work
+  // (coalesce holds land in sched-wait, network pathology in the net stages).
+  AttributionConfig attr_cfg;
+  attr_cfg.tracer = obs != nullptr ? obs->tracer : nullptr;
+  attr_cfg.recorder = cfg.recorder;
+  LatencyAttribution local_attribution(attr_cfg);
+  LatencyAttribution* attribution =
+      cfg.attribution != nullptr ? cfg.attribution : &local_attribution;
+  cfg.attribution = attribution;
+  if (slo.active()) {
+    slo.watchdog()->SetAttribution(attribution);
+  }
+  AttachSimHook(sim, obs);
+  Server server(sim, profile, cfg);
+  SamplerScope sampler(sim, obs);
+  server.StartDaemons();
+  server.AttachClient(ThinClientConfig::DesktopPc());
+
+  const Duration start_delay = Duration::Seconds(2);  // past session setup and warm-up
+  // A user counts as starved while some keystroke echo has been pending for longer than
+  // starve_after: per painted batch the window [keystroke + starve_after, painted],
+  // unioned via counted_through so overlapping batches are not double-billed. This
+  // catches both total paint droughts and sustained bufferbloat lag (echoes flowing, but
+  // every one of them seconds old).
+  struct WanUser {
+    Session* session = nullptr;
+    std::unique_ptr<Typist> typist;
+    LatencyRecorder latency;
+    TimePoint counted_through;       // starved time accounted up to here
+    bool pending = false;            // a keystroke awaiting its echo
+    TimePoint pending_since;
+    Duration starved = Duration::Zero();
+    int64_t perceptible = 0;
+  };
+  std::vector<WanUser> users(static_cast<size_t>(options.users));
+  for (size_t u = 0; u < users.size(); ++u) {
+    WanUser& wu = users[u];
+    wu.session = &server.Login();
+    wu.counted_through = TimePoint::Zero() + start_delay;
+    Duration starve_after = options.starve_after;
+    WanUser* wp = &wu;
+    wu.session->set_on_frame_painted(
+        [wp, starve_after, threshold = options.threshold](const KeystrokeLatency& lat) {
+          wp->latency.Record(lat.total());
+          if (lat.total() > threshold) {
+            ++wp->perceptible;
+          }
+          TimePoint painted = lat.keystroke_at + lat.total();
+          TimePoint from = std::max(lat.keystroke_at + starve_after, wp->counted_through);
+          if (painted > from) {
+            wp->starved += painted - from;
+          }
+          if (painted > wp->counted_through) {
+            wp->counted_through = painted;
+          }
+          wp->pending = false;
+        });
+    Session* s = wu.session;
+    wu.typist = std::make_unique<Typist>(sim,
+                                         [&server, &sim, s, wp] {
+                                           if (!wp->pending) {
+                                             wp->pending = true;
+                                             wp->pending_since = sim.Now();
+                                           }
+                                           server.Keystroke(*s);
+                                         },
+                                         Duration::Millis(200));
+    wu.typist->Start(start_delay + Duration::Millis(7) * static_cast<int64_t>(u));
+  }
+
+  // The background media session: a light login playing unique-frame video into the
+  // narrow downlink — the pressure source the degradation ladder sacrifices first.
+  Session* background_session = nullptr;
+  std::unique_ptr<Animation> background;
+  if (options.background_session) {
+    background_session = &server.Login(/*light_session=*/true);
+    server.SetBackground(*background_session, true);
+    AnimationConfig ac;
+    ac.id = 0x8AC6;
+    // ~4.7 Mbps of media: heavier than every profile's downlink, so without degradation
+    // the drop-tail queue sits pinned at its bound and interactive echoes tail-drop too.
+    ac.width = 512;
+    ac.height = 384;
+    ac.frame_period = Duration::Millis(100);  // 10 fps media
+    // Every frame unique over the run so the bitmap cache cannot absorb the stream.
+    ac.frame_count = static_cast<int>(options.duration / ac.frame_period) + 64;
+    ac.compression_ratio = 0.3;
+    background = std::make_unique<Animation>(sim, background_session->protocol(), ac);
+    background->set_frame_gate([&server] {
+      DegradationController* d = server.degradation();
+      if (d == nullptr) {
+        return true;
+      }
+      if (d->BackgroundPaused()) {
+        return false;
+      }
+      return !d->ShouldDropAnimationFrame();
+    });
+    background->Start(start_delay);
+  }
+
+  if (slo.active()) {
+    slo.watchdog()->SetWorstP99Source([&users] {
+      double worst = 0.0;
+      for (const WanUser& wu : users) {
+        worst = std::max(worst, wu.latency.PercentileMs(0.99));
+      }
+      return worst;
+    });
+    slo.watchdog()->SetStarvationSource([&users, &sim, starve_after =
+                                             options.starve_after] {
+      // Live view: fraction of users with an echo pending beyond the starvation
+      // threshold right now.
+      int starved = 0;
+      for (const WanUser& wu : users) {
+        if (wu.pending && sim.Now() - wu.pending_since > starve_after) {
+          ++starved;
+        }
+      }
+      return users.empty() ? 0.0
+                           : static_cast<double>(starved) /
+                                 static_cast<double>(users.size());
+    });
+    slo.watchdog()->SetLinkBacklogSource([&server, &sim] {
+      return server.link().BacklogBytesAt(sim.Now()).count();
+    });
+    slo.Start();
+  }
+
+  sim.RunUntil(TimePoint::Zero() + start_delay + options.duration);
+  for (WanUser& wu : users) {
+    wu.typist->Stop();
+  }
+  if (background != nullptr) {
+    background->Stop();
+  }
+  sim.RunFor(Duration::Seconds(1));  // drain retransmissions and in-flight updates
+
+  // Close each user's final paint gap at the post-drain horizon.
+  TimePoint horizon = sim.Now();
+  Duration active = horizon - (TimePoint::Zero() + start_delay);
+  Duration total_run = start_delay + options.duration + Duration::Seconds(1);
+
+  WanPoint point;
+  point.os_name = profile.name;
+  point.profile = options.profile.name;
+  point.degrade = options.degrade;
+  point.users = options.users;
+  double mean_us_sum = 0.0;
+  double worst_starved = 0.0;
+  double starved_sum = 0.0;
+  int64_t perceptible = 0;
+  for (WanUser& wu : users) {
+    // Close a still-pending echo at the horizon: starved from pending_since +
+    // starve_after (or wherever accounting already reached) to the end of the run.
+    if (wu.pending) {
+      TimePoint from =
+          std::max(wu.pending_since + options.starve_after, wu.counted_through);
+      if (horizon > from) {
+        wu.starved += horizon - from;
+      }
+    }
+    double starved_frac =
+        active > Duration::Zero() ? std::min(1.0, wu.starved / active) : 0.0;
+    worst_starved = std::max(worst_starved, starved_frac);
+    starved_sum += starved_frac;
+    point.worst_p99_ms = std::max(point.worst_p99_ms, wu.latency.PercentileMs(0.99));
+    point.updates += wu.latency.count();
+    perceptible += wu.perceptible;
+    // Count-weighted aggregate mean from the exact per-user microsecond accumulators.
+    mean_us_sum += static_cast<double>(wu.latency.Mean().ToMicros()) *
+                   static_cast<double>(wu.latency.count());
+  }
+  point.mean_ms =
+      point.updates > 0 ? mean_us_sum / static_cast<double>(point.updates) / 1000.0 : 0.0;
+  point.perceptible_fraction =
+      point.updates > 0
+          ? static_cast<double>(perceptible) / static_cast<double>(point.updates)
+          : 0.0;
+  point.worst_starved_fraction = worst_starved;
+  point.faults = server.CollectFaultStats(total_run);
+  double mean_starved =
+      users.empty() ? 0.0 : starved_sum / static_cast<double>(users.size());
+  // Effective availability: the link's own availability (outage-driven; 1.0 for pure WAN
+  // pathology) scaled by the fraction of user time frames actually flowed.
+  double link_avail = point.faults.active ? point.faults.availability : 1.0;
+  point.availability = link_avail * (1.0 - mean_starved);
+  if (DegradationController* d = server.degradation()) {
+    for (const DegradationTransition& tr : d->transitions()) {
+      point.degradation_peak_level = std::max(point.degradation_peak_level, tr.to);
+    }
+    point.degradation_transitions = static_cast<int64_t>(d->transitions().size());
+    point.degraded_seconds = d->DegradedTimeThrough(horizon).ToSecondsF();
+    point.animation_frames_skipped = d->animation_frames_dropped();
+  }
+  if (background != nullptr) {
+    point.background_frames_drawn = background->frames_drawn();
+  }
+  point.blame = attribution->Collect();
+  slo.Finish(point.slo, point.availability);
   FinishRun(point.run, sim, t0);
   return point;
 }

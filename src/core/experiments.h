@@ -335,6 +335,81 @@ struct ChaosPoint {
 ChaosPoint RunChaosPoint(const OsProfile& profile, const ChaosOptions& options,
                          const ObsConfig* obs = nullptr);
 
+// ---------------------------------------------------------------------------
+// WAN pathology sweep + graceful degradation
+//
+// The paper's measurements ran on a healthy 10 Mbps LAN; real deployments put the same
+// sessions behind DSL tails, cellular links, and satellite hops. One WAN point runs a
+// multi-user interactive workload (plus one background media session saturating the
+// narrow downlink) under a named WAN pathology profile, with the server's
+// backpressure-driven DegradationController either off (baseline) or on, and reports
+// worst-user latency, availability, and starvation so the two arms can be compared.
+
+struct WanProfile {
+  std::string name;
+  Duration extra_delay = Duration::Zero();  // extra one-way transit (≈ RTT/2)
+  Duration jitter = Duration::Zero();       // uniform per-frame jitter on top
+  BitsPerSecond down_rate = BitsPerSecond();  // 0 = keep the LAN rate
+  BitsPerSecond up_rate = BitsPerSecond();
+  Bytes queue_bytes = Bytes::Zero();        // bufferbloat drop-tail bound (0 = unbounded)
+  double ge_p_good_to_bad = 0.0;            // Gilbert–Elliott burst loss chain
+  double ge_p_bad_to_good = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.0;
+};
+
+// Named profiles: "dsl", "lte", "satellite", "congested-office".
+// Throws tcs::ConfigError on an unknown name.
+WanProfile WanProfileByName(const std::string& name);
+// The sweep's default profile set, in presentation order.
+std::vector<std::string> WanProfileNames();
+
+struct WanOptions {
+  WanProfile profile;   // empty profile = plain LAN (differential-test baseline)
+  bool degrade = false; // arm the DegradationController
+  int users = 3;        // interactive typists
+  bool background_session = true;  // one media session hammering the downlink
+  Duration duration = Duration::Seconds(30);
+  uint64_t seed = 1;
+  Duration threshold = Duration::Millis(150);   // perception threshold
+  // An echo pending beyond this counts the user as starved (unresponsive session).
+  Duration starve_after = Duration::Seconds(1);
+};
+
+struct WanPoint {
+  std::string os_name;
+  std::string profile;
+  bool degrade = false;
+  int users = 0;
+  // Worst interactive user's keystroke latency (the per-user distributions are computed
+  // independently; worst = max over users).
+  double worst_p99_ms = 0.0;
+  double mean_ms = 0.0;  // over all interactive users' keystrokes
+  double perceptible_fraction = 0.0;
+  // Effective availability: link availability (1 - outage fraction) times the fraction
+  // of user time NOT spent starved — starved meaning some keystroke echo has been
+  // pending for longer than starve_after, which catches both total paint droughts and
+  // sustained bufferbloat lag. Degradation cannot heal outages, but it can keep the
+  // session responsive — which is what this measures.
+  double availability = 1.0;
+  // Worst user's starved-time fraction.
+  double worst_starved_fraction = 0.0;
+  int64_t updates = 0;
+  // Degradation ledger (all zero with degrade=false).
+  int degradation_peak_level = 0;
+  int64_t degradation_transitions = 0;
+  double degraded_seconds = 0.0;
+  int64_t animation_frames_skipped = 0;
+  int64_t background_frames_drawn = 0;
+  FaultStats faults;
+  AttributionResult blame;
+  SloReport slo;
+  RunStats run;
+};
+
+WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
+                     const ObsConfig* obs = nullptr);
+
 }  // namespace tcs
 
 #endif  // TCS_SRC_CORE_EXPERIMENTS_H_

@@ -27,6 +27,9 @@ std::string FaultsJson(const FaultStats& f) {
   o.UInt("daemon_crashes", f.daemon_crashes);
   o.UInt("disk_stalls", f.disk_stalls);
   o.UInt("io_errors", f.io_errors);
+  o.UInt("burst_losses", f.burst_losses);
+  o.UInt("wan_queue_drops", f.wan_queue_drops);
+  o.UInt("frames_shed", f.frames_shed);
   return o.Finish();
 }
 
@@ -239,6 +242,35 @@ std::string ToJson(const ChaosPoint& r) {
   o.Int("link_frames_delivered", r.link_frames_delivered);
   o.Int("link_frames_lost", r.link_frames_lost);
   o.Int("retransmissions", r.retransmissions);
+  o.Raw("faults", FaultsJson(r.faults));
+  if (r.blame.active) {
+    o.Raw("blame", ToJson(r.blame));
+  }
+  if (r.slo.active) {
+    o.Raw("slo", ToJson(r.slo));
+  }
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string ToJson(const WanPoint& r) {
+  JsonObject o;
+  o.Str("experiment", "wan_point");
+  o.Str("os", r.os_name);
+  o.Str("profile", r.profile);
+  o.Bool("degrade", r.degrade);
+  o.Int("users", r.users);
+  o.Double("worst_p99_ms", r.worst_p99_ms);
+  o.Double("mean_ms", r.mean_ms);
+  o.Double("perceptible_fraction", r.perceptible_fraction);
+  o.Double("availability", r.availability);
+  o.Double("worst_starved_fraction", r.worst_starved_fraction);
+  o.Int("updates", r.updates);
+  o.Int("degradation_peak_level", r.degradation_peak_level);
+  o.Int("degradation_transitions", r.degradation_transitions);
+  o.Double("degraded_seconds", r.degraded_seconds);
+  o.Int("animation_frames_skipped", r.animation_frames_skipped);
+  o.Int("background_frames_drawn", r.background_frames_drawn);
   o.Raw("faults", FaultsJson(r.faults));
   if (r.blame.active) {
     o.Raw("blame", ToJson(r.blame));

@@ -24,6 +24,7 @@ std::string ToJson(const TypingUnderLoadResult& r);
 std::string ToJson(const PagingLatencyResult& r);
 std::string ToJson(const EndToEndResult& r);
 std::string ToJson(const ChaosPoint& r);
+std::string ToJson(const WanPoint& r);
 std::string ToJson(const SizingPoint& r);
 std::string ToJson(const ConsolidationResult& r);
 std::string ToJson(const CapacityResult& r);

@@ -14,7 +14,17 @@ Duration Jitter(Rng& rng, Duration mean) {
 }  // namespace
 
 LinkFaultInjector::LinkFaultInjector(LinkFaultPlan plan, uint64_t seed)
-    : plan_(std::move(plan)), rng_(seed), input_rng_(seed ^ 0x1A7E57ull) {}
+    : plan_(std::move(plan)),
+      rng_(seed),
+      input_rng_(seed ^ 0x1A7E57ull),
+      wan_rng_(seed ^ 0x3A11D0ull),
+      wan_input_rng_(seed ^ 0x3A11D1ull),
+      wan_active_(plan_.wan.Any()) {
+  // Normalize scripted windows: Validate() already rejected overlap and disorder, but
+  // adjacent windows are legal and must behave exactly like the single merged window
+  // (OutageEndAfter must hold a frame through BOTH halves of a back-to-back pair).
+  plan_.scripted_outages = MergeAdjacentOutages(std::move(plan_.scripted_outages));
+}
 
 void LinkFaultInjector::SetTracer(Tracer* tracer) {
   tracer_ = tracer;
@@ -87,7 +97,43 @@ LinkFaultInjector::Fate LinkFaultInjector::Classify(TimePoint start, TimePoint e
     ++frames_lost_;
     return Fate::kLost;
   }
+  // Gilbert–Elliott burst loss: decide the frame's fate in the current state, then step
+  // the chain. Draws come from the dedicated WAN stream so enabling burst loss never
+  // perturbs the Bernoulli loss/corruption fates above.
+  if (plan_.wan.HasGilbertElliott()) {
+    ++ge_steps_;
+    double loss_p = ge_bad_ ? plan_.wan.ge_loss_bad : plan_.wan.ge_loss_good;
+    if (ge_bad_) {
+      ++ge_bad_steps_;
+    }
+    bool lost = loss_p > 0.0 && wan_rng_.NextBool(loss_p);
+    double flip_p = ge_bad_ ? plan_.wan.ge_p_bad_to_good : plan_.wan.ge_p_good_to_bad;
+    if (flip_p > 0.0 && wan_rng_.NextBool(flip_p)) {
+      ge_bad_ = !ge_bad_;
+    }
+    if (lost) {
+      ++frames_lost_;
+      ++burst_losses_;
+      return Fate::kLost;
+    }
+  }
   return Fate::kDelivered;
+}
+
+Duration LinkFaultInjector::WanFrameExtra() {
+  Duration extra = plan_.wan.extra_delay;
+  if (plan_.wan.jitter > Duration::Zero()) {
+    extra += plan_.wan.jitter * wan_rng_.NextDouble();
+  }
+  return extra;
+}
+
+Duration LinkFaultInjector::WanInputExtra() {
+  Duration extra = plan_.wan.extra_delay;
+  if (plan_.wan.jitter > Duration::Zero()) {
+    extra += plan_.wan.jitter * wan_input_rng_.NextDouble();
+  }
+  return extra;
 }
 
 Duration LinkFaultInjector::InputDelayPenalty(TimePoint now, Duration retry_interval,

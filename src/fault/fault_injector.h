@@ -47,10 +47,29 @@ class LinkFaultInjector {
   // Total outage time in [0, end) — the link-downtime leg of availability.
   Duration OutageTimeBefore(TimePoint end);
 
+  // WAN pathology queries. All are inert (zero / no stream consumption) when the plan's
+  // WanLinkPlan is empty, so LAN runs stay byte-identical.
+  const WanLinkPlan& wan() const { return plan_.wan; }
+  bool wan_active() const { return wan_active_; }
+  // Extra one-way transit for a display-direction frame: extra_delay plus a jitter draw
+  // from the dedicated WAN stream (consumed only when jitter > 0).
+  Duration WanFrameExtra();
+  // Extra one-way transit for an input-direction message; same shape, separate stream so
+  // input cadence never perturbs frame delivery times.
+  Duration WanInputExtra();
+
   int64_t frames_lost() const { return frames_lost_; }
   int64_t frames_corrupted() const { return frames_corrupted_; }
   int64_t outage_drops() const { return outage_drops_; }
   int64_t input_frames_lost() const { return input_frames_lost_; }
+  // Subset of frames_lost() decided by the Gilbert–Elliott chain.
+  int64_t burst_losses() const { return burst_losses_; }
+  // Fraction of Classify() calls made while the chain sat in the bad state.
+  double BadStateFraction() const {
+    return ge_steps_ > 0
+               ? static_cast<double>(ge_bad_steps_) / static_cast<double>(ge_steps_)
+               : 0.0;
+  }
 
   // Observability: each outage window becomes a fault-category span when generated.
   void SetTracer(Tracer* tracer);
@@ -67,6 +86,13 @@ class LinkFaultInjector {
   LinkFaultPlan plan_;
   Rng rng_;
   Rng input_rng_;  // separate stream: input retries must not perturb frame fates
+  // WAN streams, consumed only when the plan's WanLinkPlan is non-empty: the frame
+  // stream drives the Gilbert–Elliott chain and display-direction jitter, the input
+  // stream drives input-direction jitter.
+  Rng wan_rng_;
+  Rng wan_input_rng_;
+  bool wan_active_ = false;
+  bool ge_bad_ = false;  // Gilbert–Elliott chain state (starts good)
   Tracer* tracer_ = nullptr;
   TraceTrack trace_track_;
   std::vector<OutageWindow> generated_;  // flap windows, in time order
@@ -75,6 +101,9 @@ class LinkFaultInjector {
   int64_t frames_corrupted_ = 0;
   int64_t outage_drops_ = 0;
   int64_t input_frames_lost_ = 0;
+  int64_t burst_losses_ = 0;
+  int64_t ge_steps_ = 0;
+  int64_t ge_bad_steps_ = 0;
 };
 
 class DiskFaultInjector {

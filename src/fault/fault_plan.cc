@@ -1,8 +1,28 @@
 #include "src/fault/fault_plan.h"
 
+#include <algorithm>
+
 #include "src/util/config_error.h"
 
 namespace tcs {
+
+std::vector<OutageWindow> MergeAdjacentOutages(std::vector<OutageWindow> windows) {
+  if (windows.size() < 2) {
+    return windows;
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) { return a.from < b.from; });
+  std::vector<OutageWindow> merged;
+  merged.push_back(windows.front());
+  for (size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].from <= merged.back().until) {
+      merged.back().until = std::max(merged.back().until, windows[i].until);
+    } else {
+      merged.push_back(windows[i]);
+    }
+  }
+  return merged;
+}
 
 namespace {
 
@@ -24,6 +44,9 @@ void Validate(const FaultPlan& plan) {
     throw ConfigError("FaultPlan.link.flap_every",
                       "flap_every and flap_duration must be set together");
   }
+  // Adjacent windows (w.from == last_end) are legal: the injector merges them, so they
+  // behave exactly like the single combined window. Overlap and disorder stay errors —
+  // they are almost always a plan-authoring bug, not an intent.
   TimePoint last_end = TimePoint::Zero();
   for (const OutageWindow& w : plan.link.scripted_outages) {
     if (w.until <= w.from || w.from < last_end) {
@@ -31,6 +54,28 @@ void Validate(const FaultPlan& plan) {
                         "windows must be non-empty, sorted, and non-overlapping");
     }
     last_end = w.until;
+  }
+  const WanLinkPlan& wan = plan.link.wan;
+  CheckRate("FaultPlan.link.wan.ge_p_good_to_bad", wan.ge_p_good_to_bad);
+  CheckRate("FaultPlan.link.wan.ge_p_bad_to_good", wan.ge_p_bad_to_good);
+  CheckRate("FaultPlan.link.wan.ge_loss_good", wan.ge_loss_good);
+  CheckRate("FaultPlan.link.wan.ge_loss_bad", wan.ge_loss_bad);
+  if (wan.extra_delay < Duration::Zero()) {
+    throw ConfigError("FaultPlan.link.wan.extra_delay", "extra delay cannot be negative");
+  }
+  if (wan.jitter < Duration::Zero()) {
+    throw ConfigError("FaultPlan.link.wan.jitter", "jitter cannot be negative");
+  }
+  if (wan.down_rate.bps() < 0 || wan.up_rate.bps() < 0) {
+    throw ConfigError("FaultPlan.link.wan.down_rate", "rates cannot be negative");
+  }
+  if (wan.queue_bytes.count() < 0) {
+    throw ConfigError("FaultPlan.link.wan.queue_bytes", "queue bound cannot be negative");
+  }
+  if (wan.HasGilbertElliott() && wan.ge_p_bad_to_good <= 0.0 &&
+      wan.ge_p_good_to_bad > 0.0) {
+    throw ConfigError("FaultPlan.link.wan.ge_p_bad_to_good",
+                      "burst-loss chain needs a positive bad->good probability");
   }
   if (plan.disk.Any() && plan.disk.stall < Duration::Zero()) {
     throw ConfigError("FaultPlan.disk.stall", "stall duration must be >= 0");

@@ -15,14 +15,60 @@
 #include <vector>
 
 #include "src/sim/time.h"
+#include "src/sim/units.h"
 
 namespace tcs {
 
 // One link outage: frames whose transmission overlaps [from, until) are lost.
-// Scripted windows must be non-overlapping and sorted by `from`.
+// Scripted windows must be non-overlapping and sorted by `from`. Adjacent windows
+// (one ending exactly where the next begins) are legal and behave exactly like the
+// single merged window — LinkFaultInjector normalizes them at construction.
 struct OutageWindow {
   TimePoint from;
   TimePoint until;
+};
+
+// Coalesces touching windows: sorts by `from` and merges any window whose start is at or
+// before the previous window's end. The result is sorted, non-overlapping, and
+// non-adjacent, so every overlap query and outage-time sum sees each covered instant
+// exactly once. Empty windows (until <= from) must have been rejected by Validate first.
+std::vector<OutageWindow> MergeAdjacentOutages(std::vector<OutageWindow> windows);
+
+// WAN pathology profile for the session link. All-defaults (Any() == false) is a LAN:
+// no extra delay, symmetric configured bandwidth, unbounded FIFO, no burst loss — and
+// the link consumes no additional random stream, so empty-profile runs stay
+// byte-identical with pre-WAN builds.
+struct WanLinkPlan {
+  // Extra one-way transit delay per frame (half the profile's extra RTT), applied on top
+  // of the link's propagation delay in both directions.
+  Duration extra_delay = Duration::Zero();
+  // Per-frame uniform jitter in [0, jitter) added to extra_delay, drawn from the
+  // injector's dedicated WAN stream (frame fates are never perturbed).
+  Duration jitter = Duration::Zero();
+  // Asymmetric bandwidth: serialization rate for display-direction (down) frames and for
+  // input-direction (up) messages. Zero = the link's configured rate.
+  BitsPerSecond down_rate = BitsPerSecond();
+  BitsPerSecond up_rate = BitsPerSecond();
+  // Bounded bufferbloat queue: when the wire backlog exceeds this many bytes, newly
+  // queued frames are dropped at the tail (they never occupy the wire). Zero = unbounded.
+  Bytes queue_bytes = Bytes::Zero();
+  // Gilbert–Elliott burst loss: a two-state (good/bad) chain stepped once per frame.
+  // In the good state frames are lost with ge_loss_good, in the bad state with
+  // ge_loss_bad; the chain moves good->bad with ge_p_good_to_bad and bad->good with
+  // ge_p_bad_to_good. All four zero disables the chain entirely.
+  double ge_p_good_to_bad = 0.0;
+  double ge_p_bad_to_good = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.0;
+
+  bool HasGilbertElliott() const {
+    return ge_p_good_to_bad > 0.0 || ge_loss_good > 0.0 || ge_loss_bad > 0.0;
+  }
+  bool Any() const {
+    return extra_delay > Duration::Zero() || jitter > Duration::Zero() ||
+           down_rate.bps() > 0 || up_rate.bps() > 0 || queue_bytes.count() > 0 ||
+           HasGilbertElliott();
+  }
 };
 
 struct LinkFaultPlan {
@@ -37,10 +83,14 @@ struct LinkFaultPlan {
   // (both jittered +/-50% by the fault Rng). Zero disables random flaps.
   Duration flap_every = Duration::Zero();
   Duration flap_duration = Duration::Zero();
+  // WAN pathology profile (delay/jitter, asymmetric bandwidth, bounded bufferbloat
+  // queue, Gilbert–Elliott burst loss). Empty by default.
+  WanLinkPlan wan;
 
   bool Any() const {
     return loss_rate > 0.0 || corruption_rate > 0.0 || !scripted_outages.empty() ||
-           (flap_every > Duration::Zero() && flap_duration > Duration::Zero());
+           (flap_every > Duration::Zero() && flap_duration > Duration::Zero()) ||
+           wan.Any();
   }
 };
 
@@ -96,9 +146,12 @@ struct FaultStats {
   double availability = 1.0;
   // Stalled disk requests / total disk requests.
   double disk_stall_rate = 0.0;
-  uint64_t frames_lost = 0;       // loss + outage drops on the link
+  uint64_t frames_lost = 0;       // loss + outage drops on the link (incl. burst loss)
   uint64_t frames_corrupted = 0;  // checksum failures (also never delivered)
+  uint64_t burst_losses = 0;      // subset of frames_lost from the Gilbert–Elliott chain
+  uint64_t wan_queue_drops = 0;   // drop-tail overflows of the WAN bufferbloat queue
   uint64_t retransmissions = 0;   // ReliableChannel RTO-driven resends
+  uint64_t frames_shed = 0;       // sends refused by ReliableChannel's bounded window
   uint64_t input_frames_lost = 0; // keystroke-channel losses (recovered by retry)
   uint64_t disconnects = 0;
   uint64_t dropped_keystrokes = 0;  // typed while the session was disconnected

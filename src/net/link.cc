@@ -79,11 +79,38 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
     recent_utilization_ = 0.95 * recent_utilization_ + 0.05;
   }
 
+  const bool wan = fault_ != nullptr && fault_->wan_active();
+  const BitsPerSecond rate = wan ? DownRate() : config_.rate;
+  if (wan && fault_->wan().queue_bytes.count() > 0) {
+    // Bounded bufferbloat queue with drop-tail overflow: a frame arriving to a backlog
+    // already over the bound never occupies the wire. Its would-be delivery time is
+    // still computed (and the jitter stream still consumes one draw) so event schedules
+    // and random streams stay independent of the drop decision.
+    Bytes backlog = BacklogBytesAt(now);
+    if (backlog > fault_->wan().queue_bytes) {
+      ++frames_sent_;
+      ++frames_lost_;
+      ++wan_queue_drops_;
+      Duration extra = fault_->WanFrameExtra();
+      last_wan_extra_ = extra;
+      *delivery = std::max(now, busy_until_) + TransmissionDelay(frame_bytes, rate) +
+                  config_.propagation + extra;
+      if (tracer_ != nullptr) {
+        tracer_->Instant(TraceCategory::kNet, "frame-dropped", trace_track_, now, "bytes",
+                         frame_bytes.count(), "backlog", backlog.count());
+      }
+      if (recorder_ != nullptr) {
+        recorder_->Instant(FlightComponent::kNet, "frame-dropped", now, 0,
+                           frame_bytes.count(), backlog.count());
+      }
+      return false;
+    }
+  }
   TimePoint start = std::max(now, busy_until_);
   Duration backoff = ContentionDelay(start);
   backoff_total_ += backoff;
   start += backoff;
-  Duration serialization = TransmissionDelay(frame_bytes, config_.rate);
+  Duration serialization = TransmissionDelay(frame_bytes, rate);
   busy_until_ = start + serialization;
   queue_delay_.Add((start - now).ToMillisF());
   ++frames_sent_;
@@ -110,6 +137,14 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
                     busy_until_, 0, frame_bytes.count(), (start - now).ToMicros());
   }
   *delivery = busy_until_ + config_.propagation;
+  if (wan) {
+    // WAN transit: the profile's extra one-way delay plus per-frame jitter rides on top
+    // of the LAN propagation (lost frames pay it too — their would-be delivery time
+    // anchors retransmission timing).
+    Duration extra = fault_->WanFrameExtra();
+    last_wan_extra_ = extra;
+    *delivery += extra;
+  }
   return ok;
 }
 
@@ -174,8 +209,22 @@ Bytes Link::BacklogBytesAt(TimePoint now) const {
     return Bytes::Zero();
   }
   double seconds = (busy_until_ - now).ToSecondsF();
-  double bits = seconds * static_cast<double>(config_.rate.bps());
+  double bits = seconds * static_cast<double>(DownRate().bps());
   return Bytes::Of(static_cast<int64_t>(bits / 8.0));
+}
+
+BitsPerSecond Link::DownRate() const {
+  if (fault_ != nullptr && fault_->wan_active() && fault_->wan().down_rate.bps() > 0) {
+    return fault_->wan().down_rate;
+  }
+  return config_.rate;
+}
+
+BitsPerSecond Link::UpRate() const {
+  if (fault_ != nullptr && fault_->wan_active() && fault_->wan().up_rate.bps() > 0) {
+    return fault_->wan().up_rate;
+  }
+  return config_.rate;
 }
 
 void Link::SetTracer(Tracer* tracer) {

@@ -116,8 +116,24 @@ class Link : public FrameTransport {
   int64_t collisions() const { return collisions_; }
 
   // Bytes still waiting for (or in) transmission at `now` — the wire-time backlog
-  // converted back to bytes at the link rate. Used by queue-depth gauges.
+  // converted back to bytes at the effective (WAN-aware) link rate. Used by queue-depth
+  // gauges and by the WAN drop-tail bound.
   Bytes BacklogBytesAt(TimePoint now) const;
+
+  // Effective serialization rates. With no WAN profile both equal config().rate; a WAN
+  // profile's asymmetric down/up rates override them (down: display-direction frames on
+  // this wire; up: input-direction messages and returning ACKs).
+  BitsPerSecond DownRate() const;
+  BitsPerSecond UpRate() const;
+
+  // WAN extra one-way delay applied to the most recently queued frame (zero on a LAN).
+  // The session pipeline adds this to its last-bit delivery estimate so painted-latency
+  // accounting sees the same transit the wire does.
+  Duration last_wan_extra() const { return last_wan_extra_; }
+
+  // Frames dropped at the tail of the bounded WAN bufferbloat queue (they never occupied
+  // the wire; counted in frames_lost() so sent == delivered + lost still holds).
+  int64_t wan_queue_drops() const { return wan_queue_drops_; }
 
   // Fault injection (non-owning; null = healthy link, the default).
   void SetFaultInjector(LinkFaultInjector* injector) { fault_ = injector; }
@@ -158,6 +174,8 @@ class Link : public FrameTransport {
   // Sliding recent-utilization estimate (exponentially smoothed busy fraction).
   double recent_utilization_ = 0.0;
   TimePoint last_send_ = TimePoint::Zero();
+  Duration last_wan_extra_ = Duration::Zero();
+  int64_t wan_queue_drops_ = 0;
 };
 
 }  // namespace tcs

@@ -5,15 +5,32 @@
 #include <utility>
 
 #include "src/obs/flight_recorder.h"
+#include "src/util/config_error.h"
 
 namespace tcs {
 
-ReliableChannel::ReliableChannel(Simulator& sim, Link& link, ReliableChannelConfig config)
-    : sim_(sim), link_(link), config_(config) {
-  assert(config_.min_rto > Duration::Zero());
-  assert(config_.max_rto >= config_.min_rto);
-  assert(config_.max_attempts >= 1);
+ReliableChannelConfig Validated(ReliableChannelConfig config) {
+  if (!(config.min_rto > Duration::Zero())) {
+    throw ConfigError("ReliableChannelConfig.min_rto", "min RTO must be positive");
+  }
+  if (config.max_rto < config.min_rto) {
+    throw ConfigError("ReliableChannelConfig.max_rto", "max RTO must be >= min RTO");
+  }
+  if (config.max_attempts < 1) {
+    throw ConfigError("ReliableChannelConfig.max_attempts", "need at least one attempt");
+  }
+  if (config.ack_bytes.count() <= 0) {
+    throw ConfigError("ReliableChannelConfig.ack_bytes", "ACK bytes must be positive");
+  }
+  if (config.window_frames < 0) {
+    throw ConfigError("ReliableChannelConfig.window_frames",
+                      "window bound cannot be negative (0 disables it)");
+  }
+  return config;
 }
+
+ReliableChannel::ReliableChannel(Simulator& sim, Link& link, ReliableChannelConfig config)
+    : sim_(sim), link_(link), config_(Validated(config)) {}
 
 void ReliableChannel::SetTracer(Tracer* tracer) {
   tracer_ = tracer;
@@ -31,6 +48,21 @@ Duration ReliableChannel::CurrentRtoBase() const {
 
 void ReliableChannel::Send(Bytes wire_bytes, InlineCallback delivered,
                            int64_t* delivered_tally) {
+  if (config_.window_frames > 0 &&
+      static_cast<int64_t>(records_.size()) >= config_.window_frames) {
+    // Window full: shed at the door. The frame gets no sequence number and its callback
+    // never fires — exactly like an abandoned frame, but without ever burdening the wire.
+    ++frames_shed_;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceCategory::kNet, "frame-shed", trace_track_, sim_.Now(),
+                       "in_flight", static_cast<int64_t>(records_.size()));
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Instant(FlightComponent::kNet, "frame-shed", sim_.Now(), 0,
+                         static_cast<int64_t>(records_.size()), wire_bytes.count());
+    }
+    return;
+  }
   uint64_t seq = next_seq_++;
   Record& rec = records_[seq];
   rec.bytes = wire_bytes;
@@ -79,10 +111,11 @@ void ReliableChannel::OnOutcome(uint64_t seq, TimePoint sent_at, bool ok) {
     rec.arrived = true;
     ReleaseInOrder();
   }
-  // The ACK rides back out-of-band: serialization at the link rate plus propagation, but
-  // no queueing on the shared medium (see header comment).
+  // The ACK rides back out-of-band: serialization at the return-direction (up) link rate
+  // plus propagation, but no queueing on the shared medium (see header comment). On an
+  // asymmetric WAN profile the narrow uplink stretches the ACK's return leg.
   Duration ack_delay =
-      TransmissionDelay(config_.ack_bytes, link_.config().rate) + link_.config().propagation;
+      TransmissionDelay(config_.ack_bytes, link_.UpRate()) + link_.config().propagation;
   sim_.Schedule(ack_delay, [this, seq, sent_at, clean_sample] {
     OnAck(seq, sent_at, clean_sample);
   });

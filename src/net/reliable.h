@@ -37,7 +37,17 @@ struct ReliableChannelConfig {
   // Safety valve against pathological plans (e.g. loss_rate=1.0 forever): after this many
   // attempts a frame is abandoned and counted, so bounded-horizon runs always drain.
   int max_attempts = 24;
+  // Bound on frames in flight (sent but not yet retired). A Send() arriving with the
+  // window full is shed immediately — counted in frames_shed(), never given a sequence
+  // number, its callback never fires — so a long outage cannot grow the retransmit queue
+  // without limit. 0 disables the bound. The default is far above anything an interactive
+  // session queues on a healthy link, so only pathological plans ever shed.
+  int64_t window_frames = 4096;
 };
+
+// Throws tcs::ConfigError on a non-positive min_rto, max_rto < min_rto, max_attempts < 1,
+// non-positive ack_bytes, or negative window_frames. Returns the config.
+ReliableChannelConfig Validated(ReliableChannelConfig config);
 
 class ReliableChannel : public FrameTransport {
  public:
@@ -66,6 +76,23 @@ class ReliableChannel : public FrameTransport {
   int64_t frames_delivered() const { return frames_delivered_; }
   // Frames given up on after max_attempts (only under pathological fault plans).
   int64_t frames_abandoned() const { return frames_abandoned_; }
+  // Frames refused at Send() because the in-flight window was full (never sequenced;
+  // their callbacks never fire). The degradation controller treats a rising shed count
+  // as the strongest backpressure signal.
+  int64_t frames_shed() const { return frames_shed_; }
+  // Frames currently in flight (sent but not yet fully retired).
+  int64_t frames_in_flight() const { return static_cast<int64_t>(records_.size()); }
+  // Frames currently in flight (sent but not yet retired) as a fraction of the window;
+  // 0 when the bound is disabled. This is the channel's backpressure gauge.
+  double WindowFill() const {
+    return config_.window_frames > 0
+               ? static_cast<double>(records_.size()) /
+                     static_cast<double>(config_.window_frames)
+               : 0.0;
+  }
+  // True once the window is at least half full — the channel is visibly struggling to
+  // retire frames and senders should start slowing down.
+  bool InBackpressure() const { return WindowFill() >= 0.5; }
   // Smoothed RTT estimate (zero until the first sample).
   Duration srtt() const { return srtt_; }
 
@@ -113,6 +140,7 @@ class ReliableChannel : public FrameTransport {
   int64_t acks_received_ = 0;
   int64_t frames_delivered_ = 0;
   int64_t frames_abandoned_ = 0;
+  int64_t frames_shed_ = 0;
 };
 
 }  // namespace tcs

@@ -75,7 +75,18 @@ class DisplayProtocol {
   // track; implementations add their own events (cache hits, compression) via tracer().
   void SetTracer(Tracer* tracer);
 
+  // Graceful degradation: the server's DegradationController pushes its current level
+  // plus a bitmap payload scale (< 1.0 = encode harder and ship smaller rasters, the
+  // kHardCache lever; exactly 1.0 = full fidelity and byte-identical to a build without
+  // the degradation layer). Protocols without bitmap paths simply ignore the scale.
+  void SetDegradation(int level, double payload_scale) {
+    degradation_level_ = level;
+    degraded_payload_scale_ = payload_scale;
+  }
+  int degradation_level() const { return degradation_level_; }
+
  protected:
+  double degraded_payload_scale() const { return degraded_payload_scale_; }
   Tracer* tracer() { return tracer_; }
   TraceTrack display_track() const { return display_track_; }
   // Emits one protocol message on the given channel: records it in the tap and hands it
@@ -100,6 +111,8 @@ class DisplayProtocol {
   TraceTrack input_track_;
   std::function<void(Duration)> encode_cost_sink_;
   std::function<void(Bytes)> display_hook_;
+  int degradation_level_ = 0;
+  double degraded_payload_scale_ = 1.0;
 };
 
 }  // namespace tcs

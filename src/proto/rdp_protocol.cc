@@ -80,15 +80,26 @@ void RdpProtocol::EncodeDraw(const DrawCommand& cmd) {
         AppendOrder(config_.cache_hit_order);
       } else {
         // Miss: the server compresses and ships the raster, and the client caches it.
+        // Under hard-cache degradation the encoder trades extra CPU for a smaller raster
+        // (payload scaled down, encode bill scaled up); at scale 1.0 this is the
+        // unmodified full-fidelity path.
         double kib = cmd.bitmap.raw_bytes.ToKiBF();
-        ChargeEncode(config_.bitmap_encode_per_kib * kib);
-        cache_.Insert(cmd.bitmap.content_hash, cmd.bitmap.compressed_bytes);
+        Bytes compressed = cmd.bitmap.compressed_bytes;
+        if (degraded_payload_scale() < 1.0) {
+          compressed = Bytes::Of(std::max<int64_t>(
+              1, static_cast<int64_t>(static_cast<double>(compressed.count()) *
+                                      degraded_payload_scale())));
+          ChargeEncode(config_.bitmap_encode_per_kib * kib * 1.5);
+        } else {
+          ChargeEncode(config_.bitmap_encode_per_kib * kib);
+        }
+        cache_.Insert(cmd.bitmap.content_hash, compressed);
         if (tracer() != nullptr) {
           tracer()->Instant(TraceCategory::kProto, "cache-miss", display_track(),
                             sim().Now(), "raw", cmd.bitmap.raw_bytes.count(), "compressed",
-                            cmd.bitmap.compressed_bytes.count());
+                            compressed.count());
         }
-        AppendOrder(config_.bitmap_order_header + cmd.bitmap.compressed_bytes);
+        AppendOrder(config_.bitmap_order_header + compressed);
         FlushPdu();  // raster orders go out immediately
       }
       break;

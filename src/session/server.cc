@@ -179,6 +179,40 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
   if (config_.faults.session.Any()) {
     ArmFaultSchedule();
   }
+  if (config_.degradation.enabled) {
+    // Pressure = display-channel bytes not yet retired: the wire backlog plus (with a
+    // reliable channel) everything sent but unacked, each frame billed at a full MTU.
+    Bytes frame = config_.link.mtu + config_.link.framing;
+    degradation_ = std::make_unique<DegradationController>(
+        sim_, config_.degradation, [this, frame]() -> int64_t {
+          int64_t pressure = link_.BacklogBytesAt(sim_.Now()).count();
+          if (reliable_ != nullptr) {
+            pressure += reliable_->frames_in_flight() * frame.count();
+          }
+          return pressure;
+        });
+    degradation_->set_on_transition([this](int /*from*/, int to, TimePoint /*at*/) {
+      double scale = DegradedPayloadScale(to);
+      for (const auto& s : sessions_) {
+        if (!s->logged_out_) {
+          s->protocol_->SetDegradation(to, scale);
+        }
+      }
+    });
+    if (config_.tracer != nullptr) {
+      degradation_->SetTracer(config_.tracer);
+    }
+    if (config_.recorder != nullptr) {
+      degradation_->SetFlightRecorder(config_.recorder);
+    }
+    degradation_->Start();
+  }
+}
+
+double Server::DegradedPayloadScale(int level) const {
+  return level >= static_cast<int>(DegradationLevel::kHardCache)
+             ? 1.0 / config_.degradation.cache_boost
+             : 1.0;
 }
 
 void Server::StartDaemons() {
@@ -270,6 +304,11 @@ Session& Server::Login(bool light_session) {
   if (config_.tracer != nullptr) {
     s.protocol_->SetTracer(config_.tracer);
   }
+  if (degradation_ != nullptr) {
+    // A login mid-degradation joins the ladder at the current level.
+    s.protocol_->SetDegradation(degradation_->level(),
+                                DegradedPayloadScale(degradation_->level()));
+  }
   if (config_.metrics != nullptr && !bitmap_gauge_registered_) {
     if (auto* rdp = dynamic_cast<RdpProtocol*>(s.protocol_.get())) {
       config_.metrics->AddGauge("bitmap_cache_hit_rate",
@@ -323,8 +362,10 @@ Duration Server::InputTransitDelay() const {
   if (link_.busy_until() > sim_.Now()) {
     queue = link_.busy_until() - sim_.Now();
   }
+  // Input rides the return direction: on an asymmetric WAN profile it serializes at the
+  // (usually narrower) uplink rate.
   Bytes wire = Bytes::Of(64) + HeaderModel::TcpIp().WirePerPacket();
-  return queue + TransmissionDelay(wire, link_.config().rate) + link_.config().propagation;
+  return queue + TransmissionDelay(wire, link_.UpRate()) + link_.config().propagation;
 }
 
 void Server::Keystroke(Session& session) {
@@ -338,6 +379,10 @@ void Server::Keystroke(Session& session) {
   session.protocol_->SubmitInput(InputEvent::Key(true));
   session.protocol_->SubmitInput(InputEvent::Key(false));
   Duration transit = InputTransitDelay();
+  if (link_fault_ != nullptr && link_fault_->wan_active()) {
+    // WAN input leg: extra one-way delay plus jitter from the dedicated input stream.
+    transit += link_fault_->WanInputExtra();
+  }
   Duration retransmit = Duration::Zero();
   if (link_fault_ != nullptr) {
     // Lost input frames are recovered by retransmission (200 ms base RTO, the reliable
@@ -497,7 +542,8 @@ void Server::CompletePipeline(Session& session, int batch) {
   TimePoint delivered = emitted;
   Duration decode = Duration::Zero();
   if (client_ != nullptr) {
-    delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation;
+    delivered = std::max(emitted, link_.busy_until()) + link_.config().propagation +
+                link_.last_wan_extra();
     decode = client_->DecodeDelay(profile_.protocol_kind, session.update_payload_);
   }
   TimePoint painted = delivered + decode;
@@ -543,7 +589,28 @@ void Server::CompletePipeline(Session& session, int batch) {
     }
   }
   if (session.pending_keystrokes_ > 0) {
-    StartPipelinePass(session);
+    Duration hold =
+        degradation_ != nullptr ? degradation_->CoalesceHold() : Duration::Zero();
+    if (hold > Duration::Zero()) {
+      // Degraded: hold the pipeline so further keystrokes coalesce into one fatter,
+      // cheaper batch. The pipeline stays busy through the hold, and the wait lands in
+      // the batch's sched-wait attribution stage (pass_start - arrived), preserving the
+      // stage-sum invariant.
+      uint64_t gen = session.generation_;
+      Session* sp = &session;
+      sim_.Schedule(hold, [this, sp, gen] {
+        if (sp->generation_ != gen || sp->logged_out_) {
+          return;  // restarted cold or logged out during the hold
+        }
+        if (sp->pending_keystrokes_ > 0) {
+          StartPipelinePass(*sp);
+        } else {
+          sp->pipeline_busy_ = false;
+        }
+      });
+    } else {
+      StartPipelinePass(session);
+    }
   } else {
     session.pipeline_busy_ = false;
   }
@@ -670,12 +737,15 @@ FaultStats Server::CollectFaultStats(Duration run_duration) {
     return st;
   }
   st.frames_lost = static_cast<uint64_t>(link_.frames_lost());
+  st.wan_queue_drops = static_cast<uint64_t>(link_.wan_queue_drops());
   if (link_fault_ != nullptr) {
     st.frames_corrupted = static_cast<uint64_t>(link_fault_->frames_corrupted());
     st.input_frames_lost = static_cast<uint64_t>(link_fault_->input_frames_lost());
+    st.burst_losses = static_cast<uint64_t>(link_fault_->burst_losses());
   }
   if (reliable_ != nullptr) {
     st.retransmissions = static_cast<uint64_t>(reliable_->retransmissions());
+    st.frames_shed = static_cast<uint64_t>(reliable_->frames_shed());
   }
   st.disconnects = static_cast<uint64_t>(disconnects_);
   st.dropped_keystrokes = static_cast<uint64_t>(dropped_keystrokes_);

@@ -21,6 +21,7 @@
 #include "src/obs/attribution.h"
 #include "src/obs/metrics.h"
 #include "src/proto/display_protocol.h"
+#include "src/session/degradation.h"
 #include "src/session/os_profile.h"
 #include "src/sim/periodic.h"
 #include "src/sim/random.h"
@@ -63,6 +64,10 @@ struct ServerConfig {
   // bounded ring so an SLO violation can be explained without re-running traced. Null
   // costs one branch per would-be record.
   FlightRecorder* recorder = nullptr;
+  // Backpressure-driven graceful degradation. Disabled (the default) constructs no
+  // controller, schedules no polls, and leaves every pipeline byte-identical to a build
+  // without the degradation layer.
+  DegradationConfig degradation;
 };
 
 // Where one keystroke's end-to-end latency went (requires an attached client device for
@@ -96,6 +101,10 @@ class Session {
   // True once the user logged out: processes torn down, memory released.
   bool logged_out() const { return logged_out_; }
 
+  // Background (non-interactive) sessions — media players, marquees — are the first
+  // service the degradation ladder sacrifices (see Server::SetBackground).
+  bool background() const { return background_; }
+
   // False while the client is forcibly disconnected (fault plan or explicit call).
   bool connected() const { return connected_; }
   // Keystrokes typed while disconnected (they never reach the server).
@@ -124,6 +133,7 @@ class Session {
   Bytes shared_memory_ = Bytes::Zero();
   bool connected_ = true;
   bool logged_out_ = false;
+  bool background_ = false;
   uint64_t generation_ = 0;
   TimePoint disconnected_at_;
   int64_t dropped_keystrokes_ = 0;
@@ -211,6 +221,15 @@ class Server {
   int64_t daemon_crashes() const { return daemon_crashes_; }
   Duration session_downtime() const { return session_downtime_; }
 
+  // Marks a session as background (non-interactive). Background emitters should consult
+  // degradation()->BackgroundPaused() before submitting frames.
+  void SetBackground(Session& session, bool background) {
+    session.background_ = background;
+  }
+
+  // Null unless the config enabled degradation.
+  DegradationController* degradation() { return degradation_.get(); }
+
   const OsProfile& profile() const { return profile_; }
   Simulator& sim() { return sim_; }
   Cpu& cpu() { return cpu_; }
@@ -243,6 +262,8 @@ class Server {
   void CompletePipeline(Session& session, int batch);
   // Transit time of a small input message through the link right now (queue + wire).
   Duration InputTransitDelay() const;
+  // Bitmap payload scale pushed into protocols at `level` (1.0 below kHardCache).
+  double DegradedPayloadScale(int level) const;
   // Arms the plan's scheduled session disconnects / daemon crashes (ctor, when enabled).
   void ArmFaultSchedule();
   void ScheduleNextDisconnect();
@@ -263,6 +284,9 @@ class Server {
   std::unique_ptr<LinkFaultInjector> link_fault_;
   std::unique_ptr<DiskFaultInjector> disk_fault_;
   std::unique_ptr<ReliableChannel> reliable_;
+  // Constructed only when config_.degradation.enabled; polls display-channel pressure
+  // (link backlog + reliable in-flight bytes) and pushes levels into session pipelines.
+  std::unique_ptr<DegradationController> degradation_;
   ProtoTap tap_;
   Rng fault_rng_;  // schedule jitter for disconnects/crashes; consumed only when armed
   TraceTrack fault_track_;  // "fault/server": daemon crashes and other server-wide faults

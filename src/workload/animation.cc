@@ -38,6 +38,10 @@ void Animation::DrawNextFrame() {
   }
   const BitmapRef& frame = frames_[static_cast<size_t>(next_frame_)];
   next_frame_ = (next_frame_ + 1) % config_.frame_count;
+  if (gate_ && !gate_()) {
+    ++frames_skipped_;
+    return;
+  }
   ++frames_drawn_;
   protocol_.SubmitDraw(DrawCommand::PutImage(frame));
   protocol_.Flush();

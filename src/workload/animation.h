@@ -40,9 +40,16 @@ class Animation {
   bool IsRunning() const { return task_.IsRunning(); }
 
   int64_t frames_drawn() const { return frames_drawn_; }
+  // Ticks where the gate vetoed the frame (graceful degradation thinning/pausing).
+  int64_t frames_skipped() const { return frames_skipped_; }
   const AnimationConfig& config() const { return config_; }
   // The frame set this animation cycles through.
   const std::vector<BitmapRef>& frames() const { return frames_; }
+
+  // Optional per-tick gate: return false to skip this tick's frame (the cycle position
+  // still advances, as a real player dropping frames would). Degradation controllers use
+  // this to thin or pause background animations under backpressure.
+  void set_frame_gate(std::function<bool()> gate) { gate_ = std::move(gate); }
 
  private:
   void DrawNextFrame();
@@ -50,8 +57,10 @@ class Animation {
   DisplayProtocol& protocol_;
   AnimationConfig config_;
   std::vector<BitmapRef> frames_;
+  std::function<bool()> gate_;
   int next_frame_ = 0;
   int64_t frames_drawn_ = 0;
+  int64_t frames_skipped_ = 0;
   PeriodicTask task_;
 };
 

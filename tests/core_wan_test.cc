@@ -1,0 +1,121 @@
+// WAN pathology experiment runner: determinism across reruns and sweep worker counts,
+// the empty-profile differential (byte-identical to LAN runs), and the headline claim —
+// backpressure-driven degradation beats degrade-off on worst-user p99 AND availability.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/experiments.h"
+#include "src/core/parallel_sweep.h"
+#include "src/core/report.h"
+#include "src/util/config_error.h"
+
+namespace tcs {
+namespace {
+
+// Every deterministic field of a WanPoint (wall_ms excluded).
+auto Fields(const WanPoint& p) {
+  return std::tuple(
+      p.os_name, p.profile, p.degrade, p.users, p.worst_p99_ms, p.mean_ms,
+      p.perceptible_fraction, p.availability, p.worst_starved_fraction, p.updates,
+      p.degradation_peak_level, p.degradation_transitions, p.degraded_seconds,
+      p.animation_frames_skipped, p.background_frames_drawn, p.faults.active,
+      p.faults.availability, p.faults.frames_lost, p.faults.burst_losses,
+      p.faults.wan_queue_drops, p.faults.retransmissions, p.faults.frames_shed,
+      p.run.events_executed, p.run.pending_events);
+}
+
+WanOptions ShortOptions(const std::string& profile, bool degrade) {
+  WanOptions opt;
+  opt.profile = WanProfileByName(profile);
+  opt.degrade = degrade;
+  opt.duration = Duration::Seconds(8);
+  opt.seed = 21;
+  return opt;
+}
+
+TEST(WanProfileTest, NamedProfilesResolveAndUnknownThrows) {
+  ASSERT_EQ(WanProfileNames().size(), 4u);
+  for (const std::string& name : WanProfileNames()) {
+    WanProfile p = WanProfileByName(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_TRUE(p.queue_bytes.count() > 0);
+    EXPECT_TRUE(p.down_rate.bps() > 0);
+  }
+  EXPECT_THROW(WanProfileByName("carrier-pigeon"), ConfigError);
+}
+
+TEST(WanPointTest, RunIsDeterministicAcrossReruns) {
+  WanOptions opt = ShortOptions("lte", /*degrade=*/true);
+  WanPoint a = RunWanPoint(OsProfile::Tse(), opt);
+  WanPoint b = RunWanPoint(OsProfile::Tse(), opt);
+  EXPECT_EQ(Fields(a), Fields(b));
+  EXPECT_TRUE(a.faults.active);
+  EXPECT_GT(a.updates, 0);
+}
+
+TEST(WanPointTest, OutputIsIdenticalAcrossSweepWorkerCounts) {
+  auto cell = [](int i) {
+    return RunWanPoint(OsProfile::Tse(), ShortOptions("dsl", /*degrade=*/i == 1));
+  };
+  ParallelSweep serial(1);
+  ParallelSweep parallel(4);
+  auto a = serial.Map(2, cell);
+  auto b = parallel.Map(2, cell);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Fields(a[i]), Fields(b[i]));
+  }
+}
+
+TEST(WanPointTest, EmptyProfileIsAPlainLanRun) {
+  // An all-defaults profile must inject nothing: the fault ledger stays inactive and
+  // arming the (never-engaging) degradation controller changes no user-visible number.
+  WanOptions opt;
+  opt.profile = WanProfile{};  // name empty, all parameters zero
+  opt.duration = Duration::Seconds(8);
+  WanPoint off = RunWanPoint(OsProfile::Tse(), opt);
+  EXPECT_FALSE(off.faults.active);
+  EXPECT_EQ(off.faults.wan_queue_drops, 0u);
+  EXPECT_EQ(off.faults.burst_losses, 0u);
+  EXPECT_DOUBLE_EQ(off.availability, 1.0);
+
+  opt.degrade = true;
+  WanPoint on = RunWanPoint(OsProfile::Tse(), opt);
+  EXPECT_EQ(on.degradation_transitions, 0);
+  EXPECT_EQ(off.worst_p99_ms, on.worst_p99_ms);
+  EXPECT_EQ(off.mean_ms, on.mean_ms);
+  EXPECT_EQ(off.updates, on.updates);
+  EXPECT_EQ(off.worst_starved_fraction, on.worst_starved_fraction);
+}
+
+TEST(WanPointTest, DegradationBeatsDegradeOffOnDeepBufferProfiles) {
+  // The acceptance claim, at test scale: on bufferbloated profiles the controller must
+  // win on BOTH worst-user p99 and availability, with the same seed on both arms.
+  for (const std::string& profile : {std::string("dsl"), std::string("satellite")}) {
+    WanPoint off = RunWanPoint(OsProfile::Tse(), ShortOptions(profile, false));
+    WanPoint on = RunWanPoint(OsProfile::Tse(), ShortOptions(profile, true));
+    EXPECT_LT(on.worst_p99_ms, off.worst_p99_ms) << profile;
+    EXPECT_GT(on.availability, off.availability) << profile;
+    // The off arm carries no degradation ledger; the on arm shows its work.
+    EXPECT_EQ(off.degradation_transitions, 0) << profile;
+    EXPECT_GT(on.degradation_transitions, 0) << profile;
+    EXPECT_GT(on.degradation_peak_level, 0) << profile;
+    EXPECT_GT(on.degraded_seconds, 0.0) << profile;
+  }
+}
+
+TEST(WanPointTest, ReportJsonCarriesTheWanBlock) {
+  WanPoint p = RunWanPoint(OsProfile::Tse(), ShortOptions("congested-office", true));
+  std::string json = ToJson(p);
+  EXPECT_NE(json.find("\"experiment\":\"wan_point\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile\":\"congested-office\""), std::string::npos);
+  EXPECT_NE(json.find("\"degrade\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"wan_queue_drops\""), std::string::npos);
+  EXPECT_NE(json.find("\"degradation_peak_level\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcs

@@ -1,0 +1,120 @@
+// Scripted-outage composition: adjacent windows are legal and behave exactly like the
+// merged window (MergeAdjacentOutages normalization), while overlapping, unsorted, or
+// empty windows remain plan-authoring errors.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/util/config_error.h"
+
+namespace tcs {
+namespace {
+
+TimePoint At(int64_t seconds) { return TimePoint::Zero() + Duration::Seconds(seconds); }
+
+OutageWindow Window(int64_t from_s, int64_t until_s) {
+  return OutageWindow{At(from_s), At(until_s)};
+}
+
+TEST(MergeAdjacentOutagesTest, MergesTouchingAndOverlappingWindows) {
+  std::vector<OutageWindow> merged = MergeAdjacentOutages(
+      {Window(5, 6), Window(1, 2), Window(2, 3), Window(7, 9), Window(8, 10)});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].from, At(1));
+  EXPECT_EQ(merged[0].until, At(3));  // [1,2) + [2,3) coalesced
+  EXPECT_EQ(merged[1].from, At(5));
+  EXPECT_EQ(merged[1].until, At(6));
+  EXPECT_EQ(merged[2].from, At(7));
+  EXPECT_EQ(merged[2].until, At(10));  // overlap swallowed
+
+  EXPECT_TRUE(MergeAdjacentOutages({}).empty());
+  std::vector<OutageWindow> one = MergeAdjacentOutages({Window(1, 2)});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].until, At(2));
+}
+
+TEST(MergeAdjacentOutagesTest, ContainedWindowDoesNotShrinkTheHull) {
+  std::vector<OutageWindow> merged =
+      MergeAdjacentOutages({Window(1, 10), Window(2, 3)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].from, At(1));
+  EXPECT_EQ(merged[0].until, At(10));
+}
+
+TEST(OutageValidationTest, AdjacentIsLegalOverlapAndDisorderAreNot) {
+  FaultPlan plan;
+  plan.link.scripted_outages = {Window(1, 2), Window(2, 3)};  // adjacent: fine
+  EXPECT_NO_THROW(Validate(plan));
+
+  plan.link.scripted_outages = {Window(1, 3), Window(2, 4)};  // overlap
+  EXPECT_THROW(Validate(plan), ConfigError);
+
+  plan.link.scripted_outages = {Window(5, 6), Window(1, 2)};  // unsorted
+  EXPECT_THROW(Validate(plan), ConfigError);
+
+  plan.link.scripted_outages = {Window(2, 2)};  // empty window
+  EXPECT_THROW(Validate(plan), ConfigError);
+}
+
+// The composition property the injector must honor: a plan scripted as adjacent windows
+// is indistinguishable from the single merged window for every query surface.
+class AdjacentVsMergedTest : public ::testing::Test {
+ protected:
+  AdjacentVsMergedTest() {
+    LinkFaultPlan adjacent_plan;
+    adjacent_plan.scripted_outages = {Window(1, 2), Window(2, 3), Window(3, 5)};
+    LinkFaultPlan merged_plan;
+    merged_plan.scripted_outages = {Window(1, 5)};
+    adjacent_ = std::make_unique<LinkFaultInjector>(adjacent_plan, 11);
+    merged_ = std::make_unique<LinkFaultInjector>(merged_plan, 11);
+  }
+
+  std::unique_ptr<LinkFaultInjector> adjacent_;
+  std::unique_ptr<LinkFaultInjector> merged_;
+};
+
+TEST_F(AdjacentVsMergedTest, InOutageAgreesEverywhere) {
+  for (int ms = 0; ms <= 6000; ms += 50) {
+    TimePoint t = TimePoint::Zero() + Duration::Millis(ms);
+    EXPECT_EQ(adjacent_->InOutage(t), merged_->InOutage(t)) << "at " << ms << " ms";
+  }
+  // The interior boundaries are covered in particular.
+  EXPECT_TRUE(adjacent_->InOutage(At(2)));
+  EXPECT_TRUE(adjacent_->InOutage(At(3)));
+}
+
+TEST_F(AdjacentVsMergedTest, ClassifyAgreesAcrossInteriorBoundaries) {
+  for (int ms = 500; ms <= 5500; ms += 100) {
+    TimePoint start = TimePoint::Zero() + Duration::Millis(ms);
+    TimePoint end = start + Duration::Millis(40);
+    EXPECT_EQ(adjacent_->Classify(start, end), merged_->Classify(start, end))
+        << "frame at " << ms << " ms";
+  }
+  EXPECT_EQ(adjacent_->outage_drops(), merged_->outage_drops());
+}
+
+TEST_F(AdjacentVsMergedTest, InputDelayPenaltyHoldsThroughTheWholeMergedWindow) {
+  // A keystroke sent mid-outage must be held to the end of the FULL merged window, not
+  // just to the first interior boundary.
+  Duration adjacent_hold = adjacent_->InputDelayPenalty(At(1) + Duration::Millis(500),
+                                                        Duration::Millis(100));
+  Duration merged_hold = merged_->InputDelayPenalty(At(1) + Duration::Millis(500),
+                                                    Duration::Millis(100));
+  EXPECT_EQ(adjacent_hold, merged_hold);
+  EXPECT_GE(adjacent_hold, Duration::Millis(3500));  // held until t=5s
+}
+
+TEST_F(AdjacentVsMergedTest, OutageTimeBeforeAgreesAtEveryHorizon) {
+  for (int s = 0; s <= 7; ++s) {
+    EXPECT_EQ(adjacent_->OutageTimeBefore(At(s)), merged_->OutageTimeBefore(At(s)))
+        << "horizon " << s << " s";
+  }
+  EXPECT_EQ(adjacent_->OutageTimeBefore(At(7)), Duration::Seconds(4));
+}
+
+}  // namespace
+}  // namespace tcs

@@ -35,6 +35,17 @@
 //            above the perception threshold, availability, and the retransmission ledger.
 //            The first grid point whose p99 crosses --threshold-ms is called out. Output
 //            is byte-identical for any --jobs value.
+//   wan      --os=... [--profile=dsl,lte,satellite,congested-office --users=N
+//            --seconds=N --jobs=N --seed=N --threshold-ms=150 --starve-after-ms=1000
+//            --report-out=wan.json]
+//            WAN pathology sweep: runs each named link profile (RTT + jitter, asymmetric
+//            up/down bandwidth, bufferbloat drop-tail queue, Gilbert-Elliott burst loss)
+//            twice — graceful degradation off, then on — with both arms sharing the same
+//            seed, and compares worst-user p99, availability, and starvation. The
+//            degrade-on arm arms the backpressure-driven DegradationController
+//            (coalesce draw batches, thin animation frames, force harder bitmap caching,
+//            pause background sessions) and reports its transition ledger. Output is
+//            byte-identical for any --jobs value.
 //   blame    [--os=tse,linux,linux:lbx --sinks=0,5 --seconds=N --background-mbps=X
 //            --loss=X --flap-ms=N --threshold-ms=100 --jobs=N --seed=N
 //            --report-out=blame.json]
@@ -103,7 +114,7 @@ int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
       "commands: idle typing paging traffic webpage gif rtt sizing capacity e2e sweep "
-      "chaos blame postmortem trace replay help\n"
+      "chaos wan blame postmortem trace replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -653,6 +664,146 @@ int CmdChaos(FlagSet& flags) {
   }
   // stderr, so stdout stays byte-identical for any --jobs value.
   std::fprintf(stderr, "%d chaos points over %d workers\n", configs, sweep.workers());
+  return 0;
+}
+
+int CmdWan(FlagSet& flags) {
+  OsProfile profile;
+  if (!ParseOs(flags.GetString("os", "tse"), &profile)) {
+    return 2;
+  }
+  std::vector<std::string> names = SplitList(flags.GetString("profile", ""));
+  if (names.empty()) {
+    names = WanProfileNames();
+  }
+  // Resolve every profile up front so a typo fails fast instead of mid-sweep.
+  std::vector<WanProfile> wan_profiles;
+  for (const std::string& name : names) {
+    try {
+      wan_profiles.push_back(WanProfileByName(name));
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
+  Duration threshold = Duration::Millis(flags.GetInt("threshold-ms", 150));
+  Duration starve_after = Duration::Millis(flags.GetInt("starve-after-ms", 1000));
+  int users = static_cast<int>(flags.GetInt("users", 3));
+  uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  int configs = static_cast<int>(wan_profiles.size()) * 2;
+
+  // Profile-major, arm-minor: cell 2k is profile k with degradation off, cell 2k+1 the
+  // same profile with degradation on. Both arms of a profile share the SAME seed, so the
+  // comparison isolates the controller — identical workload, identical fault draws.
+  SloSpec base_slo = SloSpecFromFlags(flags);
+  ParallelSweep sweep(jobs);
+  auto points = sweep.Map(configs, [&](int i) {
+    int p = i / 2;
+    WanOptions opt;
+    opt.profile = wan_profiles[static_cast<size_t>(p)];
+    opt.degrade = (i % 2) == 1;
+    opt.users = users;
+    opt.duration = seconds;
+    opt.seed = SweepSeed(base_seed, static_cast<uint64_t>(p));
+    opt.threshold = threshold;
+    opt.starve_after = starve_after;
+    if (!base_slo.Any()) {
+      return RunWanPoint(profile, opt);
+    }
+    SloSpec cell_slo = base_slo;
+    cell_slo.name = "wan_" + std::to_string(i) + "_seed" + std::to_string(opt.seed);
+    ObsConfig obs;
+    obs.slo = &cell_slo;
+    return RunWanPoint(profile, opt, &obs);
+  });
+
+  TextTable table({"profile", "degrade", "worst p99 (ms)", "mean (ms)", "> threshold",
+                   "availability", "worst starved", "shed", "queue drops", "updates"});
+  for (const WanPoint& p : points) {
+    table.AddRow({p.profile, p.degrade ? "on" : "off", TextTable::Fixed(p.worst_p99_ms, 2),
+                  TextTable::Fixed(p.mean_ms, 2),
+                  TextTable::Percent(p.perceptible_fraction, 1),
+                  TextTable::Percent(p.availability, 2),
+                  TextTable::Percent(p.worst_starved_fraction, 1),
+                  TextTable::Num(static_cast<int64_t>(p.faults.frames_shed)),
+                  TextTable::Num(static_cast<int64_t>(p.faults.wan_queue_drops)),
+                  TextTable::Num(p.updates)});
+  }
+  Emit(table, flags.GetBool("csv"));
+  // Blame view: under WAN pathology the share migrates into retransmit and display-net;
+  // with degradation on, part of it moves to sched-wait (the coalesce hold) instead.
+  TextTable blame_table({"profile", "degrade", "input-net", "retransmit", "sched-wait",
+                         "cpu", "mem", "proto", "display-net", "decode"});
+  for (const WanPoint& p : points) {
+    std::vector<std::string> row = {p.profile, p.degrade ? "on" : "off"};
+    for (const StageSummary& s : p.blame.stages) {
+      row.push_back(TextTable::Percent(s.share, 1));
+    }
+    blame_table.AddRow(std::move(row));
+  }
+  std::printf("per-stage share of end-to-end latency:\n");
+  Emit(blame_table, flags.GetBool("csv"));
+
+  // Degrade-on vs degrade-off, per profile: the headline comparison.
+  int better_both = 0;
+  for (size_t p = 0; p + 1 < points.size(); p += 2) {
+    const WanPoint& off = points[p];
+    const WanPoint& on = points[p + 1];
+    bool p99_better = on.worst_p99_ms < off.worst_p99_ms;
+    bool avail_better = on.availability > off.availability;
+    if (p99_better && avail_better) {
+      ++better_both;
+    }
+    std::printf(
+        "%-16s degrade on vs off: worst p99 %.2f -> %.2f ms (%+.1f%%), availability "
+        "%.2f%% -> %.2f%% (peak level %d, %lld transitions, %.1fs degraded, "
+        "%lld animation frames thinned)\n",
+        off.profile.c_str(), off.worst_p99_ms, on.worst_p99_ms,
+        off.worst_p99_ms > 0.0
+            ? (on.worst_p99_ms - off.worst_p99_ms) / off.worst_p99_ms * 100.0
+            : 0.0,
+        off.availability * 100.0, on.availability * 100.0, on.degradation_peak_level,
+        static_cast<long long>(on.degradation_transitions), on.degraded_seconds,
+        static_cast<long long>(on.animation_frames_skipped));
+  }
+  std::printf("degradation improves worst-user p99 AND availability on %d of %d "
+              "profiles\n",
+              better_both, configs / 2);
+  if (base_slo.Any()) {
+    int violated = 0;
+    for (const WanPoint& p : points) {
+      if (!p.slo.active || p.slo.passed) {
+        continue;
+      }
+      ++violated;
+      std::printf("SLO violated on %s (degrade %s): %s\n", p.profile.c_str(),
+                  p.degrade ? "on" : "off", p.slo.violating_objective.c_str());
+      for (const std::string& path : p.slo.postmortems) {
+        std::printf("  postmortem: %s\n", path.c_str());
+      }
+    }
+    std::printf("SLO: %d of %d cells violated\n", violated, configs);
+  }
+
+  std::string report_path = flags.GetString("report-out", "");
+  if (!report_path.empty()) {
+    std::string report = "{\"experiment\":\"wan_sweep\",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) {
+        report += ',';
+      }
+      report += ToJson(points[i]);
+    }
+    report += "]}\n";
+    if (!WriteFile(report_path, report)) {
+      return 1;
+    }
+  }
+  // stderr, so stdout stays byte-identical for any --jobs value.
+  std::fprintf(stderr, "%d wan points over %d workers\n", configs, sweep.workers());
   return 0;
 }
 
@@ -1345,8 +1496,9 @@ int Run(int argc, char** argv) {
                  "jobs", "seed", "out", "metrics-out", "report-out", "categories",
                  "loss", "flap-ms", "flap-every-ms", "disk-stall", "disconnect-ms",
                  "threshold-ms", "max-users", "max-util", "max-p99-ms", "burst-ms",
-                 "burst-every-ms", "ram-mib", "slo-p99-ms", "slo-availability",
-                 "slo-backlog-kb", "slo-starved", "postmortem-dir"});
+                 "burst-every-ms", "ram-mib", "profile", "starve-after-ms",
+                 "slo-p99-ms", "slo-availability", "slo-backlog-kb", "slo-starved",
+                 "postmortem-dir"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -1386,6 +1538,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "chaos") {
     return CmdChaos(flags);
+  }
+  if (command == "wan") {
+    return CmdWan(flags);
   }
   if (command == "blame") {
     return CmdBlame(flags);
