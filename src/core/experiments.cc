@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <sstream>
+
+#include "src/util/percentile_sketch.h"
 
 #include "src/core/admission.h"
 #include "src/core/run_support.h"
@@ -827,6 +830,23 @@ WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
     cfg.degradation.level_step = Bytes::Of(
         std::max<int64_t>(Bytes::KiB(8).count(), options.profile.queue_bytes.count() / 4));
   }
+  // Virtual hardware for the what-if achieved arm. Gated on != 1.0 so stock cells keep
+  // their exact bytes (no float math touches the configs on the default path).
+  if (options.cpu_speed != 1.0) {
+    cfg.cpu.speed *= options.cpu_speed;
+  }
+  if (options.disk_speedup != 1.0) {
+    const double k = options.disk_speedup;
+    auto faster = [k](Duration d) {
+      return Duration::Micros(
+          std::llround(static_cast<double>(d.ToMicros()) / k));
+    };
+    cfg.disk.positioning_mean = faster(cfg.disk.positioning_mean);
+    cfg.disk.positioning_stddev = faster(cfg.disk.positioning_stddev);
+    cfg.disk.positioning_min = faster(cfg.disk.positioning_min);
+    cfg.disk.transfer_rate = BitsPerSecond::Of(
+        std::llround(static_cast<double>(cfg.disk.transfer_rate.bps()) * k));
+  }
   ApplyObs(cfg, obs);
   SloRuntime slo(sim, obs);
   slo.ApplyTo(cfg);
@@ -896,7 +916,7 @@ WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
                                            }
                                            server.Keystroke(*s);
                                          },
-                                         Duration::Millis(200));
+                                         options.think_time);
     wu.typist->Start(start_delay + Duration::Millis(7) * static_cast<int64_t>(u));
   }
 
@@ -1032,6 +1052,100 @@ WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
   slo.Finish(point.slo, point.availability);
   FinishRun(point.run, sim, t0);
   return point;
+}
+
+// ---------------------------------------------------------------------------
+// Counterfactual what-if analysis
+
+WhatIfResult RunWhatIf(const OsProfile& profile, const WhatIfOptions& options,
+                       const ObsConfig* obs) {
+  WhatIfResult result;
+  result.os_name = profile.name;
+  result.profile = options.wan.profile.name;
+  result.component = WhatIfComponentName(options.adjust.component);
+  result.speedup = options.adjust.speedup;
+  result.rtt_delta_us = options.adjust.rtt_delta_us;
+
+  // Baseline arm: the caller's observability plus a record-retaining attribution engine —
+  // the critical-path model needs every InteractionRecord, and the report's blame table
+  // the display-net decomposition sub-stages.
+  ObsConfig baseline_obs = obs != nullptr ? *obs : ObsConfig{};
+  AttributionConfig attr_cfg;
+  attr_cfg.tracer = baseline_obs.tracer;
+  attr_cfg.recorder = baseline_obs.recorder;
+  attr_cfg.keep_records = true;
+  attr_cfg.decompose_network = true;
+  LatencyAttribution attribution(attr_cfg);
+  baseline_obs.attribution = &attribution;
+  result.baseline = RunWanPoint(profile, options.wan, &baseline_obs);
+
+  // Predicted arm: replay every baseline record's critical path under the virtual
+  // speedup. Building the graph re-checks the tentpole invariant (segment sum equals
+  // end-to-end) on the way; the p99 estimator is the attribution engine's nearest-rank,
+  // so predicted and achieved percentiles are directly comparable.
+  PercentileSketch<int64_t> predicted;
+  for (const InteractionRecord& rec : attribution.records()) {
+    CriticalPathGraph graph = CriticalPathGraph::Build(rec);
+    if (CriticalPathGraph::SegmentSumUs(graph.ExtractCriticalPath()) != rec.total_us()) {
+      ++result.critical_path_mismatches;
+    }
+    predicted.Add(PredictAdjustedTotalUs(rec, options.adjust));
+  }
+  result.interactions = static_cast<int64_t>(attribution.records().size());
+  result.baseline_p99_us = result.baseline.blame.p99_total_us;
+  result.predicted_p99_us = predicted.empty() ? 0 : predicted.NearestRank(0.99);
+
+  // Achieved arm: re-simulate with the counterfactual applied to the hardware model
+  // itself, so every second-order effect (queues draining faster, fewer RTO expiries,
+  // different batch boundaries) plays out for real.
+  WanOptions adjusted = options.wan;
+  switch (options.adjust.component) {
+    case WhatIfAdjustment::Component::kLink: {
+      auto scaled = [&](BitsPerSecond r) {
+        // 0 is the "keep the LAN rate" sentinel: a pure-LAN cell's wire is already the
+        // link config's own rate and stays untouched.
+        return r.bps() > 0
+                   ? BitsPerSecond::Of(std::llround(static_cast<double>(r.bps()) *
+                                                    options.adjust.speedup))
+                   : r;
+      };
+      adjusted.profile.down_rate = scaled(adjusted.profile.down_rate);
+      adjusted.profile.up_rate = scaled(adjusted.profile.up_rate);
+      break;
+    }
+    case WhatIfAdjustment::Component::kCpu:
+      adjusted.cpu_speed *= options.adjust.speedup;
+      break;
+    case WhatIfAdjustment::Component::kDisk:
+      adjusted.disk_speedup *= options.adjust.speedup;
+      break;
+    case WhatIfAdjustment::Component::kRtt: {
+      // extra_delay is one-way transit, so cutting it by d/2 cuts the RTT by d.
+      const int64_t cut_us = std::min(options.adjust.rtt_delta_us / 2,
+                                      adjusted.profile.extra_delay.ToMicros());
+      adjusted.profile.extra_delay =
+          adjusted.profile.extra_delay - Duration::Micros(cut_us);
+      break;
+    }
+  }
+  ObsConfig adjusted_obs = obs != nullptr ? *obs : ObsConfig{};
+  AttributionConfig adj_attr_cfg;
+  adj_attr_cfg.tracer = adjusted_obs.tracer;
+  adj_attr_cfg.recorder = adjusted_obs.recorder;
+  adj_attr_cfg.decompose_network = true;
+  LatencyAttribution adjusted_attribution(adj_attr_cfg);
+  adjusted_obs.attribution = &adjusted_attribution;
+  result.adjusted = RunWanPoint(profile, adjusted, &adjusted_obs);
+
+  result.achieved_p99_us = result.adjusted.blame.p99_total_us;
+  result.predicted_delta_us = result.baseline_p99_us - result.predicted_p99_us;
+  result.achieved_delta_us = result.baseline_p99_us - result.achieved_p99_us;
+  result.run.events_executed =
+      result.baseline.run.events_executed + result.adjusted.run.events_executed;
+  result.run.pending_events =
+      result.baseline.run.pending_events + result.adjusted.run.pending_events;
+  result.run.wall_ms = result.baseline.run.wall_ms + result.adjusted.run.wall_ms;
+  return result;
 }
 
 }  // namespace tcs

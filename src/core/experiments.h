@@ -16,6 +16,7 @@
 #include "src/cpu/idle_profiler.h"
 #include "src/fault/fault_plan.h"
 #include "src/mem/pager.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/proto/bitmap_cache.h"
@@ -374,6 +375,16 @@ struct WanOptions {
   Duration threshold = Duration::Millis(150);   // perception threshold
   // An echo pending beyond this counts the user as starved (unresponsive session).
   Duration starve_after = Duration::Seconds(1);
+  // Keystroke cadence per typist. The default sustains the sweep's historical byte-exact
+  // behaviour; large consolidated runs over narrow profiles need a slower cadence or the
+  // aggregate echo traffic alone oversubscribes the downlink.
+  Duration think_time = Duration::Millis(200);
+  // Virtual hardware for what-if re-simulation (RunWhatIf's achieved arm). 1.0 = stock;
+  // both are gated on != 1.0 so default cells stay byte-identical to earlier builds.
+  // cpu_speed multiplies CpuConfig.speed; disk_speedup divides the swap disk's
+  // positioning costs and multiplies its transfer rate.
+  double cpu_speed = 1.0;
+  double disk_speedup = 1.0;
 };
 
 struct WanPoint {
@@ -409,6 +420,52 @@ struct WanPoint {
 
 WanPoint RunWanPoint(const OsProfile& profile, const WanOptions& options,
                      const ObsConfig* obs = nullptr);
+
+// ---------------------------------------------------------------------------
+// Counterfactual what-if analysis
+//
+// "Would a faster link actually help?" One what-if cell runs a WAN point twice: a
+// baseline with per-interaction records retained, and an *achieved* arm re-simulated
+// with one component virtually sped up (link rate x k, CPU x k, disk x k, or RTT - d).
+// The baseline records also feed the critical-path profiler's PredictAdjustedTotalUs,
+// which rescales each interaction's affected critical-path segments in isolation. The
+// report pairs the *predicted* p99 delta against the *achieved* one — the gap between
+// them is exactly the second-order effects (queue drain, fewer RTOs, different
+// batching) the analytical model cannot see. Both arms are deterministic, so every
+// field except run.wall_ms is byte-identical across reruns and sweep worker counts.
+
+struct WhatIfOptions {
+  WanOptions wan;           // the baseline cell (profile, users, duration, seed)
+  WhatIfAdjustment adjust;  // the counterfactual applied to the achieved arm
+};
+
+struct WhatIfResult {
+  std::string os_name;
+  std::string profile;
+  std::string component;    // WhatIfComponentName(adjust.component)
+  double speedup = 1.0;
+  int64_t rtt_delta_us = 0;
+  int64_t interactions = 0;          // committed baseline interactions
+  // Nearest-rank p99 end-to-end micros (same estimator as AttributionResult).
+  int64_t baseline_p99_us = 0;
+  int64_t predicted_p99_us = 0;      // critical-path model over baseline records
+  int64_t achieved_p99_us = 0;       // re-simulated with the adjustment applied
+  int64_t predicted_delta_us = 0;    // baseline - predicted (positive = improvement)
+  int64_t achieved_delta_us = 0;     // baseline - achieved
+  // Baseline records whose critical-path segment sum failed to equal the end-to-end
+  // latency (the tentpole invariant; always 0).
+  int64_t critical_path_mismatches = 0;
+  WanPoint baseline;                 // baseline cell, blame includes net decomposition
+  WanPoint adjusted;                 // the achieved arm
+  RunStats run;                      // summed over both arms
+};
+
+// Runs the baseline and adjusted arms and fills the prediction-vs-achievement report.
+// The adjustment maps onto the re-simulation as: kLink scales the profile's down/up
+// rates by k; kCpu sets WanOptions.cpu_speed = k; kDisk sets disk_speedup = k; kRtt
+// subtracts d/2 from the profile's one-way extra_delay (clamped at zero).
+WhatIfResult RunWhatIf(const OsProfile& profile, const WhatIfOptions& options,
+                       const ObsConfig* obs = nullptr);
 
 }  // namespace tcs
 

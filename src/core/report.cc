@@ -63,6 +63,28 @@ std::string ToJson(const AttributionResult& r) {
   }
   stages += ']';
   o.Raw("stages", stages);
+  // Display-net decomposition: present only when the run aggregated sub-stage samples
+  // (AttributionConfig.decompose_network), so legacy reports keep their exact bytes.
+  if (!r.net_stages.empty()) {
+    std::string net = "[";
+    for (size_t i = 0; i < r.net_stages.size(); ++i) {
+      const StageSummary& s = r.net_stages[i];
+      JsonObject so;
+      so.Str("stage", s.stage);
+      so.Int("total_us", s.total_us);
+      so.Double("share", s.share);
+      so.Int("p50_us", s.p50_us);
+      so.Int("p99_us", s.p99_us);
+      so.Int("max_us", s.max_us);
+      if (i > 0) {
+        net += ',';
+      }
+      net += so.Finish();
+    }
+    net += ']';
+    o.Raw("network", net);
+    o.Int("net_mismatches", r.net_mismatches);
+  }
   return o.Finish();
 }
 
@@ -278,6 +300,33 @@ std::string ToJson(const WanPoint& r) {
   if (r.slo.active) {
     o.Raw("slo", ToJson(r.slo));
   }
+  o.Raw("run", RunJson(r.run));
+  return o.Finish();
+}
+
+std::string WhatIfBlockJson(const WhatIfResult& r) {
+  JsonObject w;
+  w.Int("interactions", r.interactions);
+  w.Int("baseline_p99_us", r.baseline_p99_us);
+  w.Int("predicted_p99_us", r.predicted_p99_us);
+  w.Int("achieved_p99_us", r.achieved_p99_us);
+  w.Int("predicted_delta_us", r.predicted_delta_us);
+  w.Int("achieved_delta_us", r.achieved_delta_us);
+  w.Int("critical_path_mismatches", r.critical_path_mismatches);
+  return w.Finish();
+}
+
+std::string ToJson(const WhatIfResult& r) {
+  JsonObject o;
+  o.Str("experiment", "whatif");
+  o.Str("os", r.os_name);
+  o.Str("profile", r.profile);
+  o.Str("component", r.component);
+  o.Double("speedup", r.speedup);
+  o.Int("rtt_delta_us", r.rtt_delta_us);
+  o.Raw("whatif", WhatIfBlockJson(r));
+  o.Raw("baseline", ToJson(r.baseline));
+  o.Raw("adjusted", ToJson(r.adjusted));
   o.Raw("run", RunJson(r.run));
   return o.Finish();
 }

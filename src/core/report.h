@@ -25,6 +25,12 @@ std::string ToJson(const PagingLatencyResult& r);
 std::string ToJson(const EndToEndResult& r);
 std::string ToJson(const ChaosPoint& r);
 std::string ToJson(const WanPoint& r);
+// The what-if report: the `whatif` block pairs the critical-path-predicted p99 delta
+// with the re-simulated (achieved) one, followed by both arms' full WanPoint reports.
+std::string ToJson(const WhatIfResult& r);
+// Just the `whatif` block (no arms, no RunStats): fully deterministic, so sweep drivers
+// can assemble reports that cmp(1) clean across reruns and worker counts.
+std::string WhatIfBlockJson(const WhatIfResult& r);
 std::string ToJson(const SizingPoint& r);
 std::string ToJson(const ConsolidationResult& r);
 std::string ToJson(const CapacityResult& r);

@@ -93,6 +93,7 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
       ++wan_queue_drops_;
       Duration extra = fault_->WanFrameExtra();
       last_wan_extra_ = extra;
+      last_wan_jitter_ = extra - fault_->wan().extra_delay;
       *delivery = std::max(now, busy_until_) + TransmissionDelay(frame_bytes, rate) +
                   config_.propagation + extra;
       if (tracer_ != nullptr) {
@@ -112,6 +113,16 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
   start += backoff;
   Duration serialization = TransmissionDelay(frame_bytes, rate);
   busy_until_ = start + serialization;
+  if (wire_ledger_enabled_) {
+    // Prune slots whose occupancy already ended, then record this frame's. Pure
+    // bookkeeping: no events, no randomness, no behavioural coupling.
+    const int64_t now_us = now.ToMicros();
+    while (!wire_slots_.empty() && wire_slots_.front().end_us <= now_us) {
+      wire_slots_.pop_front();
+    }
+    wire_slots_.push_back(
+        {start.ToMicros(), busy_until_.ToMicros(), sending_retransmit_});
+  }
   queue_delay_.Add((start - now).ToMillisF());
   ++frames_sent_;
   bytes_carried_ += frame_bytes;
@@ -143,6 +154,7 @@ bool Link::TransmitFrame(Bytes frame_bytes, TimePoint* delivery) {
     // anchors retransmission timing).
     Duration extra = fault_->WanFrameExtra();
     last_wan_extra_ = extra;
+    last_wan_jitter_ = extra - fault_->wan().extra_delay;
     *delivery += extra;
   }
   return ok;
@@ -162,9 +174,11 @@ bool Link::TransmitAll(Bytes wire_bytes, TimePoint* delivery) {
   return all_ok;
 }
 
-void Link::SendEx(Bytes wire_bytes, InlineFunction<void(bool)> done) {
+void Link::SendEx(Bytes wire_bytes, InlineFunction<void(bool)> done, bool retransmit) {
+  sending_retransmit_ = retransmit;
   TimePoint delivery = TimePoint::Zero();
   bool all_ok = TransmitAll(wire_bytes, &delivery);
+  sending_retransmit_ = false;
   if (done) {
     sim_.At(delivery, [cb = std::move(done), all_ok]() mutable { cb(all_ok); });
   }
@@ -202,6 +216,23 @@ void Link::Send(Bytes wire_bytes, InlineCallback delivered, int64_t* delivered_t
       }
     });
   }
+}
+
+int64_t Link::PendingRetransmitWireUs(TimePoint now) {
+  if (!wire_ledger_enabled_ || wire_slots_.empty()) {
+    return 0;
+  }
+  const int64_t now_us = now.ToMicros();
+  while (!wire_slots_.empty() && wire_slots_.front().end_us <= now_us) {
+    wire_slots_.pop_front();
+  }
+  int64_t total = 0;
+  for (const WireSlot& slot : wire_slots_) {
+    if (slot.retransmit) {
+      total += slot.end_us - std::max(now_us, slot.start_us);
+    }
+  }
+  return total;
 }
 
 Bytes Link::BacklogBytesAt(TimePoint now) const {

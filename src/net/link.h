@@ -15,6 +15,7 @@
 #define TCS_SRC_NET_LINK_H_
 
 #include <cstdint>
+#include <deque>
 
 #include "src/fault/fault_injector.h"
 #include "src/obs/trace.h"
@@ -86,8 +87,11 @@ class Link : public FrameTransport {
 
   // Fate-reporting send: `done` (optional) always fires at the would-be delivery time,
   // with ok=false when the frame (any fragment) was lost/corrupted/in an outage.
-  // Reliable transports use this as their loss-detection oracle.
-  void SendEx(Bytes wire_bytes, InlineFunction<void(bool ok)> done);
+  // Reliable transports use this as their loss-detection oracle. `retransmit` marks the
+  // send as a retransmission for the wire ledger (blame decomposition only; it does not
+  // change transmission behaviour in any way).
+  void SendEx(Bytes wire_bytes, InlineFunction<void(bool ok)> done,
+              bool retransmit = false);
 
   const LinkConfig& config() const override { return config_; }
   int64_t frames_sent() const { return frames_sent_; }
@@ -130,6 +134,25 @@ class Link : public FrameTransport {
   // The session pipeline adds this to its last-bit delivery estimate so painted-latency
   // accounting sees the same transit the wire does.
   Duration last_wan_extra() const { return last_wan_extra_; }
+
+  // The jitter component of last_wan_extra() (the draw above the profile's fixed
+  // extra_delay; zero on a LAN or a jitter-free profile). Blame decomposition splits
+  // the WAN transit into a propagation part and this jitter part.
+  Duration last_wan_jitter() const { return last_wan_jitter_; }
+
+  // Wire ledger for blame decomposition: when enabled, every frame that occupies the
+  // wire is recorded as a [start, end) occupancy slot tagged retransmit-or-not. The
+  // ledger adds no events and consumes no randomness, so outputs stay byte-identical
+  // whether or not it is on; it is off by default and enabled by servers that attribute
+  // per-interaction latency.
+  void EnableWireLedger() { wire_ledger_enabled_ = true; }
+  bool wire_ledger_enabled() const { return wire_ledger_enabled_; }
+
+  // Microseconds of wire occupancy still pending at `now` that belong to retransmitted
+  // frames: sum over unfinished retransmit slots of end - max(now, start). Zero unless
+  // the wire ledger is enabled. Used to split display-leg backlog into bufferbloat
+  // queueing vs retransmit-wait.
+  int64_t PendingRetransmitWireUs(TimePoint now);
 
   // Frames dropped at the tail of the bounded WAN bufferbloat queue (they never occupied
   // the wire; counted in frames_lost() so sent == delivered + lost still holds).
@@ -175,7 +198,20 @@ class Link : public FrameTransport {
   double recent_utilization_ = 0.0;
   TimePoint last_send_ = TimePoint::Zero();
   Duration last_wan_extra_ = Duration::Zero();
+  Duration last_wan_jitter_ = Duration::Zero();
   int64_t wan_queue_drops_ = 0;
+  // Wire ledger (blame decomposition): pending [start, end) occupancy slots, pruned
+  // lazily as their end times pass. Empty unless EnableWireLedger() was called.
+  struct WireSlot {
+    int64_t start_us = 0;
+    int64_t end_us = 0;
+    bool retransmit = false;
+  };
+  std::deque<WireSlot> wire_slots_;
+  bool wire_ledger_enabled_ = false;
+  // Set by SendEx for the duration of the TransmitAll it triggers, so TransmitFrame can
+  // tag the resulting wire slots.
+  bool sending_retransmit_ = false;
 };
 
 }  // namespace tcs

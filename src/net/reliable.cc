@@ -93,7 +93,9 @@ void ReliableChannel::Transmit(uint64_t seq) {
   // Arm the retransmission timer before the frame leaves: the timeout covers queueing,
   // serialization, propagation, and the (out-of-band) ACK's return.
   rec.timer = sim_.Schedule(rec.rto, [this, seq] { OnTimeout(seq); });
-  link_.SendEx(rec.bytes, [this, seq, sent_at](bool ok) { OnOutcome(seq, sent_at, ok); });
+  link_.SendEx(
+      rec.bytes, [this, seq, sent_at](bool ok) { OnOutcome(seq, sent_at, ok); },
+      /*retransmit=*/rec.attempts > 1);
 }
 
 void ReliableChannel::OnOutcome(uint64_t seq, TimePoint sent_at, bool ok) {

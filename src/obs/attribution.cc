@@ -40,6 +40,24 @@ const char* AttrStageName(AttrStage stage) {
       return "display-net";
     case AttrStage::kClientDecode:
       return "client-decode";
+    case AttrStage::kDegradationHold:
+      return "degradation-hold";
+  }
+  return "?";
+}
+
+const char* NetSubStageName(NetSubStage stage) {
+  switch (stage) {
+    case NetSubStage::kQueueing:
+      return "net-queueing";
+    case NetSubStage::kRetransmitWait:
+      return "net-retransmit-wait";
+    case NetSubStage::kSerialization:
+      return "net-serialization";
+    case NetSubStage::kPropagation:
+      return "net-propagation";
+    case NetSubStage::kJitter:
+      return "net-jitter";
   }
   return "?";
 }
@@ -48,6 +66,14 @@ int64_t InteractionRecord::StageSum() const {
   int64_t sum = 0;
   for (int s = 0; s < kAttrStageCount; ++s) {
     sum += stage_us[s];
+  }
+  return sum;
+}
+
+int64_t InteractionRecord::NetSum() const {
+  int64_t sum = 0;
+  for (int s = 0; s < kNetSubStageCount; ++s) {
+    sum += net_us[s];
   }
   return sum;
 }
@@ -69,6 +95,11 @@ void LatencyAttribution::Commit(const InteractionRecord& rec) {
   if (rec.StageSum() != rec.total_us()) {
     ++mismatches_;
   }
+  // The display-net decomposition telescopes the same way within its stage.
+  assert(rec.NetSum() == rec.stage_us[static_cast<int>(AttrStage::kDisplayNet)]);
+  if (rec.NetSum() != rec.stage_us[static_cast<int>(AttrStage::kDisplayNet)]) {
+    ++net_mismatches_;
+  }
   ++committed_;
   keystrokes_ += rec.batch;
   total_us_sum_ += rec.total_us();
@@ -76,6 +107,12 @@ void LatencyAttribution::Commit(const InteractionRecord& rec) {
   for (int s = 0; s < kAttrStageCount; ++s) {
     stage_total_us_[s] += rec.stage_us[s];
     stage_samples_[s].Append(arena_, rec.stage_us[s]);
+  }
+  if (config_.decompose_network) {
+    for (int s = 0; s < kNetSubStageCount; ++s) {
+      net_total_us_[s] += rec.net_us[s];
+      net_samples_[s].Append(arena_, rec.net_us[s]);
+    }
   }
   if (config_.keep_records) {
     records_.Append(arena_, rec);
@@ -133,6 +170,11 @@ void LatencyAttribution::RefreshSketches() const {
       stage_sorted_[s].Add(stage_samples_[s][stage_consumed_[s]]);
     }
   }
+  for (int s = 0; s < kNetSubStageCount; ++s) {
+    for (; net_consumed_[s] < net_samples_[s].size(); ++net_consumed_[s]) {
+      net_sorted_[s].Add(net_samples_[s][net_consumed_[s]]);
+    }
+  }
 }
 
 AttributionResult LatencyAttribution::Collect() const {
@@ -153,6 +195,11 @@ AttributionResult LatencyAttribution::Collect() const {
   result.total_us = total_us_sum_;
   int64_t top_p99 = -1;
   for (int s = 0; s < kAttrStageCount; ++s) {
+    // degradation-hold only appears once it has accrued time: pre-degradation runs (the
+    // whole golden corpus) keep their exact 8-entry stages array.
+    if (s == static_cast<int>(AttrStage::kDegradationHold) && stage_total_us_[s] == 0) {
+      continue;
+    }
     StageSummary sum;
     sum.stage = AttrStageName(static_cast<AttrStage>(s));
     sum.count = committed_;
@@ -169,6 +216,27 @@ AttributionResult LatencyAttribution::Collect() const {
       result.top_stage = sum.stage;
     }
     result.stages.push_back(std::move(sum));
+  }
+  result.net_mismatches = net_mismatches_;
+  if (config_.decompose_network) {
+    int64_t net_grand_total = 0;
+    for (int s = 0; s < kNetSubStageCount; ++s) {
+      net_grand_total += net_total_us_[s];
+    }
+    for (int s = 0; s < kNetSubStageCount; ++s) {
+      StageSummary sum;
+      sum.stage = NetSubStageName(static_cast<NetSubStage>(s));
+      sum.count = committed_;
+      sum.total_us = net_total_us_[s];
+      const PercentileSketch<int64_t>& net_sorted = net_sorted_[s];
+      sum.p50_us = NearestRank(net_sorted, 0.50);
+      sum.p99_us = NearestRank(net_sorted, 0.99);
+      sum.max_us = net_sorted.empty() ? 0 : net_sorted.Max();
+      sum.share = net_grand_total > 0 ? static_cast<double>(sum.total_us) /
+                                            static_cast<double>(net_grand_total)
+                                      : 0.0;
+      result.net_stages.push_back(std::move(sum));
+    }
   }
   return result;
 }

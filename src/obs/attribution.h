@@ -14,6 +14,14 @@
 //   proto-encode  display/protocol hops (kernel display path, RDP encoder, bitmap cache)
 //   display-net   display-channel queueing + serialization + propagation
 //   client-decode decode + blit on the user's machine
+//   degradation-hold  coalesce hold imposed by the DegradationController (only while
+//                     degraded; zero — and omitted from reports — otherwise)
+//
+// WAN-aware decomposition: the display-net stage additionally splits into five exact
+// sub-stages (propagation / serialization / bufferbloat-queueing / retransmit-wait /
+// jitter) recorded in InteractionRecord::net_us. The sub-stages are timestamp
+// differences against the link's wire ledger and WAN transit draws, so they telescope
+// too: sum(net_us) == stage_us[display-net] exactly, checked per commit.
 //
 // Accounting invariant: every stage is a difference of pipeline timestamps that
 // telescope, so sum(stage micros) == end-to-end micros *exactly* for every committed
@@ -51,11 +59,29 @@ enum class AttrStage : int {
   kProtoEncode,
   kDisplayNet,
   kClientDecode,
+  // Appended last so existing stage indices (and the golden corpus's 8-stage blame
+  // blocks) are unchanged; Collect() includes its summary only when its total is
+  // nonzero, i.e. only for runs with an active DegradationController.
+  kDegradationHold,
 };
 
-inline constexpr int kAttrStageCount = 8;
+inline constexpr int kAttrStageCount = 9;
 
 const char* AttrStageName(AttrStage stage);
+
+// Exact decomposition of the display-net stage (WAN-aware blame). Order matters: it is
+// the synthesized happens-before order of the sub-intervals inside [emitted, delivered].
+enum class NetSubStage : int {
+  kQueueing = 0,     // wire backlog ahead of this update (minus retransmit share)
+  kRetransmitWait,   // backlog share occupied by retransmitted frames
+  kSerialization,    // this update's own bits on the wire
+  kPropagation,      // fixed one-way transit (LAN propagation + WAN extra_delay)
+  kJitter,           // the WAN jitter draw on the last frame
+};
+
+inline constexpr int kNetSubStageCount = 5;
+
+const char* NetSubStageName(NetSubStage stage);
 
 // Everything known about one committed interaction (one pipeline pass; `batch` > 1 when
 // repeats coalesced into it). Timestamps are virtual micros; the id and stamps are the
@@ -74,6 +100,9 @@ struct InteractionRecord {
   int64_t delivered_us = 0;  // last bit of the update delivered
   int64_t painted_us = 0;    // client decode + blit finished
   int64_t stage_us[kAttrStageCount] = {};
+  // Display-net decomposition; sums to stage_us[kDisplayNet] exactly (checked per
+  // commit). All zero when the serving pipeline has no attached client.
+  int64_t net_us[kNetSubStageCount] = {};
 
   // Per-hop detail for the trace spans: [start, end] wall extent, the exact CPU service
   // charged, whether the hop is a protocol-encode stage, and its interned name (null when
@@ -86,6 +115,7 @@ struct InteractionRecord {
 
   int64_t total_us() const { return painted_us - sent_us; }
   int64_t StageSum() const;
+  int64_t NetSum() const;
 };
 
 // Aggregate view of one stage over a run: exact-microsecond totals and nearest-rank
@@ -111,8 +141,14 @@ struct AttributionResult {
   int64_t p50_total_us = 0;
   int64_t p99_total_us = 0;
   int64_t max_total_us = 0;
-  std::vector<StageSummary> stages;  // kAttrStageCount entries, fixed stage order
+  // Fixed stage order. Always the 8 classic stages; degradation-hold is appended as a
+  // 9th entry only when it accrued time (keeps pre-degradation reports byte-identical).
+  std::vector<StageSummary> stages;
   std::string top_stage;  // largest p99 contribution; empty with no interactions
+  // Display-net decomposition summaries (kNetSubStageCount entries, sub-stage order).
+  // Empty unless AttributionConfig.decompose_network.
+  std::vector<StageSummary> net_stages;
+  int64_t net_mismatches = 0;  // commits whose net_us did not sum to display-net
 };
 
 struct AttributionConfig {
@@ -126,6 +162,10 @@ struct AttributionConfig {
   FlightRecorder* recorder = nullptr;
   // Retain every InteractionRecord for tests/tools (off by default: aggregation only).
   bool keep_records = false;
+  // Aggregate per-sub-stage display-net decomposition samples and surface them in
+  // Collect().net_stages (off by default so existing reports keep their exact bytes;
+  // the per-record net_us fields and the sum invariant are maintained regardless).
+  bool decompose_network = false;
 };
 
 class LatencyAttribution {
@@ -147,6 +187,7 @@ class LatencyAttribution {
   Tracer* tracer() const { return config_.tracer; }
   int64_t committed() const { return committed_; }
   int64_t accounting_mismatches() const { return mismatches_; }
+  int64_t net_mismatches() const { return net_mismatches_; }
 
   // Deterministic aggregate: same commits in, same bytes out (no wall clock, no
   // addresses), regardless of reruns or sweep worker counts.
@@ -165,19 +206,24 @@ class LatencyAttribution {
   int64_t committed_ = 0;
   int64_t keystrokes_ = 0;
   int64_t mismatches_ = 0;
+  int64_t net_mismatches_ = 0;
   int64_t total_us_sum_ = 0;
   int64_t stage_total_us_[kAttrStageCount] = {};
+  int64_t net_total_us_[kNetSubStageCount] = {};
   // All per-commit storage bump-allocates from the arena: no element-wise growth copies
   // on the Commit path, teardown frees a handful of blocks.
   BumpArena arena_;
   ArenaColumn<int64_t> stage_samples_[kAttrStageCount];
+  ArenaColumn<int64_t> net_samples_[kNetSubStageCount];  // decompose_network only
   ArenaColumn<int64_t> total_samples_;
   ArenaColumn<InteractionRecord> records_;
   // Incrementally maintained sorted views over the columns; Collect() merges only the
   // delta since the previous query instead of copy+sorting every stream.
   mutable PercentileSketch<int64_t> stage_sorted_[kAttrStageCount];
+  mutable PercentileSketch<int64_t> net_sorted_[kNetSubStageCount];
   mutable PercentileSketch<int64_t> total_sorted_;
   mutable size_t stage_consumed_[kAttrStageCount] = {};
+  mutable size_t net_consumed_[kNetSubStageCount] = {};
   mutable size_t total_consumed_ = 0;
   // Blame tracks, registered at construction (registration order == construction order).
   TraceTrack net_track_;

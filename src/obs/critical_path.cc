@@ -1,0 +1,283 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/obs/flight_recorder.h"
+
+namespace tcs {
+
+namespace {
+
+constexpr int Idx(AttrStage stage) { return static_cast<int>(stage); }
+constexpr int Idx(NetSubStage stage) { return static_cast<int>(stage); }
+
+void AppendInt(std::string* out, int64_t v) { out->append(std::to_string(v)); }
+
+void AppendSegmentJson(std::string* out, const char* component, const char* stage,
+                       int64_t start_us, int64_t end_us) {
+  out->append("{\"component\":\"");
+  out->append(component);
+  out->append("\",\"stage\":\"");
+  out->append(stage);
+  out->append("\",\"start_us\":");
+  AppendInt(out, start_us);
+  out->append(",\"end_us\":");
+  AppendInt(out, end_us);
+  out->append(",\"dur_us\":");
+  AppendInt(out, end_us - start_us);
+  out->append("}");
+}
+
+}  // namespace
+
+const char* WhatIfComponentName(WhatIfAdjustment::Component component) {
+  switch (component) {
+    case WhatIfAdjustment::Component::kLink:
+      return "link";
+    case WhatIfAdjustment::Component::kCpu:
+      return "cpu";
+    case WhatIfAdjustment::Component::kDisk:
+      return "disk";
+    case WhatIfAdjustment::Component::kRtt:
+      return "rtt";
+  }
+  return "?";
+}
+
+CriticalPathGraph CriticalPathGraph::Build(const InteractionRecord& rec,
+                                           const FlightRecorder* recorder) {
+  CriticalPathGraph g;
+  g.flow_id_ = rec.id;
+  g.start_us_ = rec.sent_us;
+  g.end_us_ = rec.painted_us;
+
+  // The nodes tile [sent, painted] exactly; `cursor` is the running boundary and every
+  // push asserts contiguity. Stage values are the attribution engine's telescoping
+  // timestamp differences, so the boundaries reproduce the pipeline's own stamps.
+  int64_t cursor = rec.sent_us;
+  auto push = [&](const char* component, const char* stage, int64_t end_us) {
+    assert(end_us >= cursor);
+    g.nodes_.push_back(CriticalPathNode{component, stage, cursor, end_us, 0});
+    cursor = end_us;
+  };
+
+  // Input leg: everything that is not retry time, then the retry penalty.
+  push("net-up", AttrStageName(AttrStage::kInputNet),
+       rec.sent_us + rec.stage_us[Idx(AttrStage::kInputNet)]);
+  push("net-up", AttrStageName(AttrStage::kRetransmit), rec.arrived_us);
+
+  // Wait for the pipeline: scheduler first, then any degradation coalesce hold (the
+  // hold is billed as the tail of the wait — see Server::StartPipelinePass).
+  const int64_t hold_us = rec.stage_us[Idx(AttrStage::kDegradationHold)];
+  push("server-sched", AttrStageName(AttrStage::kSchedWait), rec.pass_start_us - hold_us);
+  push("server-sched", AttrStageName(AttrStage::kDegradationHold), rec.pass_start_us);
+
+  // Working-set page-ins.
+  push("server-mem", AttrStageName(AttrStage::kMemStall), rec.mem_done_us);
+
+  // Pipeline hops: each hop's elapsed time splits into run-queue wait and exact CPU
+  // service (RunHop's completion split), wait first.
+  for (int h = 0; h < rec.hop_count; ++h) {
+    push("server-sched", AttrStageName(AttrStage::kSchedWait),
+         rec.hop_end_us[h] - rec.hop_service_us[h]);
+    push(rec.hop_encode[h] ? "server-proto" : "server-cpu",
+         AttrStageName(rec.hop_encode[h] ? AttrStage::kProtoEncode
+                                         : AttrStage::kCpuService),
+         rec.hop_end_us[h]);
+  }
+
+  // Display leg: the five-way WAN decomposition in sub-stage (happens-before) order.
+  for (int s = 0; s < kNetSubStageCount; ++s) {
+    push("net-down", NetSubStageName(static_cast<NetSubStage>(s)),
+         cursor + rec.net_us[s]);
+  }
+  assert(cursor == rec.delivered_us);
+
+  // Client decode + blit.
+  push("client", AttrStageName(AttrStage::kClientDecode), rec.painted_us);
+  assert(cursor == rec.painted_us);
+
+  // Happens-before edges: the keystroke pipeline is serially dependent, so each node
+  // enables the next. (Kept explicit — extraction below is a general DAG relaxation.)
+  g.edges_.reserve(g.nodes_.size() - 1);
+  for (int i = 0; i + 1 < static_cast<int>(g.nodes_.size()); ++i) {
+    g.edges_.push_back(CriticalPathEdge{i, i + 1});
+  }
+
+  if (recorder != nullptr) {
+    // Correlate the ring's flow-id records with the stage intervals (instants count
+    // against the interval containing their timestamp; spans against any overlap).
+    recorder->ForEachRecord([&](const FlightRecord& r) {
+      if (r.flow_id != rec.id) {
+        return;
+      }
+      const int64_t r_start = r.ts_us;
+      const int64_t r_end = r.ts_us + r.dur_us;
+      for (CriticalPathNode& node : g.nodes_) {
+        if (r_start < node.end_us && r_end >= node.start_us &&
+            !(r_start == r_end && r_start == node.end_us)) {
+          ++node.flight_records;
+        }
+      }
+    });
+  }
+  return g;
+}
+
+std::vector<CriticalPathSegment> CriticalPathGraph::ExtractCriticalPath() const {
+  // Longest-path relaxation in topological order (Build emits nodes topologically
+  // sorted: every edge points forward). dist[i] = weight of the heaviest path ending at
+  // node i, inclusive; pred[i] reconstructs it.
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<CriticalPathSegment> path;
+  if (n == 0) {
+    return path;
+  }
+  std::vector<int64_t> dist(static_cast<size_t>(n), 0);
+  std::vector<int> pred(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    dist[static_cast<size_t>(i)] = nodes_[static_cast<size_t>(i)].duration_us();
+  }
+  for (const CriticalPathEdge& e : edges_) {
+    const int64_t via =
+        dist[static_cast<size_t>(e.from)] + nodes_[static_cast<size_t>(e.to)].duration_us();
+    if (via > dist[static_cast<size_t>(e.to)] ||
+        (via == dist[static_cast<size_t>(e.to)] &&
+         pred[static_cast<size_t>(e.to)] < e.from)) {
+      // Ties break toward the later predecessor: deterministic, and on a chain it keeps
+      // the path complete so the segment sum telescopes to end-to-end.
+      dist[static_cast<size_t>(e.to)] = via;
+      pred[static_cast<size_t>(e.to)] = e.from;
+    }
+  }
+  int end = 0;
+  for (int i = 1; i < n; ++i) {
+    if (dist[static_cast<size_t>(i)] >= dist[static_cast<size_t>(end)]) {
+      end = i;  // >= : prefer the latest sink, which on a chain is the finish node
+    }
+  }
+  std::vector<int> order;
+  for (int i = end; i != -1; i = pred[static_cast<size_t>(i)]) {
+    order.push_back(i);
+  }
+  std::reverse(order.begin(), order.end());
+  for (int i : order) {
+    const CriticalPathNode& node = nodes_[static_cast<size_t>(i)];
+    if (node.duration_us() == 0) {
+      continue;  // zero-width interval: contributes nothing to the sum
+    }
+    path.push_back(CriticalPathSegment{node.component, node.stage, node.start_us,
+                                       node.end_us, node.duration_us()});
+  }
+  return path;
+}
+
+int64_t CriticalPathGraph::SegmentSumUs(const std::vector<CriticalPathSegment>& path) {
+  int64_t sum = 0;
+  for (const CriticalPathSegment& seg : path) {
+    sum += seg.duration_us;
+  }
+  return sum;
+}
+
+std::string CriticalPathGraph::ToJson() const {
+  std::string out;
+  out.reserve(256 + nodes_.size() * 120);
+  out.append("{\"flow_id\":");
+  AppendInt(&out, static_cast<int64_t>(flow_id_));
+  out.append(",\"end_to_end_us\":");
+  AppendInt(&out, end_to_end_us());
+  out.append(",\"nodes\":[");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out.append(",");
+    }
+    const CriticalPathNode& node = nodes_[i];
+    out.append("{\"component\":\"");
+    out.append(node.component);
+    out.append("\",\"stage\":\"");
+    out.append(node.stage);
+    out.append("\",\"start_us\":");
+    AppendInt(&out, node.start_us);
+    out.append(",\"end_us\":");
+    AppendInt(&out, node.end_us);
+    out.append(",\"dur_us\":");
+    AppendInt(&out, node.duration_us());
+    out.append(",\"flight_records\":");
+    AppendInt(&out, node.flight_records);
+    out.append("}");
+  }
+  out.append("],\"edges\":[");
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) {
+      out.append(",");
+    }
+    out.append("[");
+    AppendInt(&out, edges_[i].from);
+    out.append(",");
+    AppendInt(&out, edges_[i].to);
+    out.append("]");
+  }
+  out.append("],\"critical_path\":[");
+  const std::vector<CriticalPathSegment> path = ExtractCriticalPath();
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) {
+      out.append(",");
+    }
+    AppendSegmentJson(&out, path[i].component, path[i].stage, path[i].start_us,
+                      path[i].end_us);
+  }
+  out.append("],\"critical_path_us\":");
+  AppendInt(&out, SegmentSumUs(path));
+  out.append("}");
+  return out;
+}
+
+int64_t PredictAdjustedTotalUs(const InteractionRecord& rec,
+                               const WhatIfAdjustment& adj) {
+  auto rescaled = [&](int64_t affected_us) {
+    assert(adj.speedup > 0.0);
+    return static_cast<int64_t>(
+        std::llround(static_cast<double>(affected_us) / adj.speedup));
+  };
+  int64_t total = rec.total_us();
+  switch (adj.component) {
+    case WhatIfAdjustment::Component::kLink: {
+      // A faster link shrinks everything billed at the wire's rate on the display leg:
+      // the bufferbloat queue ahead of the update, the retransmitted frames it waits
+      // behind, and its own serialization. Propagation and jitter are delay, not rate.
+      const int64_t affected = rec.net_us[Idx(NetSubStage::kQueueing)] +
+                               rec.net_us[Idx(NetSubStage::kRetransmitWait)] +
+                               rec.net_us[Idx(NetSubStage::kSerialization)];
+      total += rescaled(affected) - affected;
+      break;
+    }
+    case WhatIfAdjustment::Component::kCpu: {
+      // Faster CPU shrinks exact service time (application hops + protocol encode).
+      // Run-queue wait is left unscaled: it depends on *other* threads' service times,
+      // a second-order effect the prediction deliberately excludes (see header).
+      const int64_t affected = rec.stage_us[Idx(AttrStage::kCpuService)] +
+                               rec.stage_us[Idx(AttrStage::kProtoEncode)];
+      total += rescaled(affected) - affected;
+      break;
+    }
+    case WhatIfAdjustment::Component::kDisk: {
+      const int64_t affected = rec.stage_us[Idx(AttrStage::kMemStall)];
+      total += rescaled(affected) - affected;
+      break;
+    }
+    case WhatIfAdjustment::Component::kRtt: {
+      // RTT reduction splits across the two one-way legs; each leg clamps at zero.
+      const int64_t down_half = adj.rtt_delta_us / 2;
+      const int64_t up_half = adj.rtt_delta_us - down_half;
+      total -= std::min(down_half, rec.net_us[Idx(NetSubStage::kPropagation)]);
+      total -= std::min(up_half, rec.stage_us[Idx(AttrStage::kInputNet)]);
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace tcs

@@ -1,0 +1,136 @@
+// Causal critical-path profiler: from "which stage was slow" to "what to fix next".
+//
+// The attribution engine (PR 4) answers *where* an interaction's microseconds went; the
+// critical path answers *what would have helped*. For every committed interaction this
+// module assembles a causal event graph — nodes are stage intervals on components
+// (client, uplink, scheduler, CPU, memory, downlink), edges are happens-before
+// relations within the interaction's flow id — and extracts the critical path by
+// longest-path relaxation in topological order.
+//
+// Exactness discipline (same as the attribution engine): every node is a difference of
+// pipeline timestamps, consecutive nodes tile the [sent, painted] interval with no gaps
+// or overlaps, and the extracted path's segment sum equals the end-to-end latency to
+// the microsecond — asserted per build and property-tested across seeds and WAN
+// profiles. The keystroke pipeline is a chain of serially-dependent stages, so the
+// critical path visits every non-empty interval; the machinery is a genuine DAG
+// traversal so parallel stage structure (e.g. future multi-flow pipelines) inherits the
+// same guarantee.
+//
+// WAN awareness: the display-net interval expands into the five decomposition
+// sub-stages (bufferbloat queueing, retransmit wait, serialization, propagation,
+// jitter) recorded in InteractionRecord::net_us, so a slow interaction on an LTE
+// profile names bufferbloat, not "the network".
+//
+// What-if prediction: PredictAdjustedTotalUs() replays one record's critical path under
+// a virtual speedup of a single component (link rate x k, CPU x k, disk x k, RTT - d)
+// and returns the predicted end-to-end total. RunWhatIf (core/experiments) compares
+// this prediction against an actual re-simulation. Limits: the prediction rescales the
+// affected segments in isolation — it cannot see second-order effects (shorter
+// serialization drains queues faster, fewer RTO expiries, different batching), which is
+// exactly the gap the achieved-vs-predicted report quantifies.
+//
+// Determinism contract: graphs are pure functions of the committed record (plus an
+// optional flight-recorder correlation count); ToJson() output is byte-identical across
+// reruns and ParallelSweep worker counts.
+
+#ifndef TCS_SRC_OBS_CRITICAL_PATH_H_
+#define TCS_SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/attribution.h"
+
+namespace tcs {
+
+class FlightRecorder;
+
+// One stage interval on a component. `component` and `stage` are string literals, so
+// nodes copy and compare cheaply and serialize without escaping.
+struct CriticalPathNode {
+  const char* component = "";
+  const char* stage = "";
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  // Flight-recorder records carrying this interaction's flow id that overlap this
+  // interval (zero unless the graph was built with a recorder).
+  int64_t flight_records = 0;
+
+  int64_t duration_us() const { return end_us - start_us; }
+};
+
+// Happens-before edge between node indices.
+struct CriticalPathEdge {
+  int from = 0;
+  int to = 0;
+};
+
+// One segment of the extracted critical path.
+struct CriticalPathSegment {
+  const char* component = "";
+  const char* stage = "";
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  int64_t duration_us = 0;
+};
+
+class CriticalPathGraph {
+ public:
+  // Assembles the causal graph for one committed interaction. With a recorder, each
+  // node is annotated with the count of overlapping flow-id records from the live ring
+  // (pure read; never perturbs the run). Asserts the tiling invariant: nodes are
+  // contiguous from sent to painted.
+  static CriticalPathGraph Build(const InteractionRecord& rec,
+                                 const FlightRecorder* recorder = nullptr);
+
+  uint64_t flow_id() const { return flow_id_; }
+  int64_t end_to_end_us() const { return end_us_ - start_us_; }
+  const std::vector<CriticalPathNode>& nodes() const { return nodes_; }
+  const std::vector<CriticalPathEdge>& edges() const { return edges_; }
+
+  // Longest start-to-finish path by topological relaxation; zero-duration nodes are
+  // elided from the output (they contribute nothing to the sum). The returned segments
+  // satisfy SegmentSumUs(path) == end_to_end_us() exactly.
+  std::vector<CriticalPathSegment> ExtractCriticalPath() const;
+
+  static int64_t SegmentSumUs(const std::vector<CriticalPathSegment>& path);
+
+  // Deterministic JSON: flow id, end-to-end, nodes, edges, the extracted path and its
+  // segment sum. Byte-identical across reruns and worker counts.
+  std::string ToJson() const;
+
+ private:
+  uint64_t flow_id_ = 0;
+  int64_t start_us_ = 0;
+  int64_t end_us_ = 0;
+  std::vector<CriticalPathNode> nodes_;
+  std::vector<CriticalPathEdge> edges_;
+};
+
+// A counterfactual: virtually speed up one component and ask what the interaction's
+// end-to-end total would have been.
+struct WhatIfAdjustment {
+  enum class Component { kLink, kCpu, kDisk, kRtt };
+  Component component = Component::kLink;
+  // For kLink/kCpu/kDisk: the speedup factor k (> 0); affected segments scale by 1/k.
+  double speedup = 2.0;
+  // For kRtt: total round-trip reduction in microseconds, split evenly across the two
+  // one-way legs and clamped so neither goes negative.
+  int64_t rtt_delta_us = 0;
+};
+
+const char* WhatIfComponentName(WhatIfAdjustment::Component component);
+
+// Predicted end-to-end total under the adjustment:
+//   kLink  scales bufferbloat queueing + retransmit wait + serialization (display leg),
+//   kCpu   scales cpu-service + proto-encode,
+//   kDisk  scales mem-stall,
+//   kRtt   subtracts delta/2 from display-leg propagation and delta/2 from input-net,
+//          each clamped at zero.
+// Integer microseconds, deterministic (llround of one IEEE-754 division per record).
+int64_t PredictAdjustedTotalUs(const InteractionRecord& rec, const WhatIfAdjustment& adj);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_OBS_CRITICAL_PATH_H_

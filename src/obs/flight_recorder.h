@@ -105,6 +105,17 @@ class FlightRecorder {
   size_t capacity() const { return capacity_; }
   Duration window() const { return config_.window; }
 
+  // Visits the live ring's records oldest-append-first (the last min(seen, capacity)
+  // appends). Read-only and allocation-free; the critical-path assembler uses it to
+  // correlate an interaction's flow-id records with its stage intervals.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    const uint64_t start = head_ > capacity_ ? head_ - capacity_ : 0;
+    for (uint64_t i = start; i < head_; ++i) {
+      fn(ring_[static_cast<size_t>(i) & (capacity_ - 1)]);
+    }
+  }
+
   // Copies the ring records with ts >= now - window, oldest append first, into the
   // frozen window. The first freeze wins: later calls are no-ops so the bundle keeps
   // the *first* violation's history.

@@ -103,7 +103,8 @@ class DegradationController {
   // --- Levers, consulted by the server pipeline and background sessions ---
 
   // Extra hold before the next pipeline pass while keystrokes pend (zero below
-  // kCoalesce). Lands in the sched-wait attribution stage.
+  // kCoalesce). Lands in the degradation-hold attribution stage, so degraded runs do
+  // not masquerade as scheduler contention in blame digests.
   Duration CoalesceHold() const {
     return level_ >= static_cast<int>(DegradationLevel::kCoalesce)
                ? config_.coalesce_hold

@@ -65,6 +65,7 @@ FrameTransport& PickTransport(std::unique_ptr<ReliableChannel>& reliable, Link& 
 }
 
 constexpr int Idx(AttrStage stage) { return static_cast<int>(stage); }
+constexpr int Idx(NetSubStage stage) { return static_cast<int>(stage); }
 
 }  // namespace
 
@@ -162,6 +163,17 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
         }
         return n;
       });
+      // WAN backpressure gauges: bufferbloat queue depth in full frames, and the
+      // reliable channel's send-window fill fraction. Sampled into metrics.csv so
+      // bufferbloat onset is visible in-run, not only in the post-hoc report ledger.
+      config_.metrics->AddGauge("wan_queue_depth", [this] {
+        double frame =
+            static_cast<double>(config_.link.mtu.count() + config_.link.framing.count());
+        return static_cast<double>(link_.BacklogBytesAt(sim_.Now()).count()) / frame;
+      });
+      config_.metrics->AddGauge("reliable_window_fill", [this] {
+        return reliable_ != nullptr ? reliable_->WindowFill() : 0.0;
+      });
     }
   }
   if (config_.attribution != nullptr) {
@@ -175,6 +187,10 @@ Server::Server(Simulator& sim, OsProfile profile, ServerConfig config)
         hop_trace_names_.push_back(tr->Intern(hop.name));
       }
     }
+    // Attributed runs split display-net into queueing/retransmit-wait/serialization/
+    // propagation/jitter; the retransmit share needs the link's wire ledger. Pure
+    // bookkeeping (no events, no randomness), so enabling it never perturbs a run.
+    link_.EnableWireLedger();
   }
   if (config_.faults.session.Any()) {
     ArmFaultSchedule();
@@ -331,6 +347,7 @@ void Server::Logout(Session& session) {
   ++session.generation_;  // abandon in-flight pipeline callbacks
   session.pending_keystrokes_ = 0;
   session.pipeline_busy_ = false;
+  session.hold_pending_ = false;
   for (AddressSpace* as : session.process_spaces_) {
     pager_.ReleaseAddressSpace(as);
   }
@@ -449,13 +466,29 @@ void Server::StartPipelinePass(Session& session) {
   // Freeze this batch's latency attribution before new keystrokes overwrite it.
   session.current_batch_sent_ = session.oldest_pending_sent_;
   session.current_batch_arrived_ = session.oldest_pending_arrived_;
+  const bool held = session.hold_pending_;
+  const int64_t hold_started_us = session.hold_started_us_;
+  session.hold_pending_ = false;
   if (config_.attribution != nullptr) {
     session.current_attr_ = session.pending_attr_;
     InteractionRecord& rec = session.current_attr_;
     rec.batch = batch;
     rec.pass_start_us = sim_.Now().ToMicros();
-    // Time the batch's oldest keystroke sat behind the previous pipeline pass.
-    rec.stage_us[Idx(AttrStage::kSchedWait)] += rec.pass_start_us - rec.arrived_us;
+    // Time the batch's oldest keystroke sat behind the previous pipeline pass. When the
+    // DegradationController held the pipeline between passes, the tail of that wait
+    // (from the hold's start, clipped to the keystroke's own arrival) is the
+    // controller's doing, not the scheduler's: bill it to the degradation-hold stage so
+    // degraded runs don't masquerade as scheduler contention. Both stages remain
+    // telescoping timestamp differences, so the stage-sum invariant is untouched.
+    int64_t wait = rec.pass_start_us - rec.arrived_us;
+    int64_t hold_billed = 0;
+    if (held) {
+      hold_billed = std::max<int64_t>(
+          0, rec.pass_start_us - std::max(rec.arrived_us, hold_started_us));
+      hold_billed = std::min(hold_billed, wait);
+    }
+    rec.stage_us[Idx(AttrStage::kSchedWait)] += wait - hold_billed;
+    rec.stage_us[Idx(AttrStage::kDegradationHold)] += hold_billed;
   }
   // The editor cannot echo until the keystroke path's working set is resident (§5.2):
   // page in anything a streaming job evicted, then run the hops. The fraction of the
@@ -534,6 +567,19 @@ void Server::CompletePipeline(Session& session, int batch) {
     }
     return;
   }
+  // Pre-flush wire snapshot for the display-net decomposition: the backlog ahead of
+  // this update, and the share of it occupied by retransmitted frames. Taken before the
+  // flush queues the update's own frames so "queueing ahead of me" and "my own bits"
+  // stay distinct.
+  int64_t backlog_us = 0;
+  int64_t retrans_wait_us = 0;
+  if (config_.attribution != nullptr && client_ != nullptr) {
+    TimePoint now = sim_.Now();
+    if (link_.busy_until() > now) {
+      backlog_us = (link_.busy_until() - now).ToMicros();
+    }
+    retrans_wait_us = std::min(backlog_us, link_.PendingRetransmitWireUs(now));
+  }
   session.update_payload_ = Bytes::Zero();
   session.protocol_->SubmitDraw(DrawCommand::Text(batch));
   session.protocol_->Flush();
@@ -557,6 +603,27 @@ void Server::CompletePipeline(Session& session, int batch) {
     rec.painted_us = painted.ToMicros();
     rec.stage_us[Idx(AttrStage::kDisplayNet)] = rec.delivered_us - rec.emitted_us;
     rec.stage_us[Idx(AttrStage::kClientDecode)] = rec.painted_us - rec.delivered_us;
+    if (client_ != nullptr) {
+      // Decompose display-net against the same arithmetic that produced `delivered`:
+      //   delivered = max(emitted, busy_until) + propagation + last_wan_extra
+      // Queueing is the pre-flush backlog minus its retransmit share; serialization is
+      // this update's own wire occupancy (post-flush horizon minus emitted minus
+      // backlog); jitter is the WAN draw above the profile's fixed extra delay; and
+      // propagation is the exact residual (LAN propagation + WAN extra_delay), so the
+      // five sub-stages telescope to the display-net stage by construction.
+      int64_t wire_done_us = link_.busy_until().ToMicros();
+      int64_t queue_us = backlog_us - retrans_wait_us;
+      int64_t serialize_us =
+          std::max<int64_t>(0, wire_done_us - (rec.emitted_us + backlog_us));
+      int64_t jitter_us = link_.last_wan_jitter().ToMicros();
+      rec.net_us[Idx(NetSubStage::kQueueing)] = queue_us;
+      rec.net_us[Idx(NetSubStage::kRetransmitWait)] = retrans_wait_us;
+      rec.net_us[Idx(NetSubStage::kSerialization)] = serialize_us;
+      rec.net_us[Idx(NetSubStage::kJitter)] = jitter_us;
+      rec.net_us[Idx(NetSubStage::kPropagation)] =
+          rec.stage_us[Idx(AttrStage::kDisplayNet)] - queue_us - retrans_wait_us -
+          serialize_us - jitter_us;
+    }
     config_.attribution->Commit(rec);
   }
   if (config_.tracer != nullptr) {
@@ -593,9 +660,12 @@ void Server::CompletePipeline(Session& session, int batch) {
         degradation_ != nullptr ? degradation_->CoalesceHold() : Duration::Zero();
     if (hold > Duration::Zero()) {
       // Degraded: hold the pipeline so further keystrokes coalesce into one fatter,
-      // cheaper batch. The pipeline stays busy through the hold, and the wait lands in
-      // the batch's sched-wait attribution stage (pass_start - arrived), preserving the
-      // stage-sum invariant.
+      // cheaper batch. The pipeline stays busy through the hold; the next pass bills
+      // the hold window to the degradation-hold attribution stage (see
+      // StartPipelinePass), keeping the stage-sum invariant while naming the
+      // controller, not the scheduler, as the cause.
+      session.hold_pending_ = true;
+      session.hold_started_us_ = sim_.Now().ToMicros();
       uint64_t gen = session.generation_;
       Session* sp = &session;
       sim_.Schedule(hold, [this, sp, gen] {
@@ -605,6 +675,7 @@ void Server::CompletePipeline(Session& session, int batch) {
         if (sp->pending_keystrokes_ > 0) {
           StartPipelinePass(*sp);
         } else {
+          sp->hold_pending_ = false;
           sp->pipeline_busy_ = false;
         }
       });
@@ -653,6 +724,7 @@ void Server::Reconnect(Session& session) {
     ++session.generation_;
     session.pending_keystrokes_ = 0;
     session.pipeline_busy_ = false;
+    session.hold_pending_ = false;
     session.protocol_->OnSessionReconnect();
     for (size_t i = 0; i < session.process_spaces_.size(); ++i) {
       pager_.MarkSwappedOut(*session.process_spaces_[i], 0, session.process_pages_[i]);

@@ -154,6 +154,10 @@ class Session {
   std::vector<Thread*> pipeline_;
   int pending_keystrokes_ = 0;
   bool pipeline_busy_ = false;
+  // Degradation coalesce hold in progress: the next pipeline pass bills the time since
+  // hold_started_us_ to the degradation-hold stage instead of sched-wait.
+  bool hold_pending_ = false;
+  int64_t hold_started_us_ = 0;
   // Oldest keystroke in the pending set / in the in-flight batch, for attribution.
   TimePoint oldest_pending_sent_;
   TimePoint oldest_pending_arrived_;

@@ -59,6 +59,8 @@ def load_results(path):
 
 def metric_of(row, counter):
     if counter is None:
+        if "real_time" not in row:
+            raise KeyError(f"no 'real_time' in result row '{row.get('name')}'")
         return float(row["real_time"]), row.get("time_unit", "ns")
     if counter in row:
         return float(row[counter]), counter
@@ -86,7 +88,13 @@ def main():
     rows = []
     regressions = []
     skipped = []
+    compared_names = set()
     for key, entry in baseline.get("benchmarks", {}).items():
+        # A baseline entry that is not an object (hand-edited shorthand, merge damage)
+        # is a skip, not a crash: the other entries still compare.
+        if not isinstance(entry, dict):
+            skipped.append((key, f"baseline entry is {type(entry).__name__}, not an object"))
+            continue
         current = entry.get("current")
         if not isinstance(current, (int, float)):
             skipped.append((key, "non-scalar baseline"))
@@ -96,6 +104,7 @@ def main():
         counter = entry.get("counter", default_counter)
         better = entry.get("better", default_better)
         bench_name = entry.get("bench_name", key)
+        compared_names.add(bench_name)
         row = results.get(bench_name)
         if row is None:
             skipped.append((key, f"'{bench_name}' not in results"))
@@ -115,6 +124,10 @@ def main():
             flag = "improved"
         rows.append((key, current, measured, delta, better, flag))
 
+    # Benchmarks measured this run that no baseline entry claims: a new benchmark landing
+    # before its baseline entry must surface as "no baseline key", never as a KeyError.
+    unbaselined = sorted(name for name in results if name not in compared_names)
+
     if rows:
         name_w = max(len(r[0]) for r in rows)
         print(f"{'benchmark':<{name_w}}  {'baseline':>14}  {'measured':>14}  "
@@ -124,6 +137,8 @@ def main():
                   f"{delta:>+7.1%}  {better:>6}  {flag}")
     for key, why in skipped:
         print(f"skipped {key}: {why}", file=sys.stderr)
+    for name in unbaselined:
+        print(f"no baseline key for {name}: measured but not compared", file=sys.stderr)
     if not rows:
         print("no comparable benchmarks found", file=sys.stderr)
         return 1

@@ -46,8 +46,19 @@
 //            (coalesce draw batches, thin animation frames, force harder bitmap caching,
 //            pause background sessions) and reports its transition ledger. Output is
 //            byte-identical for any --jobs value.
+//   whatif   --os=... [--profile=lte --component=all|link,cpu,disk,rtt --speedup=2
+//            --rtt-delta-ms=40 --users=N --seconds=N --degrade --jobs=N --seed=N
+//            --report-out=whatif.json]
+//            counterfactual what-if analysis: for each component, runs the WAN cell
+//            twice — a baseline whose per-interaction critical paths feed the analytic
+//            prediction (virtually speed up that one component), and an achieved arm
+//            actually re-simulated with the speedup applied to the hardware model. The
+//            table pairs the predicted p99 delta with the achieved one; the gap between
+//            them is the second-order effects (queue drain, fewer RTOs, different
+//            batching) the model cannot see. Output is byte-identical for any --jobs
+//            value; the report JSON carries no wall-clock field, so CI can cmp(1) runs.
 //   blame    [--os=tse,linux,linux:lbx --sinks=0,5 --seconds=N --background-mbps=X
-//            --loss=X --flap-ms=N --threshold-ms=100 --jobs=N --seed=N
+//            --loss=X --flap-ms=N --threshold-ms=100 --profile=WAN --jobs=N --seed=N
 //            --report-out=blame.json]
 //            per-interaction latency attribution: runs the end-to-end keystroke workload
 //            for every OS(:protocol) x sinks configuration and prints the per-stage blame
@@ -56,7 +67,11 @@
 //            client-decode; stages sum exactly to end-to-end). Names the configuration
 //            whose p99 first crosses --threshold-ms and the stage that dominates it.
 //            An `--os` entry may carry a protocol suffix (e.g. linux:lbx runs the X
-//            pipeline over LBX). Output is byte-identical for any --jobs value.
+//            pipeline over LBX). With --profile=dsl|lte|satellite|congested-office the
+//            runs go through that WAN pathology and a second table decomposes the
+//            display-net stage into bufferbloat queueing, retransmit wait,
+//            serialization, propagation, and jitter (sub-stages sum exactly to the
+//            display-net total). Output is byte-identical for any --jobs value.
 //   postmortem <experiment> [experiment flags] [--slo-p99-ms=100 --slo-availability=0.99
 //            --slo-backlog-kb=N --slo-starved=X --postmortem-dir=postmortems]
 //            run one experiment (typing|e2e|chaos|consolidation) under a (by default
@@ -104,6 +119,7 @@
 #include "src/session/server.h"
 #include "src/util/config_error.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
 #include "src/workload/script_io.h"
 
@@ -114,7 +130,7 @@ int Usage() {
   std::printf(
       "tcsctl — thin-client latency framework driver\n"
       "commands: idle typing paging traffic webpage gif rtt sizing capacity e2e sweep "
-      "chaos wan blame postmortem trace replay help\n"
+      "chaos wan whatif blame postmortem trace replay help\n"
       "run `tcsctl help` or see the header of tools/tcsctl.cc for flags.\n");
   return 2;
 }
@@ -734,9 +750,10 @@ int CmdWan(FlagSet& flags) {
   }
   Emit(table, flags.GetBool("csv"));
   // Blame view: under WAN pathology the share migrates into retransmit and display-net;
-  // with degradation on, part of it moves to sched-wait (the coalesce hold) instead.
+  // with degradation on, part of it moves to the degr-hold column (the coalesce hold is
+  // billed to its own stage, appended after decode; off-arm rows leave it empty).
   TextTable blame_table({"profile", "degrade", "input-net", "retransmit", "sched-wait",
-                         "cpu", "mem", "proto", "display-net", "decode"});
+                         "cpu", "mem", "proto", "display-net", "decode", "degr-hold"});
   for (const WanPoint& p : points) {
     std::vector<std::string> row = {p.profile, p.degrade ? "on" : "off"};
     for (const StageSummary& s : p.blame.stages) {
@@ -807,6 +824,143 @@ int CmdWan(FlagSet& flags) {
   return 0;
 }
 
+bool ParseComponent(const std::string& word, WhatIfAdjustment::Component* component) {
+  if (word == "link") {
+    *component = WhatIfAdjustment::Component::kLink;
+  } else if (word == "cpu") {
+    *component = WhatIfAdjustment::Component::kCpu;
+  } else if (word == "disk") {
+    *component = WhatIfAdjustment::Component::kDisk;
+  } else if (word == "rtt") {
+    *component = WhatIfAdjustment::Component::kRtt;
+  } else {
+    std::fprintf(stderr, "unknown --component '%s' (link|cpu|disk|rtt|all)\n",
+                 word.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdWhatIf(FlagSet& flags) {
+  OsProfile profile;
+  std::string os_word = flags.GetString("os", "tse");
+  if (!ParseOs(os_word, &profile)) {
+    return 2;
+  }
+  std::string profile_name = flags.GetString("profile", "lte");
+  WanProfile wan;
+  try {
+    wan = WanProfileByName(profile_name);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::string component_word = flags.GetString("component", "all");
+  std::vector<std::string> words =
+      component_word == "all" ? std::vector<std::string>{"link", "cpu", "disk", "rtt"}
+                              : SplitList(component_word);
+  std::vector<WhatIfAdjustment::Component> components;
+  for (const std::string& w : words) {
+    WhatIfAdjustment::Component c;
+    if (!ParseComponent(w, &c)) {
+      return 2;
+    }
+    components.push_back(c);
+  }
+  if (components.empty()) {
+    std::fprintf(stderr, "whatif needs at least one --component\n");
+    return 2;
+  }
+
+  double speedup = flags.GetDouble("speedup", 2.0);
+  int64_t rtt_delta_ms = flags.GetInt("rtt-delta-ms", 40);
+  WanOptions wan_opt;
+  wan_opt.profile = wan;
+  wan_opt.degrade = flags.GetBool("degrade");
+  wan_opt.users = static_cast<int>(flags.GetInt("users", 3));
+  wan_opt.duration = Duration::Seconds(flags.GetInt("seconds", 30));
+  wan_opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+
+  // Every cell shares the same WAN options and seed, so every baseline arm is the SAME
+  // deterministic run: the rows differ only in which component the counterfactual
+  // touches, and output is byte-identical for any --jobs value.
+  ParallelSweep sweep(jobs);
+  auto results = sweep.Map(static_cast<int>(components.size()), [&](int i) {
+    WhatIfOptions opt;
+    opt.wan = wan_opt;
+    opt.adjust.component = components[static_cast<size_t>(i)];
+    opt.adjust.speedup = speedup;
+    opt.adjust.rtt_delta_us = rtt_delta_ms * 1000;
+    return RunWhatIf(profile, opt);
+  });
+
+  auto ms = [](int64_t us) { return static_cast<double>(us) / 1000.0; };
+  TextTable table({"component", "counterfactual", "baseline p99 (ms)",
+                   "predicted p99 (ms)", "achieved p99 (ms)", "pred delta (ms)",
+                   "ach delta (ms)", "model gap (ms)"});
+  for (const WhatIfResult& r : results) {
+    std::string what = r.component == "rtt"
+                           ? "-" + TextTable::Num(rtt_delta_ms) + " ms RTT"
+                           : "x" + TextTable::Fixed(r.speedup, 2) + " " + r.component;
+    table.AddRow({r.component, what, TextTable::Fixed(ms(r.baseline_p99_us), 2),
+                  TextTable::Fixed(ms(r.predicted_p99_us), 2),
+                  TextTable::Fixed(ms(r.achieved_p99_us), 2),
+                  TextTable::Fixed(ms(r.predicted_delta_us), 2),
+                  TextTable::Fixed(ms(r.achieved_delta_us), 2),
+                  TextTable::Fixed(ms(r.achieved_delta_us - r.predicted_delta_us), 2)});
+  }
+  Emit(table, flags.GetBool("csv"));
+
+  // The question the command exists to answer: which upgrade actually buys latency.
+  int64_t mismatches = 0;
+  const WhatIfResult* best = nullptr;
+  for (const WhatIfResult& r : results) {
+    mismatches += r.critical_path_mismatches;
+    if (best == nullptr || r.achieved_delta_us > best->achieved_delta_us) {
+      best = &r;
+    }
+  }
+  std::printf("%s on %s: best achieved p99 improvement is %s (%.2f ms; model predicted "
+              "%.2f ms)\n",
+              os_word.c_str(), profile_name.c_str(), best->component.c_str(),
+              ms(best->achieved_delta_us), ms(best->predicted_delta_us));
+  std::printf("critical-path invariant: %lld mismatches over %lld baseline "
+              "interactions\n",
+              static_cast<long long>(mismatches),
+              static_cast<long long>(results.front().interactions));
+
+  std::string report_path = flags.GetString("report-out", "");
+  if (!report_path.empty()) {
+    // No run/wall_ms block anywhere in the file: byte-identical across reruns and
+    // --jobs values, so CI can cmp(1) two sweeps.
+    std::string report = "{\"experiment\":\"whatif\",\"os\":\"" + os_word +
+                         "\",\"profile\":\"" + profile_name + "\",\"points\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const WhatIfResult& r = results[i];
+      JsonObject o;
+      o.Str("component", r.component);
+      o.Double("speedup", r.speedup);
+      o.Int("rtt_delta_us", r.rtt_delta_us);
+      o.Raw("whatif", WhatIfBlockJson(r));
+      o.Raw("baseline_blame", ToJson(r.baseline.blame));
+      o.Raw("adjusted_blame", ToJson(r.adjusted.blame));
+      if (i > 0) {
+        report += ',';
+      }
+      report += o.Finish();
+    }
+    report += "]}\n";
+    if (!WriteFile(report_path, report)) {
+      return 1;
+    }
+  }
+  // stderr, so stdout stays byte-identical for any --jobs value.
+  std::fprintf(stderr, "%zu whatif cells over %d workers\n", results.size(),
+               sweep.workers());
+  return 0;
+}
+
 const char* ProtocolWord(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kRdp:
@@ -871,6 +1025,19 @@ int CmdBlame(FlagSet& flags) {
     return 2;
   }
 
+  // With --profile the whole grid runs behind that WAN pathology and the display-net
+  // stage is decomposed into its five sub-stages (second table below).
+  std::string wan_name = flags.GetString("profile", "");
+  WanProfile wan;
+  if (!wan_name.empty()) {
+    try {
+      wan = WanProfileByName(wan_name);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
   Duration seconds = Duration::Seconds(flags.GetInt("seconds", 30));
   Duration threshold = Duration::Millis(flags.GetInt("threshold-ms", 100));
   double background_mbps = flags.GetDouble("background-mbps", 0.0);
@@ -898,7 +1065,21 @@ int CmdBlame(FlagSet& flags) {
       opt.faults.link.flap_every = Duration::Millis(2000);
       opt.faults.link.flap_duration = Duration::Millis(flap);
     }
-    LatencyAttribution attribution;
+    if (!wan_name.empty()) {
+      opt.faults.link.wan.extra_delay = wan.extra_delay;
+      opt.faults.link.wan.jitter = wan.jitter;
+      opt.faults.link.wan.down_rate = wan.down_rate;
+      opt.faults.link.wan.up_rate = wan.up_rate;
+      opt.faults.link.wan.queue_bytes = wan.queue_bytes;
+      opt.faults.link.wan.ge_p_good_to_bad = wan.ge_p_good_to_bad;
+      opt.faults.link.wan.ge_p_bad_to_good = wan.ge_p_bad_to_good;
+      opt.faults.link.wan.ge_loss_good = wan.ge_loss_good;
+      opt.faults.link.wan.ge_loss_bad = wan.ge_loss_bad;
+      opt.faults.seed = opt.seed ^ 0xFA017u;
+    }
+    AttributionConfig attr_cfg;
+    attr_cfg.decompose_network = !wan_name.empty();
+    LatencyAttribution attribution(attr_cfg);
     ObsConfig obs;
     obs.attribution = &attribution;
     return RunEndToEndLatency(cfg.profile, opt, &obs);
@@ -921,6 +1102,35 @@ int CmdBlame(FlagSet& flags) {
     }
   }
   Emit(table, flags.GetBool("csv"));
+
+  if (!wan_name.empty()) {
+    // WAN-aware blame: where inside the wire the display-net microseconds went. The
+    // shares are over the network grand total; the sub-stage sums equal the display-net
+    // stage total exactly (net_mismatches counts any commit that violated this — 0).
+    TextTable net_table({"os", "protocol", "sinks", "net stage", "share", "p50 (ms)",
+                         "p99 (ms)", "max (ms)"});
+    int64_t net_mismatches = 0;
+    for (int i = 0; i < configs; ++i) {
+      const BlameConfig& cfg = base[static_cast<size_t>(i / sink_count)];
+      int sinks = sink_list[static_cast<size_t>(i % sink_count)];
+      const AttributionResult& blame = results[static_cast<size_t>(i)].blame;
+      net_mismatches += blame.net_mismatches;
+      for (const StageSummary& s : blame.net_stages) {
+        if (s.total_us == 0) {
+          continue;
+        }
+        net_table.AddRow({cfg.os_word, cfg.proto_word, TextTable::Num(sinks), s.stage,
+                          TextTable::Percent(s.share, 1),
+                          TextTable::Fixed(static_cast<double>(s.p50_us) / 1000.0, 2),
+                          TextTable::Fixed(static_cast<double>(s.p99_us) / 1000.0, 2),
+                          TextTable::Fixed(static_cast<double>(s.max_us) / 1000.0, 2)});
+      }
+    }
+    std::printf("display-net decomposition under the %s profile (%lld decomposition "
+                "mismatches):\n",
+                wan_name.c_str(), static_cast<long long>(net_mismatches));
+    Emit(net_table, flags.GetBool("csv"));
+  }
 
   // The question the command exists to answer: which configuration goes perceptible
   // first, and which resource is to blame when it does.
@@ -1497,6 +1707,7 @@ int Run(int argc, char** argv) {
                  "loss", "flap-ms", "flap-every-ms", "disk-stall", "disconnect-ms",
                  "threshold-ms", "max-users", "max-util", "max-p99-ms", "burst-ms",
                  "burst-every-ms", "ram-mib", "profile", "starve-after-ms",
+                 "component", "speedup", "rtt-delta-ms", "degrade",
                  "slo-p99-ms", "slo-availability", "slo-backlog-kb", "slo-starved",
                  "postmortem-dir"});
   if (!flags.ok()) {
@@ -1541,6 +1752,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "wan") {
     return CmdWan(flags);
+  }
+  if (command == "whatif") {
+    return CmdWhatIf(flags);
   }
   if (command == "blame") {
     return CmdBlame(flags);
