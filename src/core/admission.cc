@@ -1,48 +1,16 @@
 #include "src/core/admission.h"
 
-#include <algorithm>
 #include <map>
-#include <memory>
+#include <string>
 #include <utility>
-#include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/run_support.h"
-#include "src/metrics/latency.h"
-#include "src/session/server.h"
-#include "src/sim/periodic.h"
 #include "src/util/config_error.h"
-#include "src/workload/typist.h"
 
 namespace tcs {
 
-namespace {
-
 using namespace run_support;
-
-// Per-user stall instrumentation: the StallDetector keeps Figure-3 aggregates, the
-// LatencyRecorder keeps the exact-microsecond per-gap samples that make consolidation
-// results byte-comparable. Lives behind a unique_ptr so callbacks hold stable pointers.
-struct StallTap {
-  explicit StallTap(Duration period) : stalls(period), period_us(period.ToMicros()) {}
-
-  void OnUpdate(TimePoint t) {
-    stalls.OnUpdate(t);
-    if (have_last) {
-      int64_t gap_us = (t - last).ToMicros() - period_us;
-      samples.Record(Duration::Micros(std::max<int64_t>(0, gap_us)));
-    }
-    have_last = true;
-    last = t;
-  }
-
-  StallDetector stalls;
-  LatencyRecorder samples;
-  int64_t period_us;
-  bool have_last = false;
-  TimePoint last;
-};
-
-}  // namespace
 
 ConsolidationOptions Validated(ConsolidationOptions o) {
   if (o.users < 1) {
@@ -95,134 +63,14 @@ CapacityOptions Validated(CapacityOptions o) {
 }
 
 ConsolidationResult RunConsolidation(const OsProfile& profile,
-                                     const ConsolidationOptions& options_in,
+                                     const ConsolidationOptions& options,
                                      const ObsConfig* obs) {
-  ConsolidationOptions options = Validated(options_in);
-  WallClock::time_point t0 = WallClock::now();
-  Simulator sim;
-  ServerConfig cfg;
-  cfg.seed = options.seed;
-  cfg.cpu.processors = options.processors;
-  cfg.ram = options.ram;
-  cfg.eviction = options.eviction;
-  ApplyObs(cfg, obs);
-  SloRuntime slo(sim, obs);
-  slo.ApplyTo(cfg);
-  AttachSimHook(sim, obs);
-  Server server(sim, profile, cfg);
-  SamplerScope sampler(sim, obs);
-  server.StartDaemons();
-
-  struct UserRuntime {
-    Session* session = nullptr;
-    std::unique_ptr<StallTap> tap;
-    std::unique_ptr<Typist> typist;
-    std::unique_ptr<PeriodicTask> burst_task;
-  };
-  std::vector<UserRuntime> runtimes;
-  runtimes.reserve(static_cast<size_t>(options.users));
-  // Login + instrument first: session setup traffic and text-segment sharing happen in
-  // login order, exactly as they would on a morning shift start.
-  for (int u = 0; u < options.users; ++u) {
-    UserRuntime rt;
-    rt.session = &server.Login();
-    rt.tap = std::make_unique<StallTap>(options.keystroke_period);
-    StallTap* tap = rt.tap.get();
-    rt.session->set_on_display_update([tap](TimePoint t) { tap->OnUpdate(t); });
-    Session* s = rt.session;
-    rt.typist = std::make_unique<Typist>(sim, [&server, s] { server.Keystroke(*s); },
-                                         options.keystroke_period);
-    rt.typist->Start(options.start_delay +
-                     Duration::Micros(options.stagger.ToMicros() * u));
-    if (options.burst_cpu > Duration::Zero()) {
-      Thread* bt = server.cpu().CreateThread("app-burst", ThreadClass::kBatch,
-                                             profile.sink_priority);
-      Duration burst = options.burst_cpu;
-      rt.burst_task = std::make_unique<PeriodicTask>(
-          sim, options.burst_period,
-          [&server, bt, burst] { server.cpu().PostWork(*bt, burst); });
-      rt.burst_task->Start(Duration::Millis((199 * u) % 5000));  // staggered phases
-    }
-    runtimes.push_back(std::move(rt));
-  }
-  server.StartSinks(options.sinks);
-
-  if (slo.active()) {
-    // Live p99 is over samples seen so far (a user who hasn't produced two updates yet
-    // contributes nothing live); total starvation is a whole-run objective and only
-    // scored by FinishRun, so warm-up can't trip it.
-    slo.watchdog()->SetWorstP99Source([&runtimes] {
-      double worst = 0.0;
-      for (const UserRuntime& rt : runtimes) {
-        worst = std::max(worst, rt.tap->samples.PercentileMs(0.99));
-      }
-      return worst;
-    });
-    slo.watchdog()->SetStarvationSource([&runtimes] {
-      int starved = 0;
-      for (const UserRuntime& rt : runtimes) {
-        if (rt.tap->stalls.updates() < 2) {
-          ++starved;
-        }
-      }
-      return static_cast<double>(starved) / static_cast<double>(runtimes.size());
-    });
-    slo.watchdog()->SetLinkBacklogSource([&server, &sim] {
-      return server.link().BacklogBytesAt(sim.Now()).count();
-    });
-    slo.Start();
-  }
-
-  Duration total = options.start_delay + options.duration;
-  sim.RunUntil(TimePoint::Zero() + total);
-
-  ConsolidationResult result;
-  result.os_name = profile.name;
-  result.protocol = ProtocolName(profile.protocol_kind);
-  result.users = options.users;
-  result.cpu_utilization = server.cpu().busy_time() / total;
-  result.link_utilization = server.link().UtilizationOver(total);
-  result.resident_pages = server.pager().frames_used();
-  result.total_frames = server.pager().total_frames();
-  result.shared_segments = server.pager().shared_segments();
-  result.shared_attaches = server.pager().shared_attaches();
-  result.page_faults = server.pager().faults();
-  result.coalesced_waits = server.pager().coalesced_waits();
-
-  Bytes link_total = server.link().bytes_carried();
-  double stall_sum = 0.0;
-  for (UserRuntime& rt : runtimes) {
-    rt.typist->Stop();
-    if (rt.burst_task != nullptr) {
-      rt.burst_task->Stop();
-    }
-    UserStallStats us;
-    const StallTap& tap = *rt.tap;
-    us.updates = tap.stalls.updates();
-    us.avg_stall_ms = tap.stalls.AverageStallAllGaps().ToMillisF();
-    us.max_stall_ms = tap.stalls.MaxStall().ToMillisF();
-    us.jitter_ms = tap.stalls.Jitter().ToMillisF();
-    if (us.updates < 2) {
-      // Never saw two updates: total starvation. Score the whole run, so no admission
-      // policy can mistake a silent screen for perfect latency.
-      us.p50_stall_ms = us.p99_stall_ms = options.duration.ToMillisF();
-    } else {
-      us.p50_stall_ms = tap.samples.PercentileMs(0.50);
-      us.p99_stall_ms = tap.samples.PercentileMs(0.99);
-    }
-    us.wire_bytes = rt.session->flow().wire_bytes();
-    us.link_share = rt.session->flow().ShareOf(link_total);
-    us.stall_samples_us = tap.samples.samples_us();
-    stall_sum += us.avg_stall_ms;
-    result.worst_stall_ms = std::max(result.worst_stall_ms, us.max_stall_ms);
-    result.worst_p99_stall_ms = std::max(result.worst_p99_stall_ms, us.p99_stall_ms);
-    result.per_user.push_back(std::move(us));
-  }
-  result.avg_stall_ms = stall_sum / static_cast<double>(options.users);
-  CollectBlame(result.blame, obs);
-  slo.Finish(result.slo);
-  FinishRun(result.run, sim, t0);
-  return result;
+  // The construction sequence, workload wiring, and result collection all live in
+  // ConsolidationRun (src/core/checkpoint.cc) so the cold path and the checkpointed
+  // path are one code path — the differential resume-vs-cold guarantee is structural.
+  ConsolidationRun run(profile, options, obs);
+  run.RunToEnd();
+  return run.Finish();
 }
 
 bool Admits(AdmissionPolicy policy, const AdmissionConfig& admission,

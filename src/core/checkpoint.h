@@ -1,0 +1,133 @@
+// Deterministic checkpoint/restore for consolidation runs (fork-from-snapshot).
+//
+// A ConsolidationRun is RunConsolidation opened up: the same construction sequence,
+// workload wiring, and result collection, but with the clock in the caller's hands.
+// Between RunUntil steps the caller can Snapshot() the full dynamic state — kernel
+// event queue, scheduler, pager, protocol encoders, reliable channel, flow ledgers,
+// degradation controller, every RNG stream, and the per-user instrumentation (stall
+// taps, typists, burst tasks, SLO watchdog, gauge sampler) — into a framed, versioned,
+// CRC-guarded blob, and later Restore() it into a freshly constructed run of the same
+// shape. A restored run is sample-for-sample identical to the run that would have been:
+// same stall samples to the microsecond, same report fields (modulo wall_ms), same
+// trace events. That equivalence is what the differential test harness
+// (tests/core_checkpoint_diff_test.cc) locks down.
+//
+// Restore is rebuild-then-overwrite: construction replays the exact original sequence
+// (so all closures, topology, and construction-derived state exist), then the snapshot
+// overwrites the dynamic state and re-arms every pending event with its original
+// (time, sequence) pair through an EventRearm plan whose commit verifies the rebuilt
+// queue against the snapshot's manifest. Construction-time events are dropped wholesale
+// by ResetKernel; nothing from the replayed construction survives into the resumed run.
+//
+// Two consumers ride on top:
+//   * RunServerCapacityCheckpointed — the capacity bisection with per-candidate prefix
+//     snapshots (taken just before the first keystroke mints an interaction) reused
+//     across invocations via a caller-owned cache. A cache hit forks from the snapshot
+//     instead of re-simulating login storm and daemon warm-up; results are identical to
+//     RunServerCapacity by the differential guarantee.
+//   * `tcsctl postmortem consolidation --rewind-ms=N` — a checkpoint ring during the
+//     monitored run; on the first SLO violation the newest checkpoint at least N virtual
+//     milliseconds before the violation is forked with a tracer attached, replaying the
+//     approach to the violation that the original (trace-off) run could not record.
+
+#ifndef TCS_SRC_CORE_CHECKPOINT_H_
+#define TCS_SRC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/obs/metrics.h"
+#include "src/sim/snapshot.h"
+
+namespace tcs {
+
+class Server;
+class Simulator;
+
+// The driver's own top-level snapshot section (per-user taps/typists/bursts plus the
+// SLO watchdog and gauge sampler). Kernel state is tag 1 (SaveKernel); the server's
+// sections are the ServerSection enum (src/session/server.h).
+inline constexpr uint32_t kCheckpointDriverSection = 0x4452;  // "DR"
+
+// Names any top-level section tag a ConsolidationRun snapshot can contain — kernel,
+// driver, or one of the server's — so differential tests report "server.pager differs"
+// instead of "bytes differ".
+const char* CheckpointSectionName(uint32_t tag);
+
+class ConsolidationRun {
+ public:
+  // Validates and replays RunConsolidation's construction sequence: config, server,
+  // daemons, logins in order, stall taps, typists, optional burst tasks, sinks, SLO
+  // watchdog. Throws ConfigError on bad options. `obs` must outlive the run.
+  ConsolidationRun(const OsProfile& profile, const ConsolidationOptions& options,
+                   const ObsConfig* obs = nullptr);
+  ~ConsolidationRun();
+
+  ConsolidationRun(const ConsolidationRun&) = delete;
+  ConsolidationRun& operator=(const ConsolidationRun&) = delete;
+
+  // Advances virtual time to the absolute instant `t` (events at exactly `t` run).
+  void RunUntil(TimePoint t);
+  // Runs to the configured natural end (start_delay + duration).
+  void RunToEnd();
+  TimePoint end_time() const;
+
+  Simulator& sim();
+  const Simulator& sim() const;
+  Server& server();
+
+  // SLO verdict so far (false / -1 when no SLO is attached or nothing violated yet).
+  bool SloViolated() const;
+  int64_t SloViolatedAtUs() const;
+
+  // Serializes the full dynamic state. Callable at any point before Finish().
+  std::vector<uint8_t> Snapshot() const;
+
+  // Overwrites this run's dynamic state from `blob`. `this` must be freshly
+  // constructed — same profile, options, and ObsConfig *shape* (the tracer may differ:
+  // tracing is passive, which is exactly what lets a rewound replay attach one).
+  // Throws SnapshotError on corruption, topology drift, or shape mismatch.
+  void Restore(const std::vector<uint8_t>& blob);
+
+  // Collects the ConsolidationResult. Call exactly once, after reaching end_time().
+  ConsolidationResult Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Constructs a fresh run of `blob`'s shape, restores, runs to the end, and collects.
+ConsolidationResult ResumeConsolidation(const OsProfile& profile,
+                                        const ConsolidationOptions& options,
+                                        const ObsConfig* obs,
+                                        const std::vector<uint8_t>& blob);
+
+// Per-candidate prefix snapshots for the capacity search, keyed by user count. The
+// cache is caller-owned so it can outlive one search and amortize login-storm warm-up
+// across repeated invocations (sweeps, benchmark repetitions). Entries are only valid
+// for the exact (profile, options.behavior, obs shape) they were built from — reuse
+// across different configurations fails restore loudly via the snapshot's topology
+// checks rather than silently diverging.
+struct CapacityCheckpointCache {
+  std::map<int, std::vector<uint8_t>> prefix;
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+// RunServerCapacity with fork-from-snapshot probes: each candidate N's prefix (login
+// storm + daemon warm-up, up to 1 ms before the first typist keystroke) is snapshotted
+// on first evaluation and forked on every later one. Within a single cold search each
+// candidate is evaluated once either way — the speedup comes from reusing `cache`
+// across invocations. Results are identical to RunServerCapacity (modulo wall_ms).
+CapacityResult RunServerCapacityCheckpointed(const OsProfile& profile,
+                                             const CapacityOptions& options,
+                                             CapacityCheckpointCache& cache,
+                                             const ObsConfig* obs = nullptr);
+
+}  // namespace tcs
+
+#endif  // TCS_SRC_CORE_CHECKPOINT_H_

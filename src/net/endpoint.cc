@@ -22,7 +22,8 @@ int64_t MessageSender::PacketsFor(Bytes payload) const {
   return (payload.count() + max_payload.count() - 1) / max_payload.count();
 }
 
-void MessageSender::SendMessage(Bytes payload, InlineCallback delivered) {
+void MessageSender::SendMessage(Bytes payload, InlineCallback delivered,
+                                ResumeKey delivered_key) {
   int64_t packets = PacketsFor(payload);
   ++messages_sent_;
   packets_sent_ += packets;
@@ -39,7 +40,8 @@ void MessageSender::SendMessage(Bytes payload, InlineCallback delivered) {
     Bytes wire = chunk + headers_.WirePerPacket();
     remaining -= chunk;
     bool last = i + 1 == packets;
-    link_.Send(wire, last ? std::move(delivered) : nullptr);
+    link_.Send(wire, last ? std::move(delivered) : nullptr, nullptr,
+               last ? delivered_key : ResumeKey{});
   }
 }
 

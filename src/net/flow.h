@@ -84,14 +84,27 @@ class SessionFlow : public FrameTransport {
   SessionFlow(const SessionFlow&) = delete;
   SessionFlow& operator=(const SessionFlow&) = delete;
 
+  // Checkpoint identity stamped on sends whose caller provided no key of their own —
+  // which is every ordinary protocol message (their only delivery action is this flow's
+  // ledger bump). The owner keys it so the registered restorer knows which ledger to
+  // bump; the Server uses the session id. Unset, tally-only sends are unsnapshotable
+  // while in flight (the transport fails SaveTo loudly).
+  void set_delivered_key(ResumeKey key) { default_key_ = key; }
+
+  // `delivered_key`'s restorer must reproduce the full delivery action as seen at the
+  // transport the event lives in — including this flow's ledger bump (the session layer
+  // keys sends with the session id, so its restorer knows which ledger to bump).
   void Send(Bytes wire_bytes, InlineCallback delivered = nullptr,
-            int64_t* delivered_tally = nullptr) override {
+            int64_t* delivered_tally = nullptr, ResumeKey delivered_key = {}) override {
+    if (delivered_key.empty()) {
+      delivered_key = default_key_;
+    }
     ++ledger_->sends;
     ledger_->wire_bytes += wire_bytes.count();
     if (delivered_tally == nullptr) {
       // The hot path: no caller tally, so the session's delivered slot rides the
       // transport's tally contract directly — no closure, no allocation.
-      shared_.Send(wire_bytes, std::move(delivered), &ledger_->delivered);
+      shared_.Send(wire_bytes, std::move(delivered), &ledger_->delivered, delivered_key);
     } else {
       // A caller-supplied tally stacks on top of ours (rare; keeps the decorator a
       // faithful FrameTransport).
@@ -102,7 +115,7 @@ class SessionFlow : public FrameTransport {
                        cb();
                      }
                    },
-                   &ledger_->delivered);
+                   &ledger_->delivered, delivered_key);
     }
   }
 
@@ -128,6 +141,7 @@ class SessionFlow : public FrameTransport {
   FrameTransport& shared_;
   FlowLedger* ledger_;
   FlowLedger owned_;
+  ResumeKey default_key_;
 };
 
 }  // namespace tcs

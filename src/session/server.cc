@@ -1,7 +1,10 @@
 #include "src/session/server.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+
+#include "src/sim/resume_kinds.h"
 
 #include "src/obs/flight_recorder.h"
 #include "src/util/config_error.h"
@@ -242,15 +245,17 @@ void Server::StartDaemons() {
     daemons_.push_back(std::move(rt));
   }
   // Arm after the vector is stable (PeriodicTask captures the runtime slot).
-  for (DaemonRuntime& rt : daemons_) {
-    rt.task = std::make_unique<PeriodicTask>(sim_, rt.spec.period, [this, &rt] {
-      PostDaemonEpisode(rt.thread, rt.spec);
-    });
+  for (size_t i = 0; i < daemons_.size(); ++i) {
+    DaemonRuntime& rt = daemons_[i];
+    rt.task = std::make_unique<PeriodicTask>(sim_, rt.spec.period,
+                                             [this, i] { PostDaemonEpisode(i); });
     rt.task->Start(rt.spec.phase);
   }
 }
 
-void Server::PostDaemonEpisode(Thread* thread, const DaemonSpec& spec) {
+void Server::PostDaemonEpisode(size_t daemon_idx) {
+  Thread* thread = daemons_[daemon_idx].thread;
+  const DaemonSpec& spec = daemons_[daemon_idx].spec;
   // An episode of E total CPU at duty d: chunks of (10 ms * d) posted every 10 ms, so the
   // episode occupies ~E/d of wall time at utilization d — Figure 1's plateaus and
   // Figure 2's long per-thread events at once.
@@ -261,7 +266,9 @@ void Server::PostDaemonEpisode(Thread* thread, const DaemonSpec& spec) {
   int k = 0;
   while (remaining > Duration::Zero()) {
     Duration c = std::min(chunk, remaining);
-    sim_.Schedule(Duration::Millis(10) * k, [this, thread, c] { cpu_.PostWork(*thread, c); });
+    EventId ev = sim_.Schedule(Duration::Millis(10) * k,
+                               [this, thread, c] { cpu_.PostWork(*thread, c); });
+    pending_daemon_chunks_.Note(sim_, {ev, static_cast<uint32_t>(daemon_idx), c});
     remaining -= c;
     ++k;
   }
@@ -310,6 +317,9 @@ Session& Server::Login(bool light_session) {
   // transport, its message senders, and a fresh encoder + caches.
   s.flow_ = std::make_unique<SessionFlow>(PickTransport(reliable_, link_),
                                           flow_ledgers_.Acquire());
+  // Ordinary protocol messages' only delivery action is this flow's ledger bump; key
+  // them with the session id so in-flight sends restore through kResumeFlowDelivered.
+  s.flow_->set_delivered_key(ResumeKey::Make(kResumeFlowDelivered, s.id_));
   s.display_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
   s.input_sender_ = std::make_unique<MessageSender>(*s.flow_, HeaderModel::TcpIp());
   s.protocol_ = MakeProtocol(profile_.protocol_kind, sim_, *s.display_sender_,
@@ -413,12 +423,14 @@ void Server::Keystroke(Session& session) {
     // path allocates nothing here either.
     uint64_t id = config_.attribution->MintInteraction();
     int64_t retransmit_us = retransmit.ToMicros();
-    sim_.Schedule(transit, [this, &session, sent_at, id, retransmit_us] {
+    EventId ev = sim_.Schedule(transit, [this, &session, sent_at, id, retransmit_us] {
       OnKeystrokeArrived(session, sent_at, id, retransmit_us);
     });
+    pending_arrivals_.Note(sim_, {ev, session.id_, sent_at, id, retransmit_us});
   } else {
-    sim_.Schedule(transit,
-                  [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at, 0, 0); });
+    EventId ev = sim_.Schedule(
+        transit, [this, &session, sent_at] { OnKeystrokeArrived(session, sent_at, 0, 0); });
+    pending_arrivals_.Note(sim_, {ev, session.id_, sent_at, 0, 0});
   }
 }
 
@@ -510,7 +522,9 @@ void Server::StartPipelinePass(Session& session) {
                              rec.mem_done_us - rec.pass_start_us;
                        }
                        RunHop(session, 0, batch, gen);
-                     });
+                     },
+                     ResumeKey::Make(kResumeServerPageInDone, session.id_,
+                                     static_cast<uint64_t>(batch), gen));
 }
 
 void Server::RunHop(Session& session, size_t hop, int batch, uint64_t gen) {
@@ -554,7 +568,9 @@ void Server::RunHop(Session& session, size_t hop, int batch, uint64_t gen) {
           CompletePipeline(session, batch);
         }
       },
-      reason);
+      reason,
+      ResumeKey::Make(kResumeServerRenderDone, session.id_, hop,
+                      static_cast<uint64_t>(batch), gen));
 }
 
 void Server::CompletePipeline(Session& session, int batch) {
@@ -650,7 +666,8 @@ void Server::CompletePipeline(Session& session, int batch) {
       lat.display_net = delivered - emitted;
       lat.client = decode;
       auto cb = session.on_frame_painted_;
-      sim_.At(painted, [cb, lat] { cb(lat); });
+      EventId ev = sim_.At(painted, [cb, lat] { cb(lat); });
+      pending_paints_.Note(sim_, {ev, session.id_, lat});
     } else {
       session.on_frame_painted_(lat);
     }
@@ -668,7 +685,7 @@ void Server::CompletePipeline(Session& session, int batch) {
       session.hold_started_us_ = sim_.Now().ToMicros();
       uint64_t gen = session.generation_;
       Session* sp = &session;
-      sim_.Schedule(hold, [this, sp, gen] {
+      EventId ev = sim_.Schedule(hold, [this, sp, gen] {
         if (sp->generation_ != gen || sp->logged_out_) {
           return;  // restarted cold or logged out during the hold
         }
@@ -679,6 +696,7 @@ void Server::CompletePipeline(Session& session, int batch) {
           sp->pipeline_busy_ = false;
         }
       });
+      pending_holds_.Note(sim_, {ev, sp->id_, gen});
     } else {
       StartPipelinePass(session);
     }
@@ -748,7 +766,7 @@ void Server::ScheduleNextDisconnect() {
   // +/-50% jitter from the fault stream keeps disconnects from phase-locking with the
   // typing cadence while staying reproducible for a given plan seed.
   Duration delay = config_.faults.session.disconnect_every * (0.5 + fault_rng_.NextDouble());
-  sim_.Schedule(delay, [this] {
+  disconnect_timer_ = sim_.Schedule(delay, [this] {
     FireDisconnect();
     ScheduleNextDisconnect();
   });
@@ -764,13 +782,15 @@ void Server::FireDisconnect() {
   }
   Disconnect(s);
   Session* sp = &s;
-  sim_.Schedule(config_.faults.session.reconnect_after, [this, sp] { Reconnect(*sp); });
+  EventId ev =
+      sim_.Schedule(config_.faults.session.reconnect_after, [this, sp] { Reconnect(*sp); });
+  pending_reconnects_.Note(sim_, {ev, sp->id_});
 }
 
 void Server::ScheduleNextDaemonCrash() {
   Duration delay =
       config_.faults.session.daemon_crash_every * (0.5 + fault_rng_.NextDouble());
-  sim_.Schedule(delay, [this] {
+  crash_timer_ = sim_.Schedule(delay, [this] {
     FireDaemonCrash();
     ScheduleNextDaemonCrash();
   });
@@ -780,7 +800,8 @@ void Server::FireDaemonCrash() {
   if (daemons_.empty()) {
     return;  // daemons never started; nothing to kill
   }
-  DaemonRuntime& rt = daemons_[daemon_rr_++ % daemons_.size()];
+  size_t idx = daemon_rr_++ % daemons_.size();
+  DaemonRuntime& rt = daemons_[idx];
   if (rt.task == nullptr || !rt.task->IsRunning()) {
     return;  // already down (restart pending)
   }
@@ -791,15 +812,16 @@ void Server::FireDaemonCrash() {
                             config_.tracer->Intern("crash:" + rt.spec.name), fault_track_,
                             sim_.Now());
   }
-  DaemonRuntime* rtp = &rt;
-  sim_.Schedule(config_.faults.session.daemon_restart_after, [this, rtp] {
-    if (rtp->task->IsRunning()) {
+  EventId ev = sim_.Schedule(config_.faults.session.daemon_restart_after, [this, idx] {
+    DaemonRuntime& rtp = daemons_[idx];
+    if (rtp.task->IsRunning()) {
       return;
     }
-    rtp->task->Start(rtp->spec.phase);
+    rtp.task->Start(rtp.spec.phase);
     // Restart storm: the reborn daemon immediately replays one episode of work.
-    PostDaemonEpisode(rtp->thread, rtp->spec);
+    PostDaemonEpisode(idx);
   });
+  pending_daemon_restarts_.Note(sim_, {ev, static_cast<uint32_t>(idx)});
 }
 
 FaultStats Server::CollectFaultStats(Duration run_duration) {
@@ -846,6 +868,661 @@ FaultStats Server::CollectFaultStats(Duration run_duration) {
     st.availability = std::clamp(1.0 - unavail, 0.0, 1.0);
   }
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore
+
+namespace {
+
+constexpr uint32_t Tag(ServerSection s) { return static_cast<uint32_t>(s); }
+
+void SaveRng(SnapshotWriter& w, const Rng& rng) {
+  for (uint64_t word : rng.state()) {
+    w.U64(word);
+  }
+}
+
+void LoadRng(SnapshotReader& r, Rng& rng) {
+  std::array<uint64_t, 4> state;
+  for (uint64_t& word : state) {
+    word = r.U64();
+  }
+  rng.set_state(state);
+}
+
+void SaveAttr(SnapshotWriter& w, const InteractionRecord& rec) {
+  w.U64(rec.id);
+  w.I64(rec.batch);
+  w.I64(rec.hop_count);
+  w.I64(rec.sent_us);
+  w.I64(rec.arrived_us);
+  w.I64(rec.pass_start_us);
+  w.I64(rec.mem_done_us);
+  w.I64(rec.emitted_us);
+  w.I64(rec.delivered_us);
+  w.I64(rec.painted_us);
+  for (int64_t v : rec.stage_us) {
+    w.I64(v);
+  }
+  for (int64_t v : rec.net_us) {
+    w.I64(v);
+  }
+  for (int i = 0; i < InteractionRecord::kMaxHops; ++i) {
+    w.I64(rec.hop_start_us[i]);
+    w.I64(rec.hop_end_us[i]);
+    w.I64(rec.hop_service_us[i]);
+    w.Bool(rec.hop_encode[i]);
+  }
+}
+
+// The interned hop-name pointers cannot serialize; they are refilled by index from the
+// server's interned table (empty unless the attribution engine carries a tracer, in
+// which case the rebuilt server interned the same names in the same order).
+void LoadAttr(SnapshotReader& r, InteractionRecord& rec,
+              const std::vector<const char*>& hop_names) {
+  rec.id = r.U64();
+  rec.batch = static_cast<int>(r.I64());
+  rec.hop_count = static_cast<int>(r.I64());
+  rec.sent_us = r.I64();
+  rec.arrived_us = r.I64();
+  rec.pass_start_us = r.I64();
+  rec.mem_done_us = r.I64();
+  rec.emitted_us = r.I64();
+  rec.delivered_us = r.I64();
+  rec.painted_us = r.I64();
+  for (int64_t& v : rec.stage_us) {
+    v = r.I64();
+  }
+  for (int64_t& v : rec.net_us) {
+    v = r.I64();
+  }
+  for (int i = 0; i < InteractionRecord::kMaxHops; ++i) {
+    rec.hop_start_us[i] = r.I64();
+    rec.hop_end_us[i] = r.I64();
+    rec.hop_service_us[i] = r.I64();
+    rec.hop_encode[i] = r.Bool();
+    rec.hop_name[i] = i < rec.hop_count && static_cast<size_t>(i) < hop_names.size()
+                          ? hop_names[static_cast<size_t>(i)]
+                          : nullptr;
+  }
+}
+
+void SaveLatency(SnapshotWriter& w, const KeystrokeLatency& lat) {
+  w.Time(lat.keystroke_at);
+  w.Dur(lat.input_net);
+  w.Dur(lat.server);
+  w.Dur(lat.display_net);
+  w.Dur(lat.client);
+}
+
+KeystrokeLatency LoadLatency(SnapshotReader& r) {
+  KeystrokeLatency lat;
+  lat.keystroke_at = r.Time();
+  lat.input_net = r.Dur();
+  lat.server = r.Dur();
+  lat.display_net = r.Dur();
+  lat.client = r.Dur();
+  return lat;
+}
+
+// Serializes one pending-record list: the live (still-pending) entries only, each as
+// (seq, when) followed by the record's replay scalars. Non-destructive: stale records
+// are skipped, not erased.
+template <typename Record, typename WriteFn>
+void SavePendingList(SnapshotWriter& w, const Simulator& sim,
+                     const std::vector<Record>& items, WriteFn&& write) {
+  uint64_t live = 0;
+  for (const Record& rec : items) {
+    if (sim.IsPending(rec.ev)) {
+      ++live;
+    }
+  }
+  w.U64(live);
+  for (const Record& rec : items) {
+    uint64_t seq = 0;
+    TimePoint when;
+    if (!sim.PendingInfo(rec.ev, &seq, &when)) {
+      continue;
+    }
+    w.U64(seq);
+    w.Time(when);
+    write(rec);
+  }
+}
+
+void SaveTimer(SnapshotWriter& w, const Simulator& sim, EventId ev) {
+  uint64_t seq = 0;
+  TimePoint when;
+  bool pending = ev.IsValid() && sim.PendingInfo(ev, &seq, &when);
+  w.Bool(pending);
+  if (pending) {
+    w.U64(seq);
+    w.Time(when);
+  }
+}
+
+}  // namespace
+
+const char* ServerSectionName(uint32_t tag) {
+  switch (static_cast<ServerSection>(tag)) {
+    case ServerSection::kCore:
+      return "server.core";
+    case ServerSection::kCpu:
+      return "server.cpu";
+    case ServerSection::kDisk:
+      return "server.disk";
+    case ServerSection::kPager:
+      return "server.pager";
+    case ServerSection::kLink:
+      return "server.link";
+    case ServerSection::kFaults:
+      return "server.faults";
+    case ServerSection::kReliable:
+      return "server.reliable";
+    case ServerSection::kDegradation:
+      return "server.degradation";
+    case ServerSection::kTap:
+      return "server.tap";
+    case ServerSection::kDaemons:
+      return "server.daemons";
+    case ServerSection::kSessions:
+      return "server.sessions";
+    case ServerSection::kFlows:
+      return "server.flows";
+    case ServerSection::kPending:
+      return "server.pending";
+  }
+  return "server.?";
+}
+
+Session& Server::SessionById(uint64_t id) const {
+  if (id == 0 || id > sessions_.size()) {
+    throw SnapshotError("server.sessions", "resume key names an unknown session id");
+  }
+  return *sessions_[static_cast<size_t>(id) - 1];
+}
+
+void Server::RegisterRestorers(EventRearm& plan) {
+  pager_.RegisterRestorers(plan);
+  plan.RegisterRestorer(
+      kResumeFlowDelivered, [this](const ResumeKey& key) -> EventRearm::Thunk {
+        if (key.n != 1) {
+          throw SnapshotError("server.flows", "flow-delivered key wants one argument");
+        }
+        uint64_t id = key.arg(0);
+        if (id == 0 || id > flow_ledgers_.size()) {
+          throw SnapshotError("server.flows",
+                              "flow-delivered key names an unknown session");
+        }
+        int64_t* tally = &flow_ledgers_[static_cast<size_t>(id) - 1].delivered;
+        return [tally] { ++*tally; };
+      });
+  plan.RegisterRestorer(
+      kResumeServerPageInDone, [this](const ResumeKey& key) -> EventRearm::Thunk {
+        if (key.n != 3) {
+          throw SnapshotError("server.sessions", "page-in key wants three arguments");
+        }
+        Session* sp = &SessionById(key.arg(0));
+        int batch = static_cast<int>(key.arg(1));
+        uint64_t gen = key.arg(2);
+        return [this, sp, batch, gen] {
+          if (sp->generation_ != gen) {
+            return;  // the session restarted cold while we paged in
+          }
+          if (config_.attribution != nullptr) {
+            InteractionRecord& rec = sp->current_attr_;
+            rec.mem_done_us = sim_.Now().ToMicros();
+            rec.stage_us[Idx(AttrStage::kMemStall)] = rec.mem_done_us - rec.pass_start_us;
+          }
+          RunHop(*sp, 0, batch, gen);
+        };
+      });
+  plan.RegisterRestorer(
+      kResumeServerRenderDone, [this](const ResumeKey& key) -> EventRearm::Thunk {
+        if (key.n != 4) {
+          throw SnapshotError("server.sessions", "hop key wants four arguments");
+        }
+        Session* sp = &SessionById(key.arg(0));
+        size_t hop = static_cast<size_t>(key.arg(1));
+        int batch = static_cast<int>(key.arg(2));
+        uint64_t gen = key.arg(3);
+        if (hop >= sp->pipeline_.size()) {
+          throw SnapshotError("server.sessions", "hop key past the pipeline's end");
+        }
+        return [this, sp, hop, batch, gen] {
+          if (sp->generation_ != gen) {
+            return;  // abandoned by a cold restart
+          }
+          if (config_.attribution != nullptr) {
+            InteractionRecord& rec = sp->current_attr_;
+            rec.hop_end_us[hop] = sim_.Now().ToMicros();
+            int64_t elapsed = rec.hop_end_us[hop] - rec.hop_start_us[hop];
+            int64_t service = std::min(rec.hop_service_us[hop], elapsed);
+            rec.hop_service_us[hop] = service;
+            rec.stage_us[rec.hop_encode[hop] ? Idx(AttrStage::kProtoEncode)
+                                             : Idx(AttrStage::kCpuService)] += service;
+            rec.stage_us[Idx(AttrStage::kSchedWait)] += elapsed - service;
+          }
+          if (hop + 1 < sp->pipeline_.size()) {
+            RunHop(*sp, hop + 1, batch, gen);
+          } else {
+            CompletePipeline(*sp, batch);
+          }
+        };
+      });
+}
+
+void Server::SaveTo(SnapshotWriter& w) const {
+  w.BeginSection(Tag(ServerSection::kCore));
+  SaveRng(w, rng_);
+  SaveRng(w, fault_rng_);
+  w.U64(disconnect_rr_);
+  w.U64(daemon_rr_);
+  w.I64(disconnects_);
+  w.I64(daemon_crashes_);
+  w.I64(dropped_keystrokes_);
+  w.Dur(session_downtime_);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kCpu));
+  cpu_.SaveTo(w);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kDisk));
+  disk_.SaveTo(w);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kPager));
+  pager_.SaveTo(w);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kLink));
+  link_.SaveTo(w);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kFaults));
+  w.Bool(link_fault_ != nullptr);
+  if (link_fault_ != nullptr) {
+    link_fault_->SaveTo(w);
+  }
+  w.Bool(disk_fault_ != nullptr);
+  if (disk_fault_ != nullptr) {
+    disk_fault_->SaveTo(w);
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kReliable));
+  w.Bool(reliable_ != nullptr);
+  if (reliable_ != nullptr) {
+    reliable_->SaveTo(w);
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kDegradation));
+  w.Bool(degradation_ != nullptr);
+  if (degradation_ != nullptr) {
+    degradation_->SaveTo(w);
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kTap));
+  tap_.SaveTo(w);
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kDaemons));
+  w.U64(daemons_.size());
+  for (const DaemonRuntime& rt : daemons_) {
+    w.Bool(rt.task != nullptr);
+    if (rt.task != nullptr) {
+      rt.task->SaveTo(w, sim_);
+    }
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kSessions));
+  w.U64(sessions_.size());
+  for (const auto& sess : sessions_) {
+    const Session& s = *sess;
+    w.Bool(s.connected_);
+    w.Bool(s.logged_out_);
+    w.Bool(s.background_);
+    w.U64(s.generation_);
+    w.Time(s.disconnected_at_);
+    w.I64(s.dropped_keystrokes_);
+    w.I64(s.update_payload_.count());
+    w.I64(s.pending_keystrokes_);
+    w.Bool(s.pipeline_busy_);
+    w.Bool(s.hold_pending_);
+    w.I64(s.hold_started_us_);
+    w.Time(s.oldest_pending_sent_);
+    w.Time(s.oldest_pending_arrived_);
+    w.Time(s.current_batch_sent_);
+    w.Time(s.current_batch_arrived_);
+    SaveAttr(w, s.pending_attr_);
+    SaveAttr(w, s.current_attr_);
+    s.display_sender_->SaveTo(w);
+    s.input_sender_->SaveTo(w);
+    s.protocol_->SaveTo(w);
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kFlows));
+  w.U64(flow_ledgers_.size());
+  for (size_t i = 0; i < flow_ledgers_.size(); ++i) {
+    const FlowLedger& ledger = flow_ledgers_[i];
+    w.I64(ledger.sends);
+    w.I64(ledger.delivered);
+    w.I64(ledger.wire_bytes);
+  }
+  w.EndSection();
+
+  w.BeginSection(Tag(ServerSection::kPending));
+  SavePendingList(w, sim_, pending_daemon_chunks_.items,
+                  [&w](const PendingDaemonChunk& p) {
+                    w.U64(p.daemon);
+                    w.Dur(p.cpu);
+                  });
+  SavePendingList(w, sim_, pending_arrivals_.items, [&w](const PendingArrival& p) {
+    w.U64(p.session);
+    w.Time(p.sent_at);
+    w.U64(p.interaction_id);
+    w.I64(p.retransmit_us);
+  });
+  SavePendingList(w, sim_, pending_paints_.items, [&w](const PendingPaint& p) {
+    w.U64(p.session);
+    SaveLatency(w, p.lat);
+  });
+  SavePendingList(w, sim_, pending_holds_.items, [&w](const PendingHold& p) {
+    w.U64(p.session);
+    w.U64(p.gen);
+  });
+  SavePendingList(w, sim_, pending_reconnects_.items,
+                  [&w](const PendingReconnect& p) { w.U64(p.session); });
+  SavePendingList(w, sim_, pending_daemon_restarts_.items,
+                  [&w](const PendingDaemonRestart& p) { w.U64(p.daemon); });
+  SaveTimer(w, sim_, disconnect_timer_);
+  SaveTimer(w, sim_, crash_timer_);
+  w.EndSection();
+}
+
+void Server::LoadFrom(SnapshotReader& r, EventRearm& plan) {
+  r.EnterSection(Tag(ServerSection::kCore));
+  LoadRng(r, rng_);
+  LoadRng(r, fault_rng_);
+  disconnect_rr_ = static_cast<size_t>(r.U64());
+  daemon_rr_ = static_cast<size_t>(r.U64());
+  disconnects_ = r.I64();
+  daemon_crashes_ = r.I64();
+  dropped_keystrokes_ = r.I64();
+  session_downtime_ = r.Dur();
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kCpu));
+  cpu_.LoadFrom(r, plan);
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kDisk));
+  disk_.LoadFrom(r, plan);
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kPager));
+  pager_.LoadFrom(r, plan);
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kLink));
+  link_.LoadFrom(r, plan);
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kFaults));
+  if (r.Bool() != (link_fault_ != nullptr)) {
+    throw SnapshotError("server.faults",
+                        "link fault injector presence differs from the snapshot");
+  }
+  if (link_fault_ != nullptr) {
+    link_fault_->LoadFrom(r);
+  }
+  if (r.Bool() != (disk_fault_ != nullptr)) {
+    throw SnapshotError("server.faults",
+                        "disk fault injector presence differs from the snapshot");
+  }
+  if (disk_fault_ != nullptr) {
+    disk_fault_->LoadFrom(r);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kReliable));
+  if (r.Bool() != (reliable_ != nullptr)) {
+    throw SnapshotError("server.reliable",
+                        "reliable channel presence differs from the snapshot");
+  }
+  if (reliable_ != nullptr) {
+    reliable_->LoadFrom(r, plan);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kDegradation));
+  if (r.Bool() != (degradation_ != nullptr)) {
+    throw SnapshotError("server.degradation",
+                        "degradation controller presence differs from the snapshot");
+  }
+  if (degradation_ != nullptr) {
+    degradation_->LoadFrom(r, plan);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kTap));
+  tap_.LoadFrom(r);
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kDaemons));
+  if (r.U64() != daemons_.size()) {
+    throw SnapshotError("server.daemons", "daemon count differs from the snapshot");
+  }
+  for (DaemonRuntime& rt : daemons_) {
+    if (r.Bool() != (rt.task != nullptr)) {
+      throw SnapshotError("server.daemons",
+                          "daemon started state differs from the snapshot");
+    }
+    if (rt.task != nullptr) {
+      rt.task->LoadFrom(r, plan, "server.daemon");
+    }
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kSessions));
+  if (r.U64() != sessions_.size()) {
+    throw SnapshotError("server.sessions", "session count differs from the snapshot");
+  }
+  for (const auto& sess : sessions_) {
+    Session& s = *sess;
+    s.connected_ = r.Bool();
+    bool logged_out = r.Bool();
+    if (logged_out != s.logged_out_) {
+      throw SnapshotError("server.sessions",
+                          "logged-out session cannot be restored (teardown replay "
+                          "is unsupported)");
+    }
+    s.background_ = r.Bool();
+    s.generation_ = r.U64();
+    s.disconnected_at_ = r.Time();
+    s.dropped_keystrokes_ = r.I64();
+    s.update_payload_ = Bytes::Of(r.I64());
+    s.pending_keystrokes_ = static_cast<int>(r.I64());
+    s.pipeline_busy_ = r.Bool();
+    s.hold_pending_ = r.Bool();
+    s.hold_started_us_ = r.I64();
+    s.oldest_pending_sent_ = r.Time();
+    s.oldest_pending_arrived_ = r.Time();
+    s.current_batch_sent_ = r.Time();
+    s.current_batch_arrived_ = r.Time();
+    LoadAttr(r, s.pending_attr_, hop_trace_names_);
+    LoadAttr(r, s.current_attr_, hop_trace_names_);
+    s.display_sender_->LoadFrom(r);
+    s.input_sender_->LoadFrom(r);
+    s.protocol_->LoadFrom(r, plan);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kFlows));
+  if (r.U64() != flow_ledgers_.size()) {
+    throw SnapshotError("server.flows", "flow-ledger count differs from the snapshot");
+  }
+  for (size_t i = 0; i < flow_ledgers_.size(); ++i) {
+    FlowLedger& ledger = flow_ledgers_[i];
+    ledger.sends = r.I64();
+    ledger.delivered = r.I64();
+    ledger.wire_bytes = r.I64();
+  }
+  r.LeaveSection();
+
+  r.EnterSection(Tag(ServerSection::kPending));
+  {
+    uint64_t n = r.U64();
+    pending_daemon_chunks_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_daemon_chunks_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      auto daemon = static_cast<uint32_t>(r.U64());
+      Duration cpu = r.Dur();
+      if (daemon >= daemons_.size()) {
+        throw SnapshotError("server.pending", "daemon chunk names an unknown daemon");
+      }
+      Thread* thread = daemons_[daemon].thread;
+      items.push_back({EventId(), daemon, cpu});
+      plan.Schedule("server.daemon-chunk", seq, when,
+                    [this, thread, c = cpu] { cpu_.PostWork(*thread, c); },
+                    &items.back().ev);
+    }
+  }
+  {
+    uint64_t n = r.U64();
+    pending_arrivals_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_arrivals_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      uint64_t session = r.U64();
+      TimePoint sent_at = r.Time();
+      uint64_t id = r.U64();
+      int64_t retransmit_us = r.I64();
+      Session* sp = &SessionById(session);
+      items.push_back({EventId(), session, sent_at, id, retransmit_us});
+      plan.Schedule("server.keystroke-arrival", seq, when,
+                    [this, sp, sent_at, id, retransmit_us] {
+                      OnKeystrokeArrived(*sp, sent_at, id, retransmit_us);
+                    },
+                    &items.back().ev);
+    }
+  }
+  {
+    uint64_t n = r.U64();
+    pending_paints_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_paints_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      uint64_t session = r.U64();
+      KeystrokeLatency lat = LoadLatency(r);
+      Session* sp = &SessionById(session);
+      if (!sp->on_frame_painted_) {
+        throw SnapshotError("server.pending",
+                            "pending paint for a session with no painted callback");
+      }
+      items.push_back({EventId(), session, lat});
+      plan.Schedule("server.frame-painted", seq, when,
+                    [cb = sp->on_frame_painted_, lat] { cb(lat); }, &items.back().ev);
+    }
+  }
+  {
+    uint64_t n = r.U64();
+    pending_holds_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_holds_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      uint64_t session = r.U64();
+      uint64_t gen = r.U64();
+      Session* sp = &SessionById(session);
+      items.push_back({EventId(), session, gen});
+      plan.Schedule("server.coalesce-hold", seq, when,
+                    [this, sp, gen] {
+                      if (sp->generation_ != gen || sp->logged_out_) {
+                        return;
+                      }
+                      if (sp->pending_keystrokes_ > 0) {
+                        StartPipelinePass(*sp);
+                      } else {
+                        sp->hold_pending_ = false;
+                        sp->pipeline_busy_ = false;
+                      }
+                    },
+                    &items.back().ev);
+    }
+  }
+  {
+    uint64_t n = r.U64();
+    pending_reconnects_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_reconnects_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      uint64_t session = r.U64();
+      Session* sp = &SessionById(session);
+      items.push_back({EventId(), session});
+      plan.Schedule("server.reconnect", seq, when, [this, sp] { Reconnect(*sp); },
+                    &items.back().ev);
+    }
+  }
+  {
+    uint64_t n = r.U64();
+    pending_daemon_restarts_.ResetFor(static_cast<size_t>(n));
+    auto& items = pending_daemon_restarts_.items;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t seq = r.U64();
+      TimePoint when = r.Time();
+      auto daemon = static_cast<uint32_t>(r.U64());
+      if (daemon >= daemons_.size()) {
+        throw SnapshotError("server.pending", "daemon restart names an unknown daemon");
+      }
+      size_t idx = daemon;
+      items.push_back({EventId(), daemon});
+      plan.Schedule("server.daemon-restart", seq, when,
+                    [this, idx] {
+                      DaemonRuntime& rtp = daemons_[idx];
+                      if (rtp.task->IsRunning()) {
+                        return;
+                      }
+                      rtp.task->Start(rtp.spec.phase);
+                      PostDaemonEpisode(idx);
+                    },
+                    &items.back().ev);
+    }
+  }
+  disconnect_timer_ = EventId();
+  if (r.Bool()) {
+    uint64_t seq = r.U64();
+    TimePoint when = r.Time();
+    plan.Schedule("server.disconnect-timer", seq, when,
+                  [this] {
+                    FireDisconnect();
+                    ScheduleNextDisconnect();
+                  },
+                  &disconnect_timer_);
+  }
+  crash_timer_ = EventId();
+  if (r.Bool()) {
+    uint64_t seq = r.U64();
+    TimePoint when = r.Time();
+    plan.Schedule("server.crash-timer", seq, when,
+                  [this] {
+                    FireDaemonCrash();
+                    ScheduleNextDaemonCrash();
+                  },
+                  &crash_timer_);
+  }
+  r.LeaveSection();
 }
 
 }  // namespace tcs

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <regex>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "src/core/admission.h"
+#include "src/core/checkpoint.h"
 #include "src/core/report.h"
 #include "src/session/os_profile.h"
 
@@ -28,6 +31,89 @@ namespace {
 std::string StripWall(const std::string& json) {
   static const std::regex kWall("\"wall_ms\":[-+0-9.eE]+");
   return std::regex_replace(json, kWall, "\"wall_ms\":0");
+}
+
+// Depth-1 keys of a JSON object, in document order. The full-string comparison below
+// already fails on any drift, but a raw diff of a multi-kilobyte report is a poor
+// error message for the most dangerous kind of drift — a *new* top-level block the
+// golden file has never seen — so that case gets named explicitly first.
+std::vector<std::string> TopLevelKeys(const std::string& json) {
+  std::vector<std::string> keys;
+  std::string current;
+  int depth = 0;
+  bool in_string = false, escape = false, expecting_key = false, capturing = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escape) {
+        escape = false;
+      } else if (c == '\\') {
+        escape = true;
+      } else if (c == '"') {
+        in_string = false;
+        if (capturing) {
+          keys.push_back(current);
+          capturing = false;
+        }
+        continue;
+      }
+      if (capturing) {
+        current += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        if (depth == 1 && expecting_key) {
+          capturing = true;
+          current.clear();
+        }
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        if (depth == 1 && c == '{') {
+          expecting_key = true;
+        }
+        break;
+      case '}':
+      case ']':
+        --depth;
+        break;
+      case ':':
+        if (depth == 1) {
+          expecting_key = false;
+        }
+        break;
+      case ',':
+        if (depth == 1) {
+          expecting_key = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return keys;
+}
+
+// Empty when the two reports carry the same top-level blocks; otherwise a message
+// naming each unknown or missing block.
+std::string KeySetDiff(const std::string& actual, const std::string& golden) {
+  std::vector<std::string> a = TopLevelKeys(actual);
+  std::vector<std::string> g = TopLevelKeys(golden);
+  std::string msg;
+  for (const std::string& k : a) {
+    if (std::find(g.begin(), g.end(), k) == g.end()) {
+      msg += "unknown top-level block \"" + k + "\" not present in the golden file\n";
+    }
+  }
+  for (const std::string& k : g) {
+    if (std::find(a.begin(), a.end(), k) == a.end()) {
+      msg += "top-level block \"" + k + "\" missing from the rendered report\n";
+    }
+  }
+  return msg;
 }
 
 struct GoldenCase {
@@ -94,9 +180,81 @@ TEST_P(GoldenReportTest, ReportMatchesGoldenFieldForField) {
                   << " — run tools/regen_golden.sh to create the corpus";
   std::stringstream buffer;
   buffer << in.rdbuf();
+  std::string key_drift = KeySetDiff(actual, buffer.str());
+  EXPECT_TRUE(key_drift.empty())
+      << key_drift << "a report grew or lost a top-level block relative to " << path
+      << " — if the change is intentional, re-bless with tools/regen_golden.sh";
   EXPECT_EQ(StripWall(actual), StripWall(buffer.str()))
       << "report drifted from " << path
       << " — if the change is intentional, re-bless with tools/regen_golden.sh";
+}
+
+// Regression for the guard itself: a brand-new top-level block must be a *named*
+// failure, both on synthetic documents and on a real rendered report. Nested keys are
+// not top-level keys — growth inside an existing block is the string diff's job.
+TEST(GoldenReportGuard, UnknownTopLevelBlockIsANamedFailure) {
+  std::string golden = R"({"os":"tse","run":{"wall_ms":3}})";
+  std::string grown = R"({"os":"tse","run":{"wall_ms":3},"new_block":{"x":1}})";
+  EXPECT_EQ(KeySetDiff(golden, golden), "");
+  std::string diff = KeySetDiff(grown, golden);
+  EXPECT_NE(diff.find("unknown top-level block \"new_block\""), std::string::npos)
+      << diff;
+  std::string missing = KeySetDiff(golden, grown);
+  EXPECT_NE(missing.find("\"new_block\" missing"), std::string::npos) << missing;
+  EXPECT_EQ(KeySetDiff(R"({"a":{"b":1}})", R"({"a":{"c":{"d":2}}})"), "");
+  EXPECT_EQ(KeySetDiff(R"({"a":["x","y"]})", R"({"a":[]})"), "");
+
+  std::string report = Consolidation(OsProfile::Tse(), 1);
+  std::string injected = report;
+  injected.insert(injected.rfind('}'), R"(,"zzz_experimental":0)");
+  std::string real_diff = KeySetDiff(injected, report);
+  EXPECT_NE(real_diff.find("unknown top-level block \"zzz_experimental\""),
+            std::string::npos)
+      << real_diff;
+}
+
+// Golden-corpus guard for the checkpoint layer: a consolidation forked from a mid-run
+// snapshot must reproduce the *committed* golden report field-exactly (wall_ms aside).
+// Deliberately no TCS_REGEN_GOLDEN path: this test compares even while the corpus is
+// being re-blessed, so `regen_golden.sh` and `regen_golden.sh --check` both enforce
+// that fork-from-snapshot cannot drift a report — there is nothing to re-bless here.
+TEST(GoldenReportGuard, CheckpointedRunMatchesTheColdGoldenFile) {
+  ConsolidationOptions opt;
+  opt.users = 3;
+  opt.duration = Duration::Seconds(5);
+  opt.seed = 1;
+  opt.burst_cpu = Duration::Millis(200);
+  ConsolidationRun cold(OsProfile::Tse(), opt);
+  // Mid-run: typists are up and paging against a warmed working set.
+  cold.RunUntil(TimePoint::Zero() + Duration::Millis(2500));
+  std::vector<uint8_t> blob = cold.Snapshot();
+
+  ConsolidationRun fork(OsProfile::Tse(), opt);
+  fork.Restore(blob);
+  fork.RunToEnd();
+  std::string actual = ToJson(fork.Finish()) + "\n";
+
+  if (std::getenv("TCS_REGEN_GOLDEN") != nullptr) {
+    // Mid-re-bless the file on disk may be either generation, and test order must not
+    // matter — so enforce against a freshly rendered cold report instead. Combined
+    // with the corpus case above (cold render == golden file), the committed-file
+    // guarantee still holds transitively.
+    std::string cold_render = Consolidation(OsProfile::Tse(), 3) + "\n";
+    EXPECT_EQ(StripWall(actual), StripWall(cold_render))
+        << "checkpointed replay diverged from the cold run — fork-from-snapshot broke "
+           "report determinism";
+    return;
+  }
+
+  std::string path = std::string(TCS_GOLDEN_DIR) + "/consolidation_tse_rdp_u3.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run tools/regen_golden.sh to create the corpus";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(StripWall(actual), StripWall(buffer.str()))
+      << "checkpointed replay of consolidation_tse_rdp_u3 drifted from the committed "
+         "golden file — fork-from-snapshot broke report determinism";
 }
 
 }  // namespace

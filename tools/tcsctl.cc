@@ -79,6 +79,12 @@
 //            a forensic summary are written as <dir>/<name>.trace.json and
 //            <dir>/<name>.postmortem.json, deterministically named and byte-identical
 //            across reruns. Prints the per-objective verdicts and bundle paths.
+//            Consolidation also takes --rewind-ms=N [--checkpoint-every-ms=250
+//            --rewind-out=FILE]: the run is checkpointed on a periodic ring, and when
+//            the SLO trips a replay is forked from the newest checkpoint at least N
+//            virtual ms before the violation with the full tracer attached. The fork
+//            is deterministic — it reproduces the violation at the same virtual
+//            instant — so the written trace is the actual lead-up, not a re-creation.
 //   trace    <experiment> [experiment flags] [--out=trace.json --metrics-out=metrics.csv
 //            --report-out=report.json --categories=cpu,sched,...]
 //            run one experiment observed: writes a Perfetto-loadable Chrome trace, the
@@ -104,8 +110,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/admission.h"
+#include "src/core/checkpoint.h"
 #include "src/core/experiments.h"
 #include "src/core/parallel_sweep.h"
 #include "src/core/report.h"
@@ -1346,6 +1355,99 @@ int CmdCapacity(FlagSet& flags) {
   return 0;
 }
 
+// --rewind-ms: run the consolidation under a periodic checkpoint ring and, when the
+// SLO trips, fork a replay from the newest checkpoint at least that many virtual
+// milliseconds before the violation — this time with the full tracer attached. The
+// checkpointing and the fork are invisible to the model (tracing is passive: no
+// events, no RNG), so the replay hits the violation at the exact same virtual
+// instant, and the traced lead-up shows what the always-on flight recorder's short
+// frozen window could not.
+int RunConsolidationRewind(const OsProfile& profile, const ConsolidationOptions& opt,
+                           SloSpec spec, FlagSet& flags, SloReport* out_slo) {
+  int64_t rewind_ms = flags.GetInt("rewind-ms", 0);
+  int64_t every_ms = flags.GetInt("checkpoint-every-ms", 250);
+  if (every_ms <= 0) {
+    std::fprintf(stderr, "--checkpoint-every-ms must be positive\n");
+    return 2;
+  }
+  ObsConfig obs;
+  obs.slo = &spec;
+  ConsolidationRun monitored(profile, opt, &obs);
+
+  std::vector<std::pair<TimePoint, std::vector<uint8_t>>> ring;
+  TimePoint end = monitored.end_time();
+  for (TimePoint t = TimePoint::Zero() + Duration::Millis(every_ms);
+       t < end && !monitored.SloViolated(); t = t + Duration::Millis(every_ms)) {
+    monitored.RunUntil(t);
+    if (!monitored.SloViolated()) {
+      ring.emplace_back(t, monitored.Snapshot());
+    }
+  }
+  monitored.RunToEnd();
+  bool violated = monitored.SloViolated();
+  int64_t violated_at_us = monitored.SloViolatedAtUs();
+  ConsolidationResult r = monitored.Finish();
+  std::printf("consolidation on %s with %d users: worst p99 stall %.1f ms, CPU %.1f%%\n",
+              r.os_name.c_str(), r.users, r.worst_p99_stall_ms,
+              r.cpu_utilization * 100.0);
+  *out_slo = std::move(r.slo);
+
+  if (!violated) {
+    std::printf("rewind: SLO held for the whole run; nothing to replay\n");
+    return 0;
+  }
+  const std::vector<uint8_t>* chosen = nullptr;
+  TimePoint chosen_at = TimePoint::Zero();
+  for (const auto& [t, blob] : ring) {
+    if (t.ToMicros() <= violated_at_us - rewind_ms * 1000) {
+      chosen = &blob;
+      chosen_at = t;
+    }
+  }
+  if (chosen == nullptr) {
+    std::fprintf(stderr,
+                 "rewind: violation at %.1f ms (virtual) predates every checkpoint "
+                 "minus --rewind-ms=%lld; lower --checkpoint-every-ms\n",
+                 static_cast<double>(violated_at_us) / 1000.0,
+                 static_cast<long long>(rewind_ms));
+    return 1;
+  }
+
+  TracerConfig tracer_cfg;
+  Tracer tracer(tracer_cfg);
+  SloSpec replay_spec = spec;
+  replay_spec.name += "_replay";  // the replay's own forensic bundle, distinct files
+  ObsConfig replay_obs;
+  replay_obs.slo = &replay_spec;
+  replay_obs.tracer = &tracer;
+  ConsolidationRun replay(profile, opt, &replay_obs);
+  replay.Restore(*chosen);
+  replay.RunToEnd();
+  ConsolidationResult rr = replay.Finish();
+  if (rr.slo.violated_at_us != violated_at_us) {
+    std::fprintf(stderr,
+                 "rewind: replay diverged from the monitored run (violation at %lld us "
+                 "vs %lld us) — determinism bug, please report\n",
+                 static_cast<long long>(rr.slo.violated_at_us),
+                 static_cast<long long>(violated_at_us));
+    return 1;
+  }
+  std::string trace_path = flags.GetString(
+      "rewind-out", spec.out_dir.empty()
+                        ? spec.name + ".rewind.trace.json"
+                        : spec.out_dir + "/" + spec.name + ".rewind.trace.json");
+  if (!WriteFile(trace_path, tracer.ToJson())) {
+    std::fprintf(stderr, "rewind: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "rewind: forked from the %.0f ms checkpoint (%zu in ring), replay reproduced "
+      "the violation at %.3f ms (virtual); traced lead-up: %s\n",
+      chosen_at.ToMicros() / 1000.0, ring.size(),
+      static_cast<double>(violated_at_us) / 1000.0, trace_path.c_str());
+  return 0;
+}
+
 int CmdPostmortem(FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "postmortem needs an experiment (typing|e2e|chaos|consolidation)\n");
@@ -1428,17 +1530,30 @@ int CmdPostmortem(FlagSet& flags) {
     opt.burst_cpu = Duration::Millis(flags.GetInt("burst-ms", 300));
     opt.burst_period = Duration::Millis(flags.GetInt("burst-every-ms", 5000));
     opt.ram = Bytes::MiB(flags.GetInt("ram-mib", 64));
-    ConsolidationResult r;
-    try {
-      r = RunConsolidation(profile, opt, &obs);
-    } catch (const ConfigError& e) {
-      std::fprintf(stderr, "bad consolidation configuration — %s\n", e.what());
-      return 2;
+    if (flags.GetInt("rewind-ms", 0) > 0) {
+      int rc;
+      try {
+        rc = RunConsolidationRewind(profile, opt, spec, flags, &slo);
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "bad consolidation configuration — %s\n", e.what());
+        return 2;
+      }
+      if (rc != 0) {
+        return rc;
+      }
+    } else {
+      ConsolidationResult r;
+      try {
+        r = RunConsolidation(profile, opt, &obs);
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "bad consolidation configuration — %s\n", e.what());
+        return 2;
+      }
+      std::printf("consolidation on %s with %d users: worst p99 stall %.1f ms, CPU %.1f%%\n",
+                  r.os_name.c_str(), r.users, r.worst_p99_stall_ms,
+                  r.cpu_utilization * 100.0);
+      slo = std::move(r.slo);
     }
-    std::printf("consolidation on %s with %d users: worst p99 stall %.1f ms, CPU %.1f%%\n",
-                r.os_name.c_str(), r.users, r.worst_p99_stall_ms,
-                r.cpu_utilization * 100.0);
-    slo = std::move(r.slo);
   } else {
     std::fprintf(stderr, "unknown experiment '%s' (typing|e2e|chaos|consolidation)\n",
                  experiment.c_str());
@@ -1709,7 +1824,7 @@ int Run(int argc, char** argv) {
                  "burst-every-ms", "ram-mib", "profile", "starve-after-ms",
                  "component", "speedup", "rtt-delta-ms", "degrade",
                  "slo-p99-ms", "slo-availability", "slo-backlog-kb", "slo-starved",
-                 "postmortem-dir"});
+                 "postmortem-dir", "rewind-ms", "checkpoint-every-ms", "rewind-out"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
